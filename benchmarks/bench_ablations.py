@@ -1,0 +1,102 @@
+"""Ablation benchmarks for design choices discussed in the paper.
+
+* angle grid size (Section 4.2: how many indexed angles to keep),
+* 2D query strategy (stream merge vs the literal Claim 6 / Algorithm 4),
+* dimension pairing strategy (Section 5 / future work),
+* apriori-k top-1 region index vs the runtime-k projection tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_K,
+    SIX_DIM_ROLES,
+    TWO_DIM_ROLES,
+    bench_config,
+    dataset,
+    run_workload,
+    scaled_size,
+    workload,
+)
+from repro.core.angles import AngleGrid
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+from repro.workloads.registry import build_algorithm
+
+NUM_POINTS_6D = scaled_size(500_000)
+NUM_POINTS_2D = scaled_size(2_000_000, minimum=10_000)
+
+
+@pytest.mark.parametrize("num_angles", (2, 3, 5, 9))
+def test_ablation_angle_grid_size(benchmark, num_angles):
+    config = bench_config()
+    matrix = dataset("uniform", NUM_POINTS_6D, 6)
+    degrees = AngleGrid.uniform(num_angles).degrees()
+    index = build_algorithm("SD-Index", matrix, *SIX_DIM_ROLES,
+                            angles=degrees, branching=config.branching)
+    queries = workload(*SIX_DIM_ROLES, num_dims=6, k=BENCH_K)
+    benchmark.group = "ablation-angle-grid"
+    benchmark.extra_info.update({"ablation": "angle-grid", "num_angles": num_angles,
+                                 "memory_mb": index.stats().memory_mb})
+    benchmark(run_workload, index, queries)
+
+
+@pytest.mark.parametrize("strategy", ("streams", "claim6"))
+def test_ablation_2d_query_strategy(benchmark, strategy):
+    matrix = dataset("uniform", NUM_POINTS_2D, 2)
+    index = TopKIndex(matrix[:, 0], matrix[:, 1], angle_grid=AngleGrid.default())
+    queries = workload(*TWO_DIM_ROLES, num_dims=2, k=BENCH_K)
+
+    def run():
+        total = 0
+        for query in queries:
+            total += len(index.query(query.point[0], query.point[1], k=query.k,
+                                     alpha=query.alpha[0], beta=query.beta[0],
+                                     strategy=strategy))
+        return total
+
+    benchmark.group = "ablation-2d-strategy"
+    benchmark.extra_info.update({"ablation": "query-strategy", "strategy": strategy})
+    benchmark(run)
+
+
+@pytest.mark.parametrize("pairing", ("order", "spread", "correlation"))
+def test_ablation_pairing_strategy(benchmark, pairing):
+    config = bench_config()
+    matrix = dataset("anticorrelated", NUM_POINTS_6D, 6)
+    index = build_algorithm("SD-Index", matrix, *SIX_DIM_ROLES,
+                            angles=config.angles, branching=config.branching,
+                            pairing=pairing)
+    queries = workload(*SIX_DIM_ROLES, num_dims=6, k=BENCH_K)
+    benchmark.group = "ablation-pairing"
+    benchmark.extra_info.update({"ablation": "pairing", "strategy": pairing})
+    benchmark(run_workload, index, queries)
+
+
+@pytest.mark.parametrize("structure", ("top1-region-index", "topk-tree"))
+def test_ablation_top1_vs_topk_for_known_k(benchmark, structure):
+    matrix = dataset("uniform", NUM_POINTS_2D, 2)
+    queries = workload(*TWO_DIM_ROLES, num_dims=2, k=1, seed=2)
+    if structure == "top1-region-index":
+        index = Top1Index(matrix[:, 0], matrix[:, 1], k=1)
+
+        def run():
+            total = 0
+            for query in queries:
+                total += len(index.query(query.point[0], query.point[1], k=1))
+            return total
+    else:
+        index = TopKIndex(matrix[:, 0], matrix[:, 1], angle_grid=AngleGrid.default())
+
+        def run():
+            total = 0
+            for query in queries:
+                total += len(index.query(query.point[0], query.point[1], k=1))
+            return total
+
+    benchmark.group = "ablation-top1-vs-topk"
+    benchmark.extra_info.update({"ablation": "top1-vs-topk", "structure": structure,
+                                 "memory_mb": index.stats().memory_mb})
+    benchmark(run)

@@ -1,0 +1,30 @@
+"""Figure 7i-7j: querying time vs number of attractive dimensions (3 repulsive fixed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_K, algorithm, run_workload, scaled_size, workload
+
+PAPER_SIZE = 500_000
+NUM_POINTS = scaled_size(PAPER_SIZE)
+METHODS = ("SeqScan", "SD-Index", "TA", "BRS")
+ATTRACTIVE_COUNTS = (0, 1, 2, 3)
+DISTRIBUTIONS = ("uniform", "correlated")
+NUM_REPULSIVE = 3
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("num_attractive", ATTRACTIVE_COUNTS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7_query_time_vs_attractive_dims(benchmark, method, distribution, num_attractive):
+    num_dims = NUM_REPULSIVE + num_attractive
+    repulsive = tuple(range(NUM_REPULSIVE))
+    attractive = tuple(range(NUM_REPULSIVE, num_dims))
+    algo = algorithm(method, distribution, NUM_POINTS, num_dims, repulsive, attractive)
+    queries = workload(repulsive, attractive, num_dims=num_dims, k=BENCH_K)
+    benchmark.group = f"fig7-attractive-{distribution}-s{num_attractive}"
+    benchmark.extra_info.update({"figure": "7i-7j", "method": method,
+                                 "distribution": distribution,
+                                 "num_attractive": num_attractive})
+    benchmark(run_workload, algo, queries)

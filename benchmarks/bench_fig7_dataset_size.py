@@ -1,0 +1,51 @@
+"""Figure 7a-7c: querying time vs dataset size on 6-dimensional data.
+
+One benchmark per (method, distribution, dataset size).  The paper's sizes
+(100k-1M points) are scaled by ``REPRO_BENCH_SCALE``; PE is included only at the
+smallest size because, as in the paper, it behaves like a sequential scan at six
+dimensions and dominates the suite's running time otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_K,
+    SIX_DIM_ROLES,
+    algorithm,
+    run_workload,
+    scaled_size,
+    workload,
+)
+
+PAPER_SIZES = (100_000, 500_000, 1_000_000)
+SIZES = sorted({scaled_size(size) for size in PAPER_SIZES})
+METHODS = ("SeqScan", "SD-Index", "TA", "BRS")
+DISTRIBUTIONS = ("uniform", "correlated", "anticorrelated")
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("num_points", SIZES)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7_query_time_vs_dataset_size(benchmark, method, distribution, num_points):
+    repulsive, attractive = SIX_DIM_ROLES
+    algo = algorithm(method, distribution, num_points, 6, repulsive, attractive)
+    queries = workload(repulsive, attractive, num_dims=6, k=BENCH_K)
+    benchmark.group = f"fig7-size-{distribution}-n{num_points}"
+    benchmark.extra_info.update({"figure": "7a-7c", "method": method,
+                                 "distribution": distribution, "num_points": num_points})
+    benchmark(run_workload, algo, queries)
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_fig7_query_time_pe_smallest_size(benchmark, distribution):
+    """PE measured once per distribution at the smallest size (paper: Figure 7a-7c)."""
+    repulsive, attractive = SIX_DIM_ROLES
+    num_points = SIZES[0]
+    algo = algorithm("PE", distribution, num_points, 6, repulsive, attractive)
+    queries = workload(repulsive, attractive, num_dims=6, k=BENCH_K, num_queries=2)
+    benchmark.group = f"fig7-size-{distribution}-n{num_points}"
+    benchmark.extra_info.update({"figure": "7a-7c", "method": "PE",
+                                 "distribution": distribution, "num_points": num_points})
+    benchmark(run_workload, algo, queries)

@@ -1,0 +1,31 @@
+"""Figure 7d-7f: querying time vs dimensionality (2-8 dimensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_K, algorithm, run_workload, scaled_size, workload
+
+PAPER_SIZE = 500_000
+NUM_POINTS = scaled_size(PAPER_SIZE)
+METHODS = ("SeqScan", "SD-Index", "TA", "BRS")
+DIMENSIONS = (2, 4, 6, 8)
+DISTRIBUTIONS = ("uniform", "correlated", "anticorrelated")
+
+
+def roles(num_dims: int):
+    half = num_dims // 2
+    return tuple(range(half)), tuple(range(half, num_dims))
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("num_dims", DIMENSIONS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7_query_time_vs_dimensions(benchmark, method, distribution, num_dims):
+    repulsive, attractive = roles(num_dims)
+    algo = algorithm(method, distribution, NUM_POINTS, num_dims, repulsive, attractive)
+    queries = workload(repulsive, attractive, num_dims=num_dims, k=BENCH_K)
+    benchmark.group = f"fig7-dims-{distribution}-d{num_dims}"
+    benchmark.extra_info.update({"figure": "7d-7f", "method": method,
+                                 "distribution": distribution, "num_dims": num_dims})
+    benchmark(run_workload, algo, queries)

@@ -1,0 +1,26 @@
+"""Figure 7g-7h: querying time vs k on 6-dimensional data."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIX_DIM_ROLES, algorithm, run_workload, scaled_size, workload
+
+PAPER_SIZE = 500_000
+NUM_POINTS = scaled_size(PAPER_SIZE)
+METHODS = ("SeqScan", "SD-Index", "TA", "BRS")
+K_VALUES = (5, 25, 50, 100)
+DISTRIBUTIONS = ("uniform", "correlated")
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7_query_time_vs_k(benchmark, method, distribution, k):
+    repulsive, attractive = SIX_DIM_ROLES
+    algo = algorithm(method, distribution, NUM_POINTS, 6, repulsive, attractive)
+    queries = workload(repulsive, attractive, num_dims=6, k=k)
+    benchmark.group = f"fig7-k-{distribution}-k{k}"
+    benchmark.extra_info.update({"figure": "7g-7h", "method": method,
+                                 "distribution": distribution, "k": k})
+    benchmark(run_workload, algo, queries)

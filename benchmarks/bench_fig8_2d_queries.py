@@ -1,0 +1,79 @@
+"""Figures 8c-8g: two-dimensional querying benchmarks.
+
+* 8c-8d — querying time vs dataset size (uniform, correlated data).
+* 8e    — top-1 region-index querying time vs dataset size per distribution.
+* 8f-8g — querying time vs k at the largest configured 2D size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_K,
+    BENCH_QUERIES,
+    TWO_DIM_ROLES,
+    algorithm,
+    dataset,
+    run_workload,
+    scaled_size,
+    workload,
+)
+from repro.core.top1 import Top1Index
+
+PAPER_2D_SIZES = (1_000_000, 5_000_000, 10_000_000)
+SIZES = sorted({scaled_size(size, minimum=10_000) for size in PAPER_2D_SIZES})
+METHODS = ("SeqScan", "SD-Index", "TA", "BRS")
+K_VALUES = (5, 50, 100)
+
+
+@pytest.mark.parametrize("distribution", ("uniform", "correlated"))
+@pytest.mark.parametrize("num_points", SIZES)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig8cd_2d_query_time_vs_dataset_size(benchmark, method, distribution, num_points):
+    repulsive, attractive = TWO_DIM_ROLES
+    algo = algorithm(method, distribution, num_points, 2, repulsive, attractive)
+    queries = workload(repulsive, attractive, num_dims=2, k=BENCH_K)
+    benchmark.group = f"fig8cd-2d-size-{distribution}-n{num_points}"
+    benchmark.extra_info.update({"figure": "8c-8d", "method": method,
+                                 "distribution": distribution, "num_points": num_points})
+    benchmark(run_workload, algo, queries)
+
+
+_TOP1_CACHE = {}
+
+
+@pytest.mark.parametrize("distribution", ("uniform", "correlated", "anticorrelated"))
+@pytest.mark.parametrize("num_points", SIZES)
+def test_fig8e_top1_query_time_vs_dataset_size(benchmark, distribution, num_points):
+    key = (distribution, num_points)
+    if key not in _TOP1_CACHE:
+        matrix = dataset(distribution, num_points, 2)
+        _TOP1_CACHE[key] = Top1Index(matrix[:, 0], matrix[:, 1], k=1)
+    index = _TOP1_CACHE[key]
+    queries = workload(*TWO_DIM_ROLES, num_dims=2, k=1)
+
+    def run():
+        total = 0
+        for query in queries:
+            total += len(index.query(query.point[0], query.point[1], k=1))
+        return total
+
+    benchmark.group = f"fig8e-top1-{distribution}-n{num_points}"
+    benchmark.extra_info.update({"figure": "8e", "method": "SD-Index top1",
+                                 "distribution": distribution, "num_points": num_points})
+    benchmark(run)
+
+
+@pytest.mark.parametrize("distribution", ("uniform", "correlated"))
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig8fg_2d_query_time_vs_k(benchmark, method, distribution, k):
+    num_points = SIZES[-1]
+    repulsive, attractive = TWO_DIM_ROLES
+    algo = algorithm(method, distribution, num_points, 2, repulsive, attractive)
+    queries = workload(repulsive, attractive, num_dims=2, k=k)
+    benchmark.group = f"fig8fg-2d-k-{distribution}-k{k}"
+    benchmark.extra_info.update({"figure": "8f-8g", "method": method,
+                                 "distribution": distribution, "k": k})
+    benchmark(run_workload, algo, queries)

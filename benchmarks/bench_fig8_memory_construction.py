@@ -1,0 +1,105 @@
+"""Figures 8h-8j: memory footprints and index construction time.
+
+* 8h — memory footprint vs dataset size (reported via ``extra_info``; the
+  measured "time" is the footprint computation, the number that matters is the
+  recorded ``memory_mb``).
+* 8i — memory footprint vs branching factor of the top-k projection tree.
+* 8j — index construction time vs dataset size for SD top-1, SD top-k, BRS, PE.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_config, dataset, scaled_size
+from repro.baselines import BRSTopK, ProgressiveExplorationTopK
+from repro.core.angles import AngleGrid
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+from repro.workloads.registry import build_algorithm
+
+PAPER_SIZES = (100_000, 500_000, 1_000_000)
+SIZES = sorted({scaled_size(size) for size in PAPER_SIZES})
+BRANCHING_FACTORS = (2, 8, 32)
+SIX_DIM_ROLES = ((0, 1, 2), (3, 4, 5))
+
+
+@pytest.mark.parametrize("num_points", SIZES)
+def test_fig8h_memory_topk_6d(benchmark, num_points):
+    config = bench_config()
+    matrix = dataset("uniform", num_points, 6)
+    index = build_algorithm("SD-Index", matrix, *SIX_DIM_ROLES,
+                            angles=config.angles, branching=config.branching)
+
+    def measure():
+        return index.stats().memory_mb
+
+    benchmark.group = f"fig8h-memory-n{num_points}"
+    result = benchmark(measure)
+    benchmark.extra_info.update({"figure": "8h", "method": "SD-Index topK",
+                                 "num_points": num_points, "memory_mb": float(result)})
+
+
+@pytest.mark.parametrize("distribution", ("uniform", "correlated", "anticorrelated"))
+@pytest.mark.parametrize("num_points", SIZES)
+def test_fig8h_memory_top1_2d(benchmark, distribution, num_points):
+    matrix = dataset(distribution, num_points, 2)
+    index = Top1Index(matrix[:, 0], matrix[:, 1], k=1)
+
+    def measure():
+        return index.stats().memory_mb
+
+    benchmark.group = f"fig8h-memory-n{num_points}"
+    result = benchmark(measure)
+    benchmark.extra_info.update({"figure": "8h", "method": f"SD-Index top1 {distribution}",
+                                 "num_points": num_points, "memory_mb": float(result)})
+
+
+@pytest.mark.parametrize("branching", BRANCHING_FACTORS)
+def test_fig8i_memory_vs_branching(benchmark, branching):
+    config = bench_config()
+    num_points = scaled_size(500_000)
+    matrix = dataset("uniform", num_points, 6)
+    index = build_algorithm("SD-Index", matrix, *SIX_DIM_ROLES,
+                            angles=config.angles, branching=branching)
+
+    def measure():
+        return index.stats().memory_mb
+
+    benchmark.group = "fig8i-memory-vs-branching"
+    result = benchmark(measure)
+    benchmark.extra_info.update({"figure": "8i", "branching": branching,
+                                 "memory_mb": float(result)})
+
+
+@pytest.mark.parametrize("num_points", SIZES)
+def test_fig8j_construction_sd_top1(benchmark, num_points):
+    matrix = dataset("uniform", num_points, 6)
+    benchmark.group = f"fig8j-construction-n{num_points}"
+    benchmark.extra_info.update({"figure": "8j", "method": "SD-Index top1"})
+    benchmark(lambda: len(Top1Index(matrix[:, 0], matrix[:, 1], k=1)))
+
+
+@pytest.mark.parametrize("num_points", SIZES)
+def test_fig8j_construction_sd_topk(benchmark, num_points):
+    matrix = dataset("uniform", num_points, 6)
+    grid = AngleGrid.default()
+    benchmark.group = f"fig8j-construction-n{num_points}"
+    benchmark.extra_info.update({"figure": "8j", "method": "SD-Index topK"})
+    benchmark(lambda: len(TopKIndex(matrix[:, 0], matrix[:, 1], angle_grid=grid)))
+
+
+@pytest.mark.parametrize("num_points", SIZES)
+def test_fig8j_construction_brs(benchmark, num_points):
+    matrix = dataset("uniform", num_points, 6)
+    benchmark.group = f"fig8j-construction-n{num_points}"
+    benchmark.extra_info.update({"figure": "8j", "method": "BRS"})
+    benchmark(lambda: len(BRSTopK(matrix, *SIX_DIM_ROLES).tree))
+
+
+@pytest.mark.parametrize("num_points", SIZES)
+def test_fig8j_construction_pe(benchmark, num_points):
+    matrix = dataset("uniform", num_points, 6)
+    benchmark.group = f"fig8j-construction-n{num_points}"
+    benchmark.extra_info.update({"figure": "8j", "method": "PE"})
+    benchmark(lambda: len(ProgressiveExplorationTopK(matrix, *SIX_DIM_ROLES).data))

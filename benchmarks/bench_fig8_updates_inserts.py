@@ -1,0 +1,129 @@
+"""Figure 8a (querying cost after updates) and Figure 8b (insertion cost).
+
+Figure 8a: the SD-Index top-k structure is built, a batch of deletions and
+insertions is applied, and the post-update querying time is measured (the
+no-update querying time is covered by the Figure 7/8c benchmarks).
+
+Figure 8b: per-structure insertion cost — SD top-1, SD top-k, BRS and PE — as a
+batch of fresh points is inserted into an index built at the configured size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_K,
+    SIX_DIM_ROLES,
+    bench_config,
+    dataset,
+    run_workload,
+    scaled_size,
+    workload,
+)
+from repro.baselines import BRSTopK, ProgressiveExplorationTopK
+from repro.core.angles import AngleGrid
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+from repro.workloads.registry import build_algorithm
+
+PAPER_SIZE = 500_000
+NUM_POINTS = scaled_size(PAPER_SIZE)
+NUM_UPDATES = max(50, NUM_POINTS // 100)
+NUM_INSERTS = 200
+
+
+@pytest.mark.parametrize("distribution", ("uniform", "correlated"))
+def test_fig8a_query_time_after_updates(benchmark, distribution):
+    config = bench_config()
+    matrix = dataset(distribution, NUM_POINTS, 6)
+    repulsive, attractive = SIX_DIM_ROLES
+    index = build_algorithm("SD-Index", matrix, repulsive, attractive,
+                            angles=config.angles, branching=config.branching)
+    rng = np.random.default_rng(5)
+    victims = rng.choice(NUM_POINTS, size=NUM_UPDATES, replace=False)
+    for victim in victims:
+        index.delete(int(victim))
+    for point in rng.random((NUM_UPDATES, 6)):
+        index.insert(point)
+    queries = workload(repulsive, attractive, num_dims=6, k=BENCH_K)
+    benchmark.group = f"fig8a-updates-{distribution}"
+    benchmark.extra_info.update({"figure": "8a", "distribution": distribution,
+                                 "num_updates": 2 * NUM_UPDATES})
+    benchmark(run_workload, index, queries)
+
+
+def _fresh_points(count: int) -> np.ndarray:
+    return np.random.default_rng(11).random((count, 6))
+
+
+def test_fig8b_insert_sd_top1(benchmark):
+    matrix = dataset("uniform", NUM_POINTS, 6)
+    points = _fresh_points(NUM_INSERTS)
+
+    def setup():
+        index = Top1Index(matrix[:, 0], matrix[:, 1], k=1)
+        return (index,), {}
+
+    def insert_batch(index):
+        for i, point in enumerate(points):
+            index.insert(point[0], point[1], row_id=NUM_POINTS + i)
+        return len(index)
+
+    benchmark.group = "fig8b-insertion"
+    benchmark.extra_info.update({"figure": "8b", "method": "SD-Index top1"})
+    benchmark.pedantic(insert_batch, setup=setup, rounds=3)
+
+
+def test_fig8b_insert_sd_topk(benchmark):
+    matrix = dataset("uniform", NUM_POINTS, 6)
+    points = _fresh_points(NUM_INSERTS)
+    grid = AngleGrid.default()
+
+    def setup():
+        index = TopKIndex(matrix[:, 0], matrix[:, 1], angle_grid=grid)
+        return (index,), {}
+
+    def insert_batch(index):
+        for i, point in enumerate(points):
+            index.insert(point[0], point[1], row_id=NUM_POINTS + i)
+        return len(index)
+
+    benchmark.group = "fig8b-insertion"
+    benchmark.extra_info.update({"figure": "8b", "method": "SD-Index topK"})
+    benchmark.pedantic(insert_batch, setup=setup, rounds=3)
+
+
+def test_fig8b_insert_brs(benchmark):
+    matrix = dataset("uniform", NUM_POINTS, 6)
+    points = _fresh_points(NUM_INSERTS)
+
+    def setup():
+        return (BRSTopK(matrix, *SIX_DIM_ROLES),), {}
+
+    def insert_batch(index):
+        for i, point in enumerate(points):
+            index.insert(point, row_id=NUM_POINTS + i)
+        return len(index.tree)
+
+    benchmark.group = "fig8b-insertion"
+    benchmark.extra_info.update({"figure": "8b", "method": "BRS"})
+    benchmark.pedantic(insert_batch, setup=setup, rounds=3)
+
+
+def test_fig8b_insert_pe(benchmark):
+    matrix = dataset("uniform", NUM_POINTS, 6)
+    points = _fresh_points(NUM_INSERTS)
+
+    def setup():
+        return (ProgressiveExplorationTopK(matrix, *SIX_DIM_ROLES),), {}
+
+    def insert_batch(index):
+        for i, point in enumerate(points):
+            index.insert(point, row_id=NUM_POINTS + i)
+        return len(index.data)
+
+    benchmark.group = "fig8b-insertion"
+    benchmark.extra_info.update({"figure": "8b", "method": "PE"})
+    benchmark.pedantic(insert_batch, setup=setup, rounds=3)

@@ -1,0 +1,63 @@
+"""Table 1: the qualitative ChEMBL-like experiment as a benchmark.
+
+The measured call runs the four top-k queries of Table 1 (k = 10, 50, 100, 200)
+against the synthetic molecular library; the resulting per-k averages are
+attached to the benchmark's ``extra_info`` so a benchmark run doubles as a
+regeneration of the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.query import SDQuery
+from repro.core.sdindex import SDIndex
+from repro.data.chembl import generate_chembl_like, paper_query_molecule
+
+K_VALUES = (10, 50, 100, 200)
+NUM_MOLECULES = max(20_000, int(428_913 * min(BENCH_SCALE * 6, 1.0)))
+
+
+@pytest.fixture(scope="module")
+def chembl_setup():
+    dataset = generate_chembl_like(num_molecules=NUM_MOLECULES, seed=7)
+    mw_dim = dataset.column_index("molecular_weight")
+    drug_dim = dataset.column_index("drug_likeness")
+    index = SDIndex.build(dataset.matrix, repulsive=[mw_dim], attractive=[drug_dim])
+    return dataset, index, paper_query_molecule(dataset), mw_dim, drug_dim
+
+
+def test_table1_chembl_queries(benchmark, chembl_setup):
+    dataset, index, query_point, mw_dim, drug_dim = chembl_setup
+    psa_dim = dataset.column_index("polar_surface_area")
+
+    def run_table():
+        rows = {}
+        for k in K_VALUES:
+            query = SDQuery.simple(query_point, repulsive=[mw_dim], attractive=[drug_dim], k=k)
+            result = index.query(query)
+            answers = dataset.matrix[result.row_ids]
+            rows[k] = {
+                "drug_likeness": float(answers[:, drug_dim].mean()),
+                "molecular_weight": float(answers[:, mw_dim].mean()),
+                "polar_surface_area": float(answers[:, psa_dim].mean()),
+            }
+        return rows
+
+    rows = benchmark(run_table)
+    benchmark.group = "table1-chembl"
+    benchmark.extra_info.update({
+        "table": "1",
+        "num_molecules": NUM_MOLECULES,
+        "overall_mw": float(dataset.column("molecular_weight").mean()),
+        "overall_drug_likeness": float(dataset.column("drug_likeness").mean()),
+        "overall_psa": float(dataset.column("polar_surface_area").mean()),
+        "measured_rows": rows,
+    })
+    # Qualitative assertions from the paper.
+    overall_mw = dataset.column("molecular_weight").mean()
+    overall_psa = dataset.column("polar_surface_area").mean()
+    for k, values in rows.items():
+        assert values["molecular_weight"] > 1.5 * overall_mw
+        assert values["polar_surface_area"] < 0.7 * overall_psa

@@ -1,0 +1,90 @@
+"""Shared fixtures and scaling knobs for the benchmark suite.
+
+Every benchmark mirrors one figure or table of the paper's evaluation (see
+DESIGN.md for the experiment index).  Dataset sizes default to a small fraction
+of the paper's so that ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes; set the environment variable ``REPRO_BENCH_SCALE`` (e.g. ``0.2`` or
+``1.0``) to move toward paper scale, and ``REPRO_BENCH_QUERIES`` to change the
+number of queries per measured call.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.registry import build_algorithm
+from repro.workloads.workload import make_workload
+
+#: Fraction of the paper's dataset sizes used by the benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+#: Queries per measured benchmark call.
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "5"))
+
+#: The default k of the paper's experiments.
+BENCH_K = 5
+
+#: Six-dimensional roles used by the Figure 7 benchmarks.
+SIX_DIM_ROLES: Tuple[Tuple[int, ...], Tuple[int, ...]] = ((0, 1, 2), (3, 4, 5))
+#: Two-dimensional roles used by the Figure 8 benchmarks (y repulsive, x attractive).
+TWO_DIM_ROLES: Tuple[Tuple[int, ...], Tuple[int, ...]] = ((1,), (0,))
+
+
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration equivalent of the benchmark scaling knobs."""
+    return ExperimentConfig(scale=BENCH_SCALE, num_queries=BENCH_QUERIES, k=BENCH_K)
+
+
+def scaled_size(paper_size: int, minimum: int = 2000) -> int:
+    """One paper dataset size scaled by ``REPRO_BENCH_SCALE``."""
+    return max(minimum, int(round(paper_size * BENCH_SCALE)))
+
+
+_DATASET_CACHE: Dict[Tuple[str, int, int, int], np.ndarray] = {}
+
+
+def dataset(distribution: str, num_points: int, num_dims: int, seed: int = 0) -> np.ndarray:
+    """Cached dataset matrix so repeated benchmarks do not regenerate data."""
+    key = (distribution, num_points, num_dims, seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = generate_dataset(distribution, num_points, num_dims, seed=seed).matrix
+    return _DATASET_CACHE[key]
+
+
+_ALGORITHM_CACHE: Dict[Tuple, object] = {}
+
+
+def algorithm(method: str, distribution: str, num_points: int, num_dims: int,
+              repulsive, attractive, seed: int = 0, **options):
+    """Cached algorithm instance (index construction happens once per configuration)."""
+    key = (method, distribution, num_points, num_dims, tuple(repulsive), tuple(attractive),
+           seed, tuple(sorted(options.items())))
+    if key not in _ALGORITHM_CACHE:
+        data = dataset(distribution, num_points, num_dims, seed=seed)
+        _ALGORITHM_CACHE[key] = build_algorithm(method, data, repulsive, attractive, **options)
+    return _ALGORITHM_CACHE[key]
+
+
+def workload(repulsive, attractive, num_dims: int, k: int = BENCH_K, seed: int = 1,
+             num_queries: int = BENCH_QUERIES):
+    """A small reusable query workload."""
+    return make_workload(repulsive, attractive, num_queries=num_queries, k=k,
+                         num_dims=num_dims, seed=seed)
+
+
+def run_workload(algo, queries) -> int:
+    """Benchmark payload: answer every query, return a checksum of result sizes."""
+    total = 0
+    for query in queries:
+        total += len(algo.query(query))
+    return total
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Drug discovery: overweight molecules that are still drug-like (Table 1 scenario).
+
+This example reproduces the paper's qualitative study (Section 6.3) end to end on
+the synthetic ChEMBL-like library: query for molecules *similar in drug-likeness*
+to a good, light compound but *distant in molecular weight*, and inspect what the
+answers look like.  The headline observation of the paper — the heavy molecules
+that remain drug-like have conspicuously low polar surface area (PSA) — emerges
+from the answer sets.
+
+Run with:  python examples/drug_discovery_chembl.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SDIndex, SDQuery
+from repro.data.chembl import generate_chembl_like, paper_query_molecule
+
+
+def main() -> None:
+    library = generate_chembl_like(num_molecules=60_000, seed=7)
+    drug_dim = library.column_index("drug_likeness")
+    mw_dim = library.column_index("molecular_weight")
+    psa_dim = library.column_index("polar_surface_area")
+
+    print(f"Synthetic molecular library: {len(library)} molecules")
+    overall = library.describe()
+    print("Overall averages:")
+    print(f"  drug-likeness:      {overall['drug_likeness']['mean']:.2f}")
+    print(f"  molecular weight:   {overall['molecular_weight']['mean']:.1f} Da")
+    print(f"  polar surface area: {overall['polar_surface_area']['mean']:.1f} A^2\n")
+
+    # The paper's query molecule: drug-likeness 11 (high), molecular weight 250 (low).
+    query_molecule = paper_query_molecule(library)
+    index = SDIndex.build(library.matrix, repulsive=[mw_dim], attractive=[drug_dim])
+
+    print("SD-Query: similar drug-likeness, distant molecular weight")
+    print(f"{'k':>5} {'avg drug-likeness':>18} {'avg MW (Da)':>12} {'avg PSA':>9}")
+    for k in (10, 50, 100, 200):
+        query = SDQuery.simple(
+            point=query_molecule, repulsive=[mw_dim], attractive=[drug_dim], k=k
+        )
+        result = index.query(query)
+        answers = library.matrix[result.row_ids]
+        print(
+            f"{k:>5} {answers[:, drug_dim].mean():>18.2f} "
+            f"{answers[:, mw_dim].mean():>12.1f} {answers[:, psa_dim].mean():>9.1f}"
+        )
+
+    print("\nInterpretation (matches the paper's Table 1):")
+    print("  * the answers are roughly twice as heavy as the library average,")
+    print("  * yet their drug-likeness is above the library average,")
+    print("  * and their polar surface area is far below it — the property that")
+    print("    correlates with membrane permeability and oral bioavailability.")
+    print("\nA molecule violating the rule-of-five weight filter is therefore not")
+    print("necessarily a bad drug candidate; the SD-Query finds those exceptions,")
+    print("whereas a pure similarity query on drug-likeness would simply return")
+    print("more light molecules.")
+
+
+if __name__ == "__main__":
+    main()

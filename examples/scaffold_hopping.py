@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Scaffold hopping: structurally different molecules with similar activity.
+
+The second motivating application in the paper's introduction comes from
+chemoinformatics: given a query molecule, find molecules whose *binding activity*
+profile is similar (attractive dimensions) but whose *structure* is different
+(repulsive dimensions).  That is how medicinal chemists escape a patented or
+toxic chemical scaffold while keeping the pharmacology.
+
+This script builds a synthetic virtual-screening library in which each molecule
+has two structural descriptors and two activity descriptors, with a small family
+of molecules engineered to share the query's activity profile while sitting far
+away in structure space.  The SD-Query surfaces exactly that family; a plain
+similarity search returns near-identical scaffolds instead.
+
+Run with:  python examples/scaffold_hopping.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SDIndex, SDQuery
+from repro.data.dataset import Dataset
+
+COLUMNS = (
+    "scaffold_pc1",       # structure descriptor (repulsive)
+    "scaffold_pc2",       # structure descriptor (repulsive)
+    "activity_target_a",  # binding activity (attractive)
+    "activity_target_b",  # binding activity (attractive)
+)
+
+
+def build_library(num_molecules: int = 40_000, seed: int = 11) -> Dataset:
+    rng = np.random.default_rng(seed)
+
+    # The bulk of the library: activity loosely follows structure (similar
+    # scaffolds tend to have similar activity), which is what makes naive
+    # similarity search return me-too molecules.
+    scaffold = rng.normal(0.0, 1.0, size=(num_molecules, 2))
+    activity = 0.6 * scaffold + rng.normal(0.0, 0.5, size=(num_molecules, 2))
+
+    # A small family of "scaffold hops": far away in structure space but with
+    # activity close to the reference molecule's profile (defined in main()).
+    num_hops = num_molecules // 400
+    hop_scaffold = rng.normal(0.0, 1.0, size=(num_hops, 2))
+    hop_scaffold += np.sign(hop_scaffold) * 3.0  # push them to the structural fringe
+    hop_activity = np.array([1.2, -0.8]) + rng.normal(0.0, 0.1, size=(num_hops, 2))
+
+    matrix = np.column_stack([
+        np.vstack([scaffold, hop_scaffold]),
+        np.vstack([activity, hop_activity]),
+    ])
+    return Dataset(matrix=matrix, columns=COLUMNS, name="virtual-screening-library")
+
+
+def main() -> None:
+    library = build_library()
+    structure_dims = [0, 1]
+    activity_dims = [2, 3]
+
+    # The reference (query) molecule: a known active compound.
+    reference = np.array([0.9, -0.6, 1.2, -0.8])
+    print("Reference molecule:")
+    print(f"  structure descriptors: {reference[:2]}")
+    print(f"  activity profile:      {reference[2:]}\n")
+
+    index = SDIndex.build(library.matrix, repulsive=structure_dims, attractive=activity_dims)
+
+    query = SDQuery.simple(
+        point=reference,
+        repulsive=structure_dims,
+        attractive=activity_dims,
+        k=10,
+        alpha=[1.0, 1.0],
+        beta=[3.0, 3.0],  # activity similarity matters more than structural novelty
+    )
+    hops = index.query(query)
+
+    print("Scaffold-hopping SD-Query (similar activity, different structure):")
+    print(f"{'rank':>4} {'struct dist':>12} {'activity dist':>14} {'score':>9}")
+    for rank, match in enumerate(hops, start=1):
+        point = np.array(match.point)
+        struct_dist = np.abs(point[:2] - reference[:2]).sum()
+        act_dist = np.abs(point[2:] - reference[2:]).sum()
+        print(f"{rank:>4} {struct_dist:>12.3f} {act_dist:>14.3f} {match.score:>9.3f}")
+
+    # Baseline for contrast: treat every dimension as attractive (pure similarity).
+    similarity_index = SDIndex.build(
+        library.matrix, repulsive=[], attractive=structure_dims + activity_dims
+    )
+    nearest = similarity_index.query(
+        SDQuery.simple(reference, [], structure_dims + activity_dims, k=10)
+    )
+
+    def average_structural_distance(result):
+        return float(np.mean([
+            np.abs(np.array(m.point)[:2] - reference[:2]).sum() for m in result
+        ]))
+
+    print("\nAverage structural distance of the answers:")
+    print(f"  SD-Query (scaffold hopping): {average_structural_distance(hops):.3f}")
+    print(f"  plain similarity search:     {average_structural_distance(nearest):.3f}")
+    print("\nThe SD-Query keeps the activity profile while leaving the original scaffold;")
+    print("the similarity search stays glued to the reference structure.")
+
+
+if __name__ == "__main__":
+    main()

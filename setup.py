@@ -1,0 +1,7 @@
+"""Setup shim so the package installs in offline environments without the
+``wheel`` package (legacy ``pip install -e .`` path); all metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

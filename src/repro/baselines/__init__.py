@@ -1,0 +1,21 @@
+"""Baseline top-k algorithms the paper compares against (Section 6.1).
+
+Every baseline implements the :class:`repro.baselines.base.TopKAlgorithm`
+interface: build once over a dataset with fixed dimension roles, then answer
+:class:`repro.core.query.SDQuery` instances.
+"""
+
+from repro.baselines.base import TopKAlgorithm
+from repro.baselines.brs import BRSTopK
+from repro.baselines.pe import ProgressiveExplorationTopK
+from repro.baselines.sequential import PurePythonScan, SequentialScan
+from repro.baselines.ta import ThresholdAlgorithm
+
+__all__ = [
+    "TopKAlgorithm",
+    "SequentialScan",
+    "PurePythonScan",
+    "ThresholdAlgorithm",
+    "BRSTopK",
+    "ProgressiveExplorationTopK",
+]

@@ -1,0 +1,70 @@
+"""Common interface for top-k algorithms (the SD-Index and every baseline)."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.query import SDQuery
+from repro.core.results import IndexStats, TopKResult
+
+__all__ = ["TopKAlgorithm"]
+
+
+class TopKAlgorithm(abc.ABC):
+    """A top-k query algorithm built once over a dataset.
+
+    Subclasses receive the full ``(n, m)`` data matrix plus the dimension roles
+    at construction time (mirroring how the paper builds each competitor once per
+    dataset) and answer arbitrary :class:`SDQuery` objects afterwards.
+    """
+
+    #: Short name used in experiment reports (e.g. ``"SD-Index"``, ``"TA"``).
+    name: str = "top-k"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        repulsive: Sequence[int],
+        attractive: Sequence[int],
+        row_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=float)
+        if self.data.ndim != 2:
+            raise ValueError("data must be an (n, m) matrix")
+        self.repulsive = tuple(int(d) for d in repulsive)
+        self.attractive = tuple(int(d) for d in attractive)
+        self.row_ids = (
+            np.arange(len(self.data), dtype=np.int64)
+            if row_ids is None
+            else np.asarray(list(row_ids), dtype=np.int64)
+        )
+        if len(self.row_ids) != len(self.data):
+            raise ValueError("row_ids must align with the data matrix")
+
+    def check_query(self, query: SDQuery) -> None:
+        """Validate that the query's dimension roles match the build-time roles."""
+        if set(query.repulsive) != set(self.repulsive) or set(query.attractive) != set(
+            self.attractive
+        ):
+            raise ValueError(
+                "query dimension roles do not match the roles this algorithm was built for"
+            )
+        if query.num_dims != self.data.shape[1]:
+            raise ValueError(
+                f"query has {query.num_dims} dimensions, data has {self.data.shape[1]}"
+            )
+
+    @abc.abstractmethod
+    def query(self, query: SDQuery) -> TopKResult:
+        """Answer a top-k SD-Query."""
+
+    def stats(self) -> IndexStats:
+        """Default statistics: just the raw data footprint."""
+        return IndexStats(
+            name=self.name,
+            num_points=len(self.data),
+            memory_bytes=int(self.data.nbytes),
+        )

@@ -1,0 +1,84 @@
+"""Sequential scans: the exact, index-free oracles every other algorithm is checked against.
+
+Two variants are provided:
+
+* :class:`SequentialScan` — numpy-vectorized scoring.  This is the fastest way
+  to scan in Python and the fairest representation of a well-implemented scan,
+  but its per-point cost is paid in C while every index structure here pays it
+  in the interpreter.
+* :class:`PurePythonScan` — the same scan with per-point Python scoring, i.e.
+  the per-point cost model the paper's Java competitors share.  The experiment
+  harness reports it alongside the vectorized scan so the pruning benefit of the
+  indexes can be read independently of the numpy constant factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import TopKAlgorithm
+from repro.core.query import SDQuery, make_fast_scorer, sd_scores
+from repro.core.results import Match, TopKResult
+from repro.substrates.heaps import BoundedMaxHeap
+
+__all__ = ["SequentialScan", "PurePythonScan"]
+
+
+class SequentialScan(TopKAlgorithm):
+    """Score every point with the vectorized exact scorer and keep the best ``k``."""
+
+    name = "SeqScan"
+
+    def query(self, query: SDQuery) -> TopKResult:
+        self.check_query(query)
+        scores = sd_scores(self.data, query)
+        k = min(query.k, len(scores))
+        if k == 0:
+            return TopKResult(matches=[], algorithm=self.name)
+        # argpartition gives the k best in O(n); sort only those k.
+        top_positions = np.argpartition(-scores, k - 1)[:k]
+        matches = [
+            Match(
+                row_id=int(self.row_ids[position]),
+                score=float(scores[position]),
+                point=tuple(self.data[position]),
+            )
+            for position in top_positions
+        ]
+        return TopKResult(
+            matches=matches,
+            candidates_examined=len(scores),
+            full_evaluations=len(scores),
+            algorithm=self.name,
+        )
+
+
+class PurePythonScan(TopKAlgorithm):
+    """Sequential scan whose per-point scoring runs in the interpreter.
+
+    Useful as an apples-to-apples lower bound for the pure-Python index
+    structures (see DESIGN.md / EXPERIMENTS.md on substrate constant factors).
+    """
+
+    name = "SeqScan-py"
+
+    def query(self, query: SDQuery) -> TopKResult:
+        self.check_query(query)
+        score = make_fast_scorer(query)
+        heap = BoundedMaxHeap(max(query.k, 1))
+        for position in range(len(self.data)):
+            heap.push(score(self.data[position]), position)
+        matches = [
+            Match(
+                row_id=int(self.row_ids[position]),
+                score=float(value),
+                point=tuple(self.data[position]),
+            )
+            for value, position in heap.items()
+        ]
+        return TopKResult(
+            matches=matches,
+            candidates_examined=len(self.data),
+            full_evaluations=len(self.data),
+            algorithm=self.name,
+        )

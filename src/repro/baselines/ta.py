@@ -1,0 +1,114 @@
+"""The adapted Threshold Algorithm (TA) baseline (Fagin et al., adapted per Section 6.1).
+
+Each dimension is kept as a sorted list.  For a given query the algorithm walks
+every dimension in order of decreasing *partial score contribution*:
+
+* repulsive dimensions are walked farthest-first from the query value (their
+  contribution ``alpha * |p_d - q_d|`` decreases along the walk),
+* attractive dimensions are walked nearest-first from the query value (their
+  contribution ``-beta * |p_d - q_d|`` also decreases along the walk).
+
+Every point encountered under sorted access is fully scored by random access and
+kept in a bounded heap; the walk stops once the k-th best full score reaches the
+threshold obtained by summing the current positions' contributions — exactly the
+TA stopping rule, with one-dimensional subproblems (which is what the SD-Index's
+two-dimensional subproblems are compared against).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import TopKAlgorithm
+from repro.core.query import SDQuery, make_fast_scorer
+from repro.core.results import IndexStats, Match, TopKResult
+from repro.substrates.bidirectional import FarthestFirstExplorer, NearestFirstExplorer
+from repro.substrates.heaps import BoundedMaxHeap
+from repro.substrates.sorted_column import SortedColumn
+
+__all__ = ["ThresholdAlgorithm"]
+
+
+class ThresholdAlgorithm(TopKAlgorithm):
+    """TA over per-dimension sorted lists with bidirectional sorted access."""
+
+    name = "TA"
+
+    def __init__(self, data, repulsive, attractive, row_ids=None) -> None:
+        super().__init__(data, repulsive, attractive, row_ids=row_ids)
+        self._columns: Dict[int, SortedColumn] = {
+            dim: SortedColumn(self.data[:, dim], row_ids=self.row_ids)
+            for dim in self.repulsive + self.attractive
+        }
+        self._row_position = {int(row): i for i, row in enumerate(self.row_ids)}
+
+    def query(self, query: SDQuery) -> TopKResult:
+        self.check_query(query)
+        alpha_of = dict(zip(query.repulsive, query.alpha))
+        beta_of = dict(zip(query.attractive, query.beta))
+
+        explorers = []
+        weights = []
+        signs = []
+        for dim in query.repulsive:
+            explorers.append(FarthestFirstExplorer(self._columns[dim], query.point[dim]))
+            weights.append(alpha_of[dim])
+            signs.append(1.0)
+        for dim in query.attractive:
+            explorers.append(NearestFirstExplorer(self._columns[dim], query.point[dim]))
+            weights.append(beta_of[dim])
+            signs.append(-1.0)
+
+        heap = BoundedMaxHeap(query.k)
+        seen: set = set()
+        last_partial: List[float] = [math.inf] * len(explorers)
+        candidates_examined = 0
+        full_evaluations = 0
+        fast_score = make_fast_scorer(query)
+
+        while True:
+            progressed = False
+            for position, explorer in enumerate(explorers):
+                try:
+                    row, distance = next(explorer)
+                except StopIteration:
+                    last_partial[position] = -math.inf
+                    continue
+                progressed = True
+                candidates_examined += 1
+                last_partial[position] = signs[position] * weights[position] * distance
+                if row in seen:
+                    continue
+                seen.add(row)
+                point = self.data[self._row_position[row]]
+                score = fast_score(point)
+                full_evaluations += 1
+                heap.push(score, int(row))
+            threshold = sum(last_partial)
+            kth = heap.kth_score()
+            if kth is not None and kth >= threshold:
+                break
+            if not progressed:
+                break
+
+        matches = [
+            Match(
+                row_id=row,
+                score=score,
+                point=tuple(self.data[self._row_position[row]]),
+            )
+            for score, row in heap.items()
+        ]
+        return TopKResult(
+            matches=matches,
+            candidates_examined=candidates_examined,
+            full_evaluations=full_evaluations,
+            algorithm=self.name,
+        )
+
+    def stats(self) -> IndexStats:
+        memory = sum(column.memory_bytes() for column in self._columns.values())
+        return IndexStats(name=self.name, num_points=len(self.data), memory_bytes=memory)

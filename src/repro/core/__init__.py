@@ -1,0 +1,25 @@
+"""Core SD-Query algorithms: scoring, projection geometry, isoline envelopes and indexes.
+
+The public entry point for most users is :class:`repro.core.sdindex.SDIndex`,
+re-exported from the top-level :mod:`repro` package.
+"""
+
+from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
+from repro.core.results import IndexStats, Match, TopKResult
+from repro.core.sdindex import SDIndex
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+
+__all__ = [
+    "DimensionRole",
+    "QueryWeights",
+    "SDQuery",
+    "sd_score",
+    "sd_scores",
+    "Match",
+    "TopKResult",
+    "IndexStats",
+    "SDIndex",
+    "Top1Index",
+    "TopKIndex",
+]

@@ -1,0 +1,120 @@
+"""Grids of indexed projection angles (Section 4.2).
+
+The top-k index answers queries with arbitrary run-time weighting parameters by
+storing projection bounds for a small set of *indexed angles* and combining them
+at query time.  The paper recommends always indexing 0 and 90 degrees so that any
+query angle is bracketed, and spreading additional angles uniformly (or according
+to the expected query-angle distribution) — its default grid is
+``0, 23, 45, 67, 90`` degrees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Angle
+
+__all__ = ["AngleGrid", "DEFAULT_ANGLE_DEGREES"]
+
+#: The paper's default: five angles distributed uniformly across the quadrant.
+DEFAULT_ANGLE_DEGREES: Tuple[float, ...] = (0.0, 22.5, 45.0, 67.5, 90.0)
+
+
+@dataclass(frozen=True)
+class AngleGrid:
+    """An ordered set of indexed angles covering ``[0, 90]`` degrees."""
+
+    angles: Tuple[Angle, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.angles) < 2:
+            raise ValueError("an angle grid needs at least two angles (0 and 90 degrees)")
+        radians = [angle.radians for angle in self.angles]
+        if any(b - a <= 1e-12 for a, b in zip(radians, radians[1:])):
+            raise ValueError("angles must be strictly increasing")
+        if radians[0] > 1e-9 or radians[-1] < math.pi / 2 - 1e-9:
+            raise ValueError("the grid must span the full [0, 90] degree range")
+
+    def __len__(self) -> int:
+        return len(self.angles)
+
+    def __iter__(self):
+        return iter(self.angles)
+
+    def __getitem__(self, index: int) -> Angle:
+        return self.angles[index]
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def from_degrees(cls, degrees: Iterable[float]) -> "AngleGrid":
+        """Grid from explicit angles in degrees (sorted, deduplicated)."""
+        unique = sorted(set(float(d) for d in degrees))
+        return cls(tuple(Angle.from_degrees(d) for d in unique))
+
+    @classmethod
+    def default(cls) -> "AngleGrid":
+        """The paper's five-angle uniform grid."""
+        return cls.from_degrees(DEFAULT_ANGLE_DEGREES)
+
+    @classmethod
+    def uniform(cls, count: int) -> "AngleGrid":
+        """``count`` angles spread uniformly over ``[0, 90]`` degrees (count >= 2)."""
+        if count < 2:
+            raise ValueError("a uniform grid needs at least two angles")
+        step = 90.0 / (count - 1)
+        return cls.from_degrees(step * i for i in range(count))
+
+    @classmethod
+    def from_query_history(cls, query_degrees: Sequence[float], count: int) -> "AngleGrid":
+        """Grid adapted to an observed distribution of query angles.
+
+        The paper suggests sampling indexed angles from the query-angle history
+        when one is available.  We place the interior angles at evenly spaced
+        quantiles of the observed distribution and always keep 0 and 90 degrees
+        as the outer anchors so every query stays bracketed.
+        """
+        if count < 2:
+            raise ValueError("a grid needs at least two angles")
+        history = sorted(float(d) for d in query_degrees)
+        if not history:
+            return cls.uniform(count)
+        interior = count - 2
+        chosen: List[float] = [0.0, 90.0]
+        for i in range(interior):
+            quantile = (i + 1) / (interior + 1)
+            position = quantile * (len(history) - 1)
+            low = int(math.floor(position))
+            high = min(low + 1, len(history) - 1)
+            fraction = position - low
+            chosen.append(history[low] * (1 - fraction) + history[high] * fraction)
+        return cls.from_degrees(chosen)
+
+    # ------------------------------------------------------------------ lookup
+    def bracket(self, query_angle: Angle) -> Tuple[Angle, Angle]:
+        """The two consecutive indexed angles bracketing ``query_angle``.
+
+        Returns ``(angle, angle)`` when the query angle coincides with an indexed
+        one.  Raises ``ValueError`` if the query angle falls outside the grid
+        (impossible for grids spanning the full quadrant).
+        """
+        target = query_angle.radians
+        lower: Optional[Angle] = None
+        upper: Optional[Angle] = None
+        for angle in self.angles:
+            if abs(angle.radians - target) <= 1e-12:
+                return angle, angle
+            if angle.radians < target:
+                lower = angle
+            elif upper is None:
+                upper = angle
+        if lower is None or upper is None:
+            raise ValueError(
+                f"query angle {query_angle.degrees:.3f} deg is not covered by the grid"
+            )
+        return lower, upper
+
+    def degrees(self) -> Tuple[float, ...]:
+        """The indexed angles in degrees (for reporting)."""
+        return tuple(angle.degrees for angle in self.angles)

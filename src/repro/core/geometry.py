@@ -1,0 +1,244 @@
+"""Projection geometry for the 2D SD-score (Section 2 of the paper).
+
+For a 2D sub-query with repulsive dimension ``y`` (weight ``alpha``) and
+attractive dimension ``x`` (weight ``beta``) the score of a point ``p`` against a
+query ``q`` is ``alpha*|y_p - y_q| - beta*|x_p - x_q|``.  Every point emits four
+*projections* at angle ``theta = atan(beta/alpha)`` to the x-axis (Definition 4):
+left/right lower and left/right upper.  The intersection of the appropriate
+projection with the query axis ``x = x_q`` determines the score (Claims 2-3), and
+the top-k answer lives among the highest lower / lowest upper projections
+(Claim 4).
+
+To keep all angles (including the degenerate ``theta = 90`` degrees, i.e.
+``alpha = 0``) on the same footing, this module works with the *normalized* form
+
+``score_theta(p, q) = cos(theta)*|y_p - y_q| - sin(theta)*|x_p - x_q|``
+
+which ranks identically to the weighted score and is a linear function of the
+unit vector ``(cos(theta), sin(theta))``.  The two per-point *intercepts*
+
+``w_a = cos(theta)*y + sin(theta)*x``  and  ``w_b = cos(theta)*y - sin(theta)*x``
+
+order projections of the same type (they are parallel lines), and the lower /
+upper projection heights at any axis ``x_q`` are
+
+``lower(p, x_q) = min(w_a - sin(theta)*x_q, w_b + sin(theta)*x_q)``
+``upper(p, x_q) = max(w_a - sin(theta)*x_q, w_b + sin(theta)*x_q)``
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "ProjectionKind",
+    "Angle",
+    "projection_kind",
+    "lower_projection_height",
+    "upper_projection_height",
+    "projected_point",
+    "score_2d",
+    "score_from_axis",
+    "claim1_holds",
+]
+
+
+class ProjectionKind(enum.Enum):
+    """The four projections a point emits (Definition 4)."""
+
+    LLP = "left-lower"
+    RLP = "right-lower"
+    LUP = "left-upper"
+    RUP = "right-upper"
+
+    @property
+    def is_lower(self) -> bool:
+        return self in (ProjectionKind.LLP, ProjectionKind.RLP)
+
+    @property
+    def is_left(self) -> bool:
+        return self in (ProjectionKind.LLP, ProjectionKind.LUP)
+
+
+@dataclass(frozen=True)
+class Angle:
+    """A projection angle, stored as the unit vector ``(cos, sin)``.
+
+    ``cos`` weighs the repulsive (y) dimension and ``sin`` the attractive (x)
+    dimension.  ``Angle.from_weights(alpha, beta)`` normalizes arbitrary positive
+    weights; ``Angle.from_degrees`` builds the fixed grid of indexed angles.
+    """
+
+    cos: float
+    sin: float
+
+    #: Components smaller than this (after normalization) are snapped to exactly
+    #: zero so that the degenerate 0 and 90 degree angles behave exactly.
+    _SNAP_TOLERANCE = 1e-12
+
+    def __post_init__(self) -> None:
+        norm = math.hypot(self.cos, self.sin)
+        if not math.isfinite(norm) or norm <= 0:
+            raise ValueError(f"invalid angle components ({self.cos}, {self.sin})")
+        if self.cos < -1e-12 or self.sin < -1e-12:
+            raise ValueError("projection angles live in the first quadrant")
+        cos = self.cos / norm
+        sin = self.sin / norm
+        if abs(cos) < self._SNAP_TOLERANCE:
+            cos, sin = 0.0, 1.0
+        elif abs(sin) < self._SNAP_TOLERANCE:
+            cos, sin = 1.0, 0.0
+        object.__setattr__(self, "cos", cos)
+        object.__setattr__(self, "sin", sin)
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def from_weights(cls, alpha: float, beta: float) -> "Angle":
+        """Angle for a repulsive weight ``alpha`` and attractive weight ``beta``."""
+        if alpha < 0 or beta < 0 or (alpha == 0 and beta == 0):
+            raise ValueError(f"weights must be non-negative and not both zero: {alpha}, {beta}")
+        return cls(cos=float(alpha), sin=float(beta))
+
+    @classmethod
+    def from_degrees(cls, degrees: float) -> "Angle":
+        """Angle from degrees in ``[0, 90]``."""
+        if degrees < 0 or degrees > 90:
+            raise ValueError(f"angle must be within [0, 90] degrees, got {degrees}")
+        radians = math.radians(degrees)
+        return cls(cos=math.cos(radians), sin=math.sin(radians))
+
+    @classmethod
+    def from_radians(cls, radians: float) -> "Angle":
+        """Angle from radians in ``[0, pi/2]``."""
+        return cls(cos=math.cos(radians), sin=math.sin(radians))
+
+    # ------------------------------------------------------------------ views
+    @property
+    def radians(self) -> float:
+        return math.atan2(self.sin, self.cos)
+
+    @property
+    def degrees(self) -> float:
+        return math.degrees(self.radians)
+
+    @property
+    def slope(self) -> float:
+        """``tan(theta)`` — the geometric slope of projections; ``inf`` at 90 degrees."""
+        if self.cos == 0:
+            return math.inf
+        return self.sin / self.cos
+
+    # ------------------------------------------------------------ intercepts
+    def intercept_a(self, x: float, y: float) -> float:
+        """``w_a = cos*y + sin*x`` — orders right-lower and left-upper projections."""
+        return self.cos * y + self.sin * x
+
+    def intercept_b(self, x: float, y: float) -> float:
+        """``w_b = cos*y - sin*x`` — orders left-lower and right-upper projections."""
+        return self.cos * y - self.sin * x
+
+    def intercepts(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(w_a, w_b)`` for arrays of coordinates."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return self.cos * y + self.sin * x, self.cos * y - self.sin * x
+
+    # ------------------------------------------------------------- scoring
+    def normalized_score(self, dx: float, dy: float) -> float:
+        """``cos*|dy| - sin*|dx|`` — the normalized 2D SD-score."""
+        return self.cos * abs(dy) - self.sin * abs(dx)
+
+    def interpolation_coefficients(self, lower: "Angle", upper: "Angle") -> Tuple[float, float]:
+        """Non-negative ``(mu_l, mu_u)`` with ``(cos, sin) = mu_l*lower + mu_u*upper``.
+
+        Exists whenever ``lower.radians <= self.radians <= upper.radians`` and the
+        two bracketing angles are distinct.  Used to derive admissible per-node
+        bounds at a non-indexed angle from the bounds stored for two indexed
+        angles (the linear-algebra core of Claim 6 / Algorithm 4).
+        """
+        det = lower.cos * upper.sin - lower.sin * upper.cos
+        if abs(det) < 1e-15:
+            raise ValueError("bracketing angles must be distinct")
+        mu_l = (self.cos * upper.sin - self.sin * upper.cos) / det
+        mu_u = (lower.cos * self.sin - lower.sin * self.cos) / det
+        if mu_l < -1e-9 or mu_u < -1e-9:
+            raise ValueError(
+                f"angle {self.degrees:.3f} deg is not bracketed by "
+                f"[{lower.degrees:.3f}, {upper.degrees:.3f}] deg"
+            )
+        return max(mu_l, 0.0), max(mu_u, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Angle({self.degrees:.2f} deg)"
+
+
+# ----------------------------------------------------------------- projections
+def projection_kind(px: float, py: float, qx: float, qy: float) -> ProjectionKind:
+    """The projection of ``p`` that determines its score against ``q`` (Equation 6)."""
+    if py < qy:
+        return ProjectionKind.LUP if px >= qx else ProjectionKind.RUP
+    return ProjectionKind.LLP if px >= qx else ProjectionKind.RLP
+
+
+def lower_projection_height(angle: Angle, px: float, py: float, qx: float) -> float:
+    """Height at which the lower projection of ``p`` crosses the axis ``x = qx``.
+
+    Expressed in normalized units (multiplied by ``cos(theta)`` relative to the
+    geometric y-value) so that it stays finite at ``theta = 90`` degrees.
+    """
+    return angle.cos * py - angle.sin * abs(px - qx)
+
+
+def upper_projection_height(angle: Angle, px: float, py: float, qx: float) -> float:
+    """Height at which the upper projection of ``p`` crosses the axis ``x = qx``."""
+    return angle.cos * py + angle.sin * abs(px - qx)
+
+
+def projected_point(angle: Angle, px: float, py: float, qx: float, qy: float) -> Tuple[float, float]:
+    """The projected point ``p'`` of ``p`` on the axis of ``q`` (Definition 4).
+
+    Only meaningful for angles with ``cos > 0`` (the geometric y-coordinate of the
+    intersection is ``height / cos``).
+    """
+    kind = projection_kind(px, py, qx, qy)
+    if angle.cos == 0:
+        raise ValueError("projected_point is undefined at theta = 90 degrees")
+    if kind.is_lower:
+        height = lower_projection_height(angle, px, py, qx)
+    else:
+        height = upper_projection_height(angle, px, py, qx)
+    return qx, height / angle.cos
+
+
+def score_2d(angle: Angle, px: float, py: float, qx: float, qy: float) -> float:
+    """Normalized 2D SD-score of ``p`` against ``q`` computed directly."""
+    return angle.normalized_score(px - qx, py - qy)
+
+
+def score_from_axis(angle: Angle, px: float, py: float, qx: float, qy: float) -> float:
+    """Normalized 2D SD-score computed through the projection heights.
+
+    This is the computation Claims 2-3 justify: for points in the lower group
+    (``y_p >= y_q``) the score equals ``lower_height - cos*y_q``; for the upper
+    group it equals ``cos*y_q - upper_height``.  Tests assert this agrees with
+    :func:`score_2d` for every configuration.
+    """
+    if py >= qy:
+        return lower_projection_height(angle, px, py, qx) - angle.cos * qy
+    return angle.cos * qy - upper_projection_height(angle, px, py, qx)
+
+
+def claim1_holds(angle: Angle, px: float, py: float, qx: float, qy: float) -> bool:
+    """True when ``q`` lies between the two projected points of ``p`` (Claim 1).
+
+    In that configuration the score of ``p`` is guaranteed to be non-positive.
+    """
+    lower = lower_projection_height(angle, px, py, qx)
+    upper = upper_projection_height(angle, px, py, qx)
+    height_q = angle.cos * qy
+    return lower <= height_q <= upper

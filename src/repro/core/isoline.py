@@ -1,0 +1,283 @@
+"""Isoline envelopes: the geometric core of the top-1 index (Section 3).
+
+For a fixed projection angle, the *lower projection* of a point ``p`` evaluated
+along the x-axis is the tent-shaped function
+
+``f_p(x) = cos*y_p - sin*|x - x_p| = min(w_a(p) - sin*x, w_b(p) + sin*x)``
+
+and the *upper projection* is the vee-shaped function
+
+``g_p(x) = cos*y_p + sin*|x - x_p| = max(w_a(p) - sin*x, w_b(p) + sin*x)``.
+
+The point providing the *highest lower projection* at an axis ``x`` is the one on
+the upper envelope of the tents at ``x``; the point providing the *lowest upper
+projection* is the one on the lower envelope of the vees.  Claim 5 of the paper
+states that each point owns at most one contiguous interval of either envelope,
+so both envelopes decompose the x-axis into at most ``n`` regions; this module
+computes those regions exactly.
+
+Key facts used (proved in ``tests/property/test_isoline_properties.py``):
+
+* A point appears on the upper tent envelope iff it is *non-dominated* in the
+  intercept plane: no other point has both ``w_a`` and ``w_b`` at least as large
+  (with one strictly larger).  Dually for the vee lower envelope with "at most".
+* Non-dominated points, ordered by increasing ``w_a`` (equivalently decreasing
+  ``w_b``), own consecutive regions from left to right, and the breakpoint
+  between consecutive owners is the intersection of the right projection of the
+  left owner with the left projection of the right owner — exactly the
+  intersection points Algorithm 1 of the paper stores.
+* Peeling the envelope ``k`` times yields layers such that the ``j``-th best
+  projection provider at any axis lies within the first ``j`` layers, which is
+  what the apriori-``k`` variant of the top-1 index stores.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import Angle
+
+__all__ = [
+    "EnvelopeSide",
+    "Region",
+    "Envelope",
+    "build_envelope",
+    "peel_envelope_layers",
+    "tent_height",
+    "vee_height",
+]
+
+
+class EnvelopeSide:
+    """Which envelope is being built (plain constants; not worth an Enum)."""
+
+    LOWER_PROJECTIONS = "lower"  # upper envelope of tents (highest lower projection)
+    UPPER_PROJECTIONS = "upper"  # lower envelope of vees (lowest upper projection)
+
+
+def tent_height(angle: Angle, px: float, py: float, x: float) -> float:
+    """Lower-projection height of point ``(px, py)`` at axis ``x``."""
+    return angle.cos * py - angle.sin * abs(x - px)
+
+
+def vee_height(angle: Angle, px: float, py: float, x: float) -> float:
+    """Upper-projection height of point ``(px, py)`` at axis ``x``."""
+    return angle.cos * py + angle.sin * abs(x - px)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A maximal x-interval ``[left, right)`` owned by a single point."""
+
+    left: float
+    right: float
+    owner: int  # row id of the owning point
+
+    def contains(self, x: float) -> bool:
+        return self.left <= x < self.right or (math.isinf(self.right) and x >= self.left)
+
+
+@dataclass
+class Envelope:
+    """A piecewise description of one envelope: sorted regions covering the x-axis.
+
+    ``breakpoints`` holds the right boundary of every region except the last
+    (which extends to ``+inf``); ``owners`` holds the owning row id per region.
+    ``owner_at(x)`` is a binary search, which is the query procedure of the top-1
+    index.
+    """
+
+    side: str
+    owners: List[int] = field(default_factory=list)
+    breakpoints: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.owners and len(self.breakpoints) != len(self.owners) - 1:
+            raise ValueError(
+                f"{len(self.owners)} owners require {len(self.owners) - 1} breakpoints, "
+                f"got {len(self.breakpoints)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.owners)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.owners
+
+    def owner_at(self, x: float) -> Optional[int]:
+        """Row id of the point owning the envelope at axis ``x`` (None if empty)."""
+        if not self.owners:
+            return None
+        position = bisect.bisect_left(self.breakpoints, x)
+        return self.owners[position]
+
+    def regions(self) -> List[Region]:
+        """Materialize the regions (mostly for inspection and tests)."""
+        if not self.owners:
+            return []
+        bounds = [-math.inf] + list(self.breakpoints) + [math.inf]
+        return [
+            Region(left=bounds[i], right=bounds[i + 1], owner=owner)
+            for i, owner in enumerate(self.owners)
+        ]
+
+    def memory_bytes(self) -> int:
+        """Analytic memory estimate: one float per breakpoint, one int per owner."""
+        return 8 * len(self.breakpoints) + 8 * len(self.owners)
+
+
+def _dominance_skyline(
+    row_ids: np.ndarray,
+    w_a: np.ndarray,
+    w_b: np.ndarray,
+    maximize: bool,
+) -> List[int]:
+    """Indices (into the given arrays) of non-dominated entries.
+
+    For ``maximize=True`` an entry is dominated if another entry has ``w_a`` and
+    ``w_b`` at least as large, with at least one strictly larger (ties broken on
+    row id so exact duplicates keep exactly one representative).  For
+    ``maximize=False`` the inequalities flip.
+    """
+    n = len(row_ids)
+    if n == 0:
+        return []
+    sign = 1.0 if maximize else -1.0
+    a = sign * w_a
+    b = sign * w_b
+    # Sort by a descending, then b descending, then row id ascending so that the
+    # first occurrence of any duplicate (a, b) pair survives.  After this sort an
+    # entry is non-dominated exactly when its b is strictly larger than every b
+    # seen before it.
+    order = np.lexsort((row_ids, -b, -a))
+    skyline: List[int] = []
+    best_b = -math.inf
+    for idx in order:
+        if not skyline or b[idx] > best_b:
+            skyline.append(int(idx))
+            best_b = b[idx]
+    return skyline
+
+
+def build_envelope(
+    x: Sequence[float],
+    y: Sequence[float],
+    angle: Angle,
+    side: str = EnvelopeSide.LOWER_PROJECTIONS,
+    row_ids: Optional[Sequence[int]] = None,
+) -> Envelope:
+    """Build one envelope over the given points.
+
+    Parameters
+    ----------
+    x, y:
+        Coordinates of the points; ``y`` is the repulsive dimension.
+    angle:
+        Projection angle (``Angle.from_weights(alpha, beta)``).
+    side:
+        ``EnvelopeSide.LOWER_PROJECTIONS`` for the highest-lower-projection
+        envelope, ``EnvelopeSide.UPPER_PROJECTIONS`` for the lowest-upper one.
+    row_ids:
+        Optional external identifiers for the points (defaults to positions).
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("x and y must be 1-d arrays of equal length")
+    ids = (
+        np.arange(len(xs), dtype=int)
+        if row_ids is None
+        else np.asarray(list(row_ids), dtype=int)
+    )
+    if ids.shape != xs.shape:
+        raise ValueError("row_ids must align with the coordinate arrays")
+    if len(xs) == 0:
+        return Envelope(side=side)
+
+    w_a, w_b = angle.intercepts(xs, ys)
+    maximize = side == EnvelopeSide.LOWER_PROJECTIONS
+    skyline_positions = _dominance_skyline(ids, w_a, w_b, maximize=maximize)
+
+    # Order owners left-to-right along the x-axis.  On both sides the leftmost
+    # owner is the one with the extreme "left intercept" w_b, and along the
+    # skyline w_b is antitone in w_a, so ascending w_a is the left-to-right order
+    # (the vertex of each tent/vee sits at x = (w_a - w_b) / (2*sin)).
+    skyline_positions.sort(key=lambda i: (w_a[i], -w_b[i], ids[i]))
+
+    sin = angle.sin
+    if sin == 0:
+        # Degenerate angle (theta = 0): every projection is a horizontal line, so a
+        # single point (the best cos*y) owns the whole axis.  The skyline already
+        # reduced the candidates to exactly that point.
+        return Envelope(side=side, owners=[int(ids[skyline_positions[0]])], breakpoints=[])
+
+    owners: List[int] = []
+    breakpoints: List[float] = []
+    previous_position: Optional[int] = None
+    for position in skyline_positions:
+        owners.append(int(ids[position]))
+        if previous_position is not None:
+            if maximize:
+                # Intersection of the right-lower projection of the previous owner
+                # (height w_a_prev - sin*x) with the left-lower projection of the
+                # new owner (height w_b_new + sin*x).
+                boundary = (w_a[previous_position] - w_b[position]) / (2.0 * sin)
+            else:
+                # Intersection of the right-upper projection of the previous owner
+                # (height w_b_prev + sin*x) with the left-upper projection of the
+                # new owner (height w_a_new - sin*x).
+                boundary = (w_a[position] - w_b[previous_position]) / (2.0 * sin)
+            breakpoints.append(float(boundary))
+        previous_position = position
+
+    return Envelope(side=side, owners=owners, breakpoints=breakpoints)
+
+
+def peel_envelope_layers(
+    x: Sequence[float],
+    y: Sequence[float],
+    angle: Angle,
+    layers: int,
+    side: str = EnvelopeSide.LOWER_PROJECTIONS,
+    row_ids: Optional[Sequence[int]] = None,
+) -> List[Envelope]:
+    """Repeatedly peel the envelope to support an apriori ``k`` greater than one.
+
+    The ``j``-th best projection provider at any axis position is contained in the
+    union of the first ``j`` layers, so indexing ``k`` layers suffices to answer
+    top-``k`` queries with the region-based index (Section 3, "for higher values
+    of k ... we need to track the k-highest and k-lowest projections").
+    """
+    if layers < 1:
+        raise ValueError(f"layers must be >= 1, got {layers}")
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    ids = (
+        np.arange(len(xs), dtype=int)
+        if row_ids is None
+        else np.asarray(list(row_ids), dtype=int)
+    )
+    remaining = np.ones(len(xs), dtype=bool)
+    result: List[Envelope] = []
+    for _ in range(layers):
+        if not remaining.any():
+            break
+        active = np.nonzero(remaining)[0]
+        envelope = build_envelope(
+            xs[active], ys[active], angle, side=side, row_ids=ids[active]
+        )
+        result.append(envelope)
+        # Remove this layer's owners from the point set before peeling again.
+        owner_set = set(envelope.owners)
+        if not owner_set:
+            break
+        for position in active:
+            if int(ids[position]) in owner_set:
+                remaining[position] = False
+    return result

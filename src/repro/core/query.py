@@ -1,0 +1,316 @@
+"""Query model and exact scoring for SD-Queries.
+
+An *SD-Query* (Definition 1 in the paper) asks for the ``k`` points of a dataset
+that maximize
+
+.. math::
+
+    \\mathrm{SDscore}(p, q) = \\sum_{i \\in D} \\alpha_i |p_i - q_i|
+                              - \\sum_{j \\in S} \\beta_j |p_j - q_j|
+
+where ``D`` is the set of *repulsive* dimensions (distance is rewarded) and ``S``
+the set of *attractive* dimensions (distance is penalized).  This module holds the
+query description objects plus reference (exact, non-indexed) scoring used both by
+the sequential-scan oracle and by the random-access step of every index.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "DimensionRole",
+    "QueryWeights",
+    "SDQuery",
+    "sd_score",
+    "sd_scores",
+    "make_fast_scorer",
+    "normalized_angle",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class DimensionRole(enum.Enum):
+    """Role a dimension plays in the scoring function."""
+
+    REPULSIVE = "repulsive"
+    ATTRACTIVE = "attractive"
+    IGNORED = "ignored"
+
+    def sign(self) -> int:
+        """Return +1 for repulsive, -1 for attractive, 0 for ignored dimensions."""
+        if self is DimensionRole.REPULSIVE:
+            return 1
+        if self is DimensionRole.ATTRACTIVE:
+            return -1
+        return 0
+
+
+def _as_tuple(values: Optional[ArrayLike], length: int, default: float) -> Tuple[float, ...]:
+    """Normalize a weight specification to a tuple of ``length`` floats."""
+    if values is None:
+        return (float(default),) * length
+    if np.isscalar(values):
+        return (float(values),) * length  # type: ignore[arg-type]
+    result = tuple(float(v) for v in values)
+    if len(result) != length:
+        raise ValueError(
+            f"expected {length} weights, got {len(result)}: {result!r}"
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class QueryWeights:
+    """Per-dimension weights ``alpha`` (repulsive) and ``beta`` (attractive).
+
+    Weights must be strictly positive: a zero weight is equivalent to dropping the
+    dimension from the query, which callers should express by removing the
+    dimension instead.
+    """
+
+    alpha: Tuple[float, ...]
+    beta: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        for name, values in (("alpha", self.alpha), ("beta", self.beta)):
+            for value in values:
+                if not math.isfinite(value) or value <= 0.0:
+                    raise ValueError(f"{name} weights must be finite and > 0, got {value!r}")
+
+    @classmethod
+    def uniform(cls, num_repulsive: int, num_attractive: int, value: float = 1.0) -> "QueryWeights":
+        """Equal weights for every dimension (the paper's default for examples)."""
+        return cls(alpha=(value,) * num_repulsive, beta=(value,) * num_attractive)
+
+
+@dataclass(frozen=True)
+class SDQuery:
+    """A fully specified SD-Query.
+
+    Parameters
+    ----------
+    point:
+        The query object ``q`` as a sequence of coordinates covering every
+        dimension of the dataset (including ignored ones).
+    repulsive:
+        Indexes of dimensions in ``D`` (distance from the query is rewarded).
+    attractive:
+        Indexes of dimensions in ``S`` (distance from the query is penalized).
+    k:
+        Number of results requested.
+    weights:
+        Optional :class:`QueryWeights`; defaults to all ones.
+    """
+
+    point: Tuple[float, ...]
+    repulsive: Tuple[int, ...]
+    attractive: Tuple[int, ...]
+    k: int = 1
+    weights: QueryWeights = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "point", tuple(float(v) for v in self.point))
+        object.__setattr__(self, "repulsive", tuple(int(d) for d in self.repulsive))
+        object.__setattr__(self, "attractive", tuple(int(d) for d in self.attractive))
+        if self.weights is None:
+            object.__setattr__(
+                self,
+                "weights",
+                QueryWeights.uniform(len(self.repulsive), len(self.attractive)),
+            )
+        self.validate()
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the query is internally inconsistent."""
+        num_dims = len(self.point)
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not self.repulsive and not self.attractive:
+            raise ValueError("query must name at least one repulsive or attractive dimension")
+        seen = set()
+        for dim in self.repulsive + self.attractive:
+            if dim < 0 or dim >= num_dims:
+                raise ValueError(f"dimension index {dim} out of range for a {num_dims}-d point")
+            if dim in seen:
+                raise ValueError(f"dimension {dim} used more than once")
+            seen.add(dim)
+        if len(self.weights.alpha) != len(self.repulsive):
+            raise ValueError(
+                f"{len(self.repulsive)} repulsive dimensions but "
+                f"{len(self.weights.alpha)} alpha weights"
+            )
+        if len(self.weights.beta) != len(self.attractive):
+            raise ValueError(
+                f"{len(self.attractive)} attractive dimensions but "
+                f"{len(self.weights.beta)} beta weights"
+            )
+        for value in self.point:
+            if not math.isfinite(value):
+                raise ValueError(f"query coordinates must be finite, got {value!r}")
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def num_dims(self) -> int:
+        """Dimensionality of the query point."""
+        return len(self.point)
+
+    @property
+    def alpha(self) -> Tuple[float, ...]:
+        """Weights of the repulsive dimensions, in the order of :attr:`repulsive`."""
+        return self.weights.alpha
+
+    @property
+    def beta(self) -> Tuple[float, ...]:
+        """Weights of the attractive dimensions, in the order of :attr:`attractive`."""
+        return self.weights.beta
+
+    def role_of(self, dim: int) -> DimensionRole:
+        """Return the role of dimension ``dim`` in this query."""
+        if dim in self.repulsive:
+            return DimensionRole.REPULSIVE
+        if dim in self.attractive:
+            return DimensionRole.ATTRACTIVE
+        return DimensionRole.IGNORED
+
+    def roles(self) -> Mapping[int, DimensionRole]:
+        """Mapping from dimension index to role for every scored dimension."""
+        mapping = {dim: DimensionRole.REPULSIVE for dim in self.repulsive}
+        mapping.update({dim: DimensionRole.ATTRACTIVE for dim in self.attractive})
+        return mapping
+
+    def with_k(self, k: int) -> "SDQuery":
+        """Return a copy of this query asking for ``k`` results."""
+        return SDQuery(
+            point=self.point,
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            k=k,
+            weights=self.weights,
+        )
+
+    def with_weights(self, alpha: ArrayLike, beta: ArrayLike) -> "SDQuery":
+        """Return a copy of this query with different weights."""
+        weights = QueryWeights(
+            alpha=_as_tuple(alpha, len(self.repulsive), 1.0),
+            beta=_as_tuple(beta, len(self.attractive), 1.0),
+        )
+        return SDQuery(
+            point=self.point,
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            k=self.k,
+            weights=weights,
+        )
+
+    @classmethod
+    def simple(
+        cls,
+        point: ArrayLike,
+        repulsive: Iterable[int],
+        attractive: Iterable[int],
+        k: int = 1,
+        alpha: Optional[ArrayLike] = None,
+        beta: Optional[ArrayLike] = None,
+    ) -> "SDQuery":
+        """Convenience constructor accepting scalars or sequences for the weights."""
+        repulsive = tuple(repulsive)
+        attractive = tuple(attractive)
+        weights = QueryWeights(
+            alpha=_as_tuple(alpha, len(repulsive), 1.0),
+            beta=_as_tuple(beta, len(attractive), 1.0),
+        )
+        return cls(
+            point=tuple(point),
+            repulsive=repulsive,
+            attractive=attractive,
+            k=k,
+            weights=weights,
+        )
+
+
+# ---------------------------------------------------------------------- scoring
+def sd_score(point: ArrayLike, query: SDQuery) -> float:
+    """Exact SD-score of a single ``point`` against ``query`` (Equation 3).
+
+    Higher is better.  The function is intentionally straightforward — it is the
+    reference implementation every index is validated against.
+    """
+    values = np.asarray(point, dtype=float)
+    if values.shape != (query.num_dims,):
+        raise ValueError(
+            f"point has shape {values.shape}, expected ({query.num_dims},)"
+        )
+    score = 0.0
+    for weight, dim in zip(query.alpha, query.repulsive):
+        score += weight * abs(values[dim] - query.point[dim])
+    for weight, dim in zip(query.beta, query.attractive):
+        score -= weight * abs(values[dim] - query.point[dim])
+    return float(score)
+
+
+def sd_scores(points: np.ndarray, query: SDQuery) -> np.ndarray:
+    """Vectorized SD-scores for a ``(n, m)`` matrix of points.
+
+    Used by the sequential-scan baseline and for bulk verification in tests.
+    """
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] != query.num_dims:
+        raise ValueError(
+            f"points must have shape (n, {query.num_dims}), got {matrix.shape}"
+        )
+    scores = np.zeros(matrix.shape[0], dtype=float)
+    query_vec = np.asarray(query.point, dtype=float)
+    for weight, dim in zip(query.alpha, query.repulsive):
+        scores += weight * np.abs(matrix[:, dim] - query_vec[dim])
+    for weight, dim in zip(query.beta, query.attractive):
+        scores -= weight * np.abs(matrix[:, dim] - query_vec[dim])
+    return scores
+
+
+def make_fast_scorer(query: SDQuery):
+    """Build a low-overhead scorer ``score(row_values) -> float`` for one query.
+
+    Threshold-style algorithms evaluate the full score of thousands of individual
+    candidate rows per query; going through :func:`sd_score` (which validates and
+    converts its input) for each of them dominates the running time in pure
+    Python.  The returned closure performs the same arithmetic on an indexable
+    row (numpy row or sequence) without any conversion or validation — it is
+    exactly Equation 3 unrolled.
+    """
+    repulsive_terms = [(float(w), int(d), float(query.point[d]))
+                       for w, d in zip(query.alpha, query.repulsive)]
+    attractive_terms = [(float(w), int(d), float(query.point[d]))
+                        for w, d in zip(query.beta, query.attractive)]
+
+    def score(row_values) -> float:
+        total = 0.0
+        for weight, dim, q_value in repulsive_terms:
+            total += weight * abs(row_values[dim] - q_value)
+        for weight, dim, q_value in attractive_terms:
+            total -= weight * abs(row_values[dim] - q_value)
+        return total
+
+    return score
+
+
+def normalized_angle(alpha: float, beta: float) -> float:
+    """Angle ``theta = atan2(beta, alpha)`` in radians (Equation 5).
+
+    The 2D score ``alpha*|dy| - beta*|dx|`` ranks identically to
+    ``cos(theta)*|dy| - sin(theta)*|dx|`` scaled by ``sqrt(alpha^2 + beta^2)``;
+    all 2D index structures work in this normalized form so that projections for
+    different weight vectors are directly comparable (Section 4.2, observation 2).
+    """
+    if alpha < 0 or beta < 0:
+        raise ValueError(f"weights must be non-negative, got alpha={alpha}, beta={beta}")
+    if alpha == 0 and beta == 0:
+        raise ValueError("alpha and beta cannot both be zero")
+    return math.atan2(beta, alpha)

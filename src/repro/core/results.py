@@ -1,0 +1,144 @@
+"""Result and statistics records shared by every query algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Match", "TopKResult", "IndexStats"]
+
+
+@dataclass(frozen=True, order=True)
+class Match:
+    """One answer of a top-k query.
+
+    Ordering is by ``(-score, row_id)`` so sorting a list of matches yields the
+    best-first order with a deterministic tie-break on the row identifier.
+    """
+
+    sort_key: Tuple[float, int] = field(init=False, repr=False, compare=True)
+    row_id: int = field(compare=False)
+    score: float = field(compare=False)
+    point: Optional[Tuple[float, ...]] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sort_key", (-float(self.score), int(self.row_id)))
+
+
+@dataclass
+class TopKResult:
+    """The answer set of a top-k query plus execution counters.
+
+    ``matches`` is always sorted best-first.  The counters are filled in by each
+    algorithm and are used by the experiment harness to report pruning power in
+    addition to wall-clock time.
+    """
+
+    matches: List[Match]
+    candidates_examined: int = 0
+    full_evaluations: int = 0
+    nodes_visited: int = 0
+    algorithm: str = ""
+
+    def __post_init__(self) -> None:
+        self.matches = sorted(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self) -> Iterator[Match]:
+        return iter(self.matches)
+
+    def __getitem__(self, index: int) -> Match:
+        return self.matches[index]
+
+    @property
+    def row_ids(self) -> List[int]:
+        """Row identifiers of the matches, best first."""
+        return [match.row_id for match in self.matches]
+
+    @property
+    def scores(self) -> List[float]:
+        """Scores of the matches, best first."""
+        return [match.score for match in self.matches]
+
+    def score_vector(self) -> np.ndarray:
+        """Scores as a numpy array (handy for comparisons in tests)."""
+        return np.asarray(self.scores, dtype=float)
+
+    def same_scores(self, other: "TopKResult", tol: float = 1e-9) -> bool:
+        """True if both results contain the same multiset of scores.
+
+        Two correct algorithms may return different points when scores tie, so
+        result equivalence is defined on scores, not on row ids.
+        """
+        if len(self) != len(other):
+            return False
+        mine = sorted(self.scores, reverse=True)
+        theirs = sorted(other.scores, reverse=True)
+        return all(abs(a - b) <= tol for a, b in zip(mine, theirs))
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[int, float]],
+        k: int,
+        points: Optional[Sequence[Sequence[float]]] = None,
+        algorithm: str = "",
+    ) -> "TopKResult":
+        """Build a result from ``(row_id, score)`` pairs, keeping only the best ``k``."""
+        matches = [
+            Match(
+                row_id=row_id,
+                score=score,
+                point=tuple(points[row_id]) if points is not None else None,
+            )
+            for row_id, score in pairs
+        ]
+        matches.sort()
+        return cls(matches=matches[:k], algorithm=algorithm)
+
+
+@dataclass
+class IndexStats:
+    """Size and shape statistics reported by index structures.
+
+    ``memory_bytes`` is an analytic estimate of the main-memory footprint (number
+    of stored floats/ints/pointers times their size), matching how the paper
+    reports memory in Figures 8h-8i.  ``deep_memory_bytes`` may additionally hold
+    a measured ``sys.getsizeof``-based figure when the caller requests it.
+    """
+
+    name: str
+    num_points: int
+    num_nodes: int = 0
+    num_regions: int = 0
+    height: int = 0
+    branching: int = 0
+    num_angles: int = 0
+    memory_bytes: int = 0
+    deep_memory_bytes: Optional[int] = None
+    build_seconds: Optional[float] = None
+
+    @property
+    def memory_mb(self) -> float:
+        """Analytic memory footprint in megabytes."""
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the experiment reporting code."""
+        return {
+            "name": self.name,
+            "num_points": self.num_points,
+            "num_nodes": self.num_nodes,
+            "num_regions": self.num_regions,
+            "height": self.height,
+            "branching": self.branching,
+            "num_angles": self.num_angles,
+            "memory_bytes": self.memory_bytes,
+            "memory_mb": self.memory_mb,
+            "deep_memory_bytes": self.deep_memory_bytes,
+            "build_seconds": self.build_seconds,
+        }

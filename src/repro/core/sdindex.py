@@ -1,0 +1,158 @@
+"""The public SD-Index facade.
+
+:class:`SDIndex` is the index a library user builds once over a dataset (with a
+fixed assignment of repulsive and attractive dimensions) and then queries with
+arbitrary query points, ``k`` and weighting parameters.  Internally it is the
+Section 5 decomposition: paired 2D projection-tree indexes plus 1D sorted columns
+for leftover dimensions, aggregated with a threshold algorithm.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import SDIndex, SDQuery
+>>> data = np.random.default_rng(0).random((1000, 4))
+>>> index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3])
+>>> query = SDQuery.simple(point=data[0], repulsive=[0, 1], attractive=[2, 3], k=5)
+>>> result = index.query(query)
+>>> len(result)
+5
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.aggregate import SubproblemAggregator
+from repro.core.angles import AngleGrid
+from repro.core.query import SDQuery
+from repro.core.results import IndexStats, TopKResult
+
+__all__ = ["SDIndex"]
+
+
+class SDIndex:
+    """Top-k SD-Query index for datasets of arbitrary dimensionality."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        repulsive: Sequence[int],
+        attractive: Sequence[int],
+        angles: Optional[Union[AngleGrid, Sequence[float]]] = None,
+        branching: int = 8,
+        leaf_capacity: int = 32,
+        pairing: str = "order",
+        row_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("data must be an (n, m) matrix of points")
+        if isinstance(angles, AngleGrid):
+            angle_grid = angles
+        elif angles is None:
+            angle_grid = AngleGrid.default()
+        else:
+            angle_grid = AngleGrid.from_degrees(angles)
+        self.repulsive = tuple(int(d) for d in repulsive)
+        self.attractive = tuple(int(d) for d in attractive)
+        self.num_dims = matrix.shape[1]
+        self._validate_roles()
+        self._aggregator = SubproblemAggregator(
+            matrix,
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            pairing=pairing,
+            angle_grid=angle_grid,
+            branching=branching,
+            leaf_capacity=leaf_capacity,
+            row_ids=row_ids,
+        )
+
+    def _validate_roles(self) -> None:
+        used = set(self.repulsive) | set(self.attractive)
+        if len(used) != len(self.repulsive) + len(self.attractive):
+            raise ValueError("repulsive and attractive dimensions must be disjoint")
+        if not self.repulsive and not self.attractive:
+            raise ValueError("at least one repulsive or attractive dimension is required")
+        out_of_range = [d for d in used if d < 0 or d >= self.num_dims]
+        if out_of_range:
+            raise ValueError(f"dimension indexes out of range: {sorted(out_of_range)}")
+
+    # ------------------------------------------------------------------ building
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        repulsive: Sequence[int],
+        attractive: Sequence[int],
+        **kwargs,
+    ) -> "SDIndex":
+        """Build an index over ``data`` with the given dimension roles.
+
+        Keyword arguments are forwarded to the constructor (``angles``,
+        ``branching``, ``leaf_capacity``, ``pairing``, ``row_ids``).
+        """
+        return cls(data, repulsive=repulsive, attractive=attractive, **kwargs)
+
+    # ------------------------------------------------------------------ querying
+    def query(
+        self,
+        query: Union[SDQuery, Sequence[float]],
+        k: Optional[int] = None,
+        alpha: Optional[Sequence[float]] = None,
+        beta: Optional[Sequence[float]] = None,
+    ) -> TopKResult:
+        """Answer an SD-Query.
+
+        Either pass a fully specified :class:`SDQuery` (whose dimension roles must
+        match the index) or pass the query point together with ``k`` and optional
+        weights, and the index fills in its own dimension roles.
+        """
+        if isinstance(query, SDQuery):
+            if k is not None or alpha is not None or beta is not None:
+                raise ValueError("pass either an SDQuery or point/k/weights, not both")
+            return self._aggregator.query(query)
+        if k is None:
+            raise ValueError("k is required when querying with a raw point")
+        built = SDQuery.simple(
+            point=query,
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            k=k,
+            alpha=alpha,
+            beta=beta,
+        )
+        return self._aggregator.query(built)
+
+    # ------------------------------------------------------------------ updates
+    def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
+        """Insert a point into the index; returns its row id."""
+        return self._aggregator.insert(point, row_id)
+
+    def delete(self, row_id: int) -> None:
+        """Delete a point from the index by row id."""
+        self._aggregator.delete(row_id)
+
+    def __len__(self) -> int:
+        return len(self._aggregator)
+
+    def point(self, row_id: int) -> np.ndarray:
+        """Random access to a stored point."""
+        return self._aggregator.point(row_id)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> IndexStats:
+        """Memory and shape statistics aggregated over the subproblem indexes."""
+        return self._aggregator.stats()
+
+    @property
+    def pairing(self):
+        """The dimension pairing in use (see :mod:`repro.core.pairing`)."""
+        return self._aggregator.pairing
+
+    @property
+    def aggregator(self) -> SubproblemAggregator:
+        """The underlying aggregator (for benchmarking and tests)."""
+        return self._aggregator

@@ -1,0 +1,264 @@
+"""Top-k SD-Queries over 2D points with runtime ``k`` and weights (Section 4).
+
+:class:`TopKIndex` wraps a :class:`repro.core.projection_tree.ProjectionTree`
+and implements two query strategies:
+
+``"streams"`` (default)
+    Open the four projection streams at the query angle and merge them with a
+    TA-style threshold: the stream heads give an upper bound on the score of any
+    point not yet seen, so the merge can stop as soon as the provisional k-th
+    best score reaches that bound.  This is the refinement of Algorithm 2
+    discussed in DESIGN.md; it is exact for every angle because per-node bounds
+    at non-indexed angles are derived admissibly from the bracketing indexed
+    angles.
+
+``"claim6"``
+    The paper's Algorithm 4: answer the query at the lower bracketing indexed
+    angle, then enumerate results at the upper bracketing angle until they cover
+    that answer set, and re-rank the union at the true query angle (Claim 6).
+
+Both strategies return identical score sets; the ``claim6`` strategy is kept for
+fidelity and for the angle-grid ablation experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.angles import AngleGrid
+from repro.core.geometry import Angle
+from repro.core.projection_tree import ProjectionTree, StreamSpec
+from repro.core.results import IndexStats, Match, TopKResult
+
+__all__ = ["TopKIndex"]
+
+
+class TopKIndex:
+    """Index answering 2D top-k SD-Queries with runtime ``k``, ``alpha`` and ``beta``."""
+
+    def __init__(
+        self,
+        x: Sequence[float],
+        y: Sequence[float],
+        angle_grid: Optional[AngleGrid] = None,
+        branching: int = 8,
+        leaf_capacity: int = 32,
+        row_ids: Optional[Sequence[int]] = None,
+        rebuild_threshold: float = 0.25,
+    ) -> None:
+        self.angle_grid = angle_grid or AngleGrid.default()
+        self.tree = ProjectionTree(
+            x,
+            y,
+            angles=tuple(self.angle_grid),
+            branching=branching,
+            leaf_capacity=leaf_capacity,
+            row_ids=row_ids,
+            rebuild_threshold=rebuild_threshold,
+        )
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    # ------------------------------------------------------------------ queries
+    def query(
+        self,
+        qx: float,
+        qy: float,
+        k: int,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        strategy: str = "streams",
+    ) -> TopKResult:
+        """Return the top-``k`` points for query ``(qx, qy)`` and weights ``alpha, beta``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if strategy == "streams":
+            return self._query_streams(qx, qy, k, alpha, beta)
+        if strategy == "claim6":
+            return self._query_claim6(qx, qy, k, alpha, beta)
+        raise ValueError(f"unknown strategy {strategy!r}; use 'streams' or 'claim6'")
+
+    def iter_best(
+        self,
+        qx: float,
+        qy: float,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> Iterator[Tuple[int, float]]:
+        """Yield ``(row_id, score)`` pairs in non-increasing score order.
+
+        This incremental form of the top-k query is what the higher-dimensional
+        aggregation of Section 5 consumes: each 2D subproblem is represented by
+        such a stream and the threshold algorithm pulls from it on demand.
+        """
+        angle = Angle.from_weights(alpha, beta)
+        scale = math.hypot(alpha, beta)
+        qx, qy = float(qx), float(qy)
+        streams = self.tree.open_streams(qx, angle)
+        emitted: set = set()
+        pool: List[Tuple[float, int]] = []  # max-heap via negated scores
+        pooled: set = set()
+
+        cos_qy = angle.cos * qy
+        sin_qx = angle.sin * qx
+        cos = angle.cos
+        sin = angle.sin
+        # Each stream head implies an upper bound on the score of every point that
+        # stream has not yet produced; uniformly bound = sign * key + offset.
+        # Lower streams: bound = (projected height at the axis) - cos*qy.
+        # Upper streams: bound = cos*qy - (projected height at the axis).
+        stream_terms = [
+            (streams[StreamSpec.LLP], 1.0, sin_qx - cos_qy),
+            (streams[StreamSpec.RLP], 1.0, -sin_qx - cos_qy),
+            (streams[StreamSpec.LUP], -1.0, cos_qy + sin_qx),
+            (streams[StreamSpec.RUP], -1.0, cos_qy - sin_qx),
+        ]
+
+        def head_bound(entry) -> float:
+            stream, sign, offset = entry
+            key = stream.head_key()
+            if key is None:
+                return -math.inf
+            return sign * key + offset
+
+        while True:
+            # Refill the candidate pool until its best member provably beats every
+            # unseen point (TA-style threshold over the four stream heads).
+            while True:
+                best_entry = None
+                threshold = -math.inf
+                for entry in stream_terms:
+                    bound = head_bound(entry)
+                    if bound > threshold:
+                        threshold = bound
+                        best_entry = entry
+                if pool and -pool[0][0] >= threshold:
+                    break
+                if threshold == -math.inf:
+                    break
+                try:
+                    row, px, py, _key = next(best_entry[0])
+                except StopIteration:
+                    continue
+                if row in emitted or row in pooled:
+                    continue
+                score = cos * abs(py - qy) - sin * abs(px - qx)
+                heapq.heappush(pool, (-score, row))
+                pooled.add(row)
+            if not pool:
+                return
+            negative_score, row = heapq.heappop(pool)
+            pooled.discard(row)
+            emitted.add(row)
+            yield row, -negative_score * scale
+
+    def _query_streams(self, qx: float, qy: float, k: int, alpha: float, beta: float) -> TopKResult:
+        matches: List[Match] = []
+        examined = 0
+        for row, score in self.iter_best(qx, qy, alpha, beta):
+            examined += 1
+            matches.append(Match(row_id=row, score=score, point=self.tree.point(row)))
+            if len(matches) >= k:
+                break
+        return TopKResult(
+            matches=matches,
+            candidates_examined=examined,
+            full_evaluations=examined,
+            algorithm="sd-topk/streams",
+        )
+
+    # ------------------------------------------------------------------ Claim 6
+    def _query_claim6(self, qx: float, qy: float, k: int, alpha: float, beta: float) -> TopKResult:
+        query_angle = Angle.from_weights(alpha, beta)
+        scale = math.hypot(alpha, beta)
+        lower, upper = self.angle_grid.bracket(query_angle)
+        examined = 0
+
+        def weighted_score(row: int) -> float:
+            px, py = self.tree.point(row)
+            return scale * query_angle.normalized_score(px - qx, py - qy)
+
+        if lower.radians == upper.radians:
+            # The query angle is indexed: answer directly at that angle.
+            rows: List[int] = []
+            for row, _ in self._iter_at_angle(qx, qy, lower):
+                rows.append(row)
+                examined += 1
+                if len(rows) >= k:
+                    break
+            matches = [
+                Match(row_id=row, score=weighted_score(row), point=self.tree.point(row))
+                for row in rows
+            ]
+            return TopKResult(
+                matches=matches,
+                candidates_examined=examined,
+                full_evaluations=examined,
+                algorithm="sd-topk/claim6",
+            )
+
+        # Step 1: top-k at the lower bracketing angle.
+        top_lower: List[int] = []
+        lower_scores: List[float] = []
+        for row, score in self._iter_at_angle(qx, qy, lower):
+            top_lower.append(row)
+            lower_scores.append(score)
+            examined += 1
+            if len(top_lower) >= k:
+                break
+        required = set(top_lower)
+
+        # Step 2: enumerate at the upper bracketing angle until the prefix covers
+        # the lower-angle answer set (consuming ties so the prefix is well defined).
+        candidates: Dict[int, float] = {}
+        missing = set(required)
+        boundary_score: Optional[float] = None
+        for row, score in self._iter_at_angle(qx, qy, upper):
+            if not missing and (boundary_score is None or score < boundary_score - 1e-12):
+                break
+            candidates[row] = score
+            missing.discard(row)
+            boundary_score = score
+            examined += 1
+        for row in top_lower:
+            candidates.setdefault(row, 0.0)
+
+        matches = sorted(
+            Match(row_id=row, score=weighted_score(row), point=self.tree.point(row))
+            for row in candidates
+        )[:k]
+        return TopKResult(
+            matches=matches,
+            candidates_examined=examined,
+            full_evaluations=len(candidates),
+            algorithm="sd-topk/claim6",
+        )
+
+    def _iter_at_angle(self, qx: float, qy: float, angle: Angle) -> Iterator[Tuple[int, float]]:
+        """Best-first iteration at an exactly indexed angle (normalized weights)."""
+        return self.iter_best(qx, qy, alpha=angle.cos, beta=angle.sin)
+
+    # ------------------------------------------------------------------ updates
+    def insert(self, x: float, y: float, row_id: Optional[int] = None) -> int:
+        """Insert a point (see :meth:`ProjectionTree.insert`)."""
+        return self.tree.insert(x, y, row_id)
+
+    def delete(self, row_id: int) -> None:
+        """Delete a point (see :meth:`ProjectionTree.delete`)."""
+        self.tree.delete(row_id)
+
+    def rebuild(self) -> None:
+        """Force a rebuild of the underlying tree."""
+        self.tree.rebuild()
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> IndexStats:
+        """Size statistics of the underlying projection tree."""
+        stats = self.tree.stats()
+        stats.name = "sd-topk"
+        return stats

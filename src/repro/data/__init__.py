@@ -1,0 +1,23 @@
+"""Datasets for the experiments: synthetic distributions and a ChEMBL-like generator."""
+
+from repro.data.chembl import generate_chembl_like
+from repro.data.dataset import Dataset
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    generate_anticorrelated,
+    generate_clustered,
+    generate_correlated,
+    generate_dataset,
+    generate_uniform,
+)
+
+__all__ = [
+    "Dataset",
+    "DISTRIBUTIONS",
+    "generate_dataset",
+    "generate_uniform",
+    "generate_correlated",
+    "generate_anticorrelated",
+    "generate_clustered",
+    "generate_chembl_like",
+]

@@ -1,0 +1,102 @@
+"""A lightweight column-named dataset wrapper shared by generators and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """An ``(n, m)`` matrix of points with column names and provenance metadata."""
+
+    matrix: np.ndarray
+    columns: Tuple[str, ...]
+    name: str = "dataset"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=float)
+        if self.matrix.ndim != 2:
+            raise ValueError("matrix must be 2-dimensional")
+        self.columns = tuple(str(c) for c in self.columns)
+        if len(self.columns) != self.matrix.shape[1]:
+            raise ValueError(
+                f"{self.matrix.shape[1]} columns in the matrix but "
+                f"{len(self.columns)} column names"
+            )
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError("column names must be unique")
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_dims(self) -> int:
+        return self.matrix.shape[1]
+
+    def column_index(self, name: str) -> int:
+        """Index of a named column."""
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; available: {self.columns}") from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Values of a named column."""
+        return self.matrix[:, self.column_index(name)]
+
+    def point(self, row: int) -> np.ndarray:
+        """One row of the matrix."""
+        return self.matrix[row]
+
+    # ------------------------------------------------------------------ slicing
+    def sample(self, count: int, seed: int = 0, replace: bool = False) -> "Dataset":
+        """A random sample of ``count`` rows (seeded, for reproducible workloads)."""
+        rng = np.random.default_rng(seed)
+        count = min(count, len(self)) if not replace else count
+        rows = rng.choice(len(self), size=count, replace=replace)
+        return Dataset(
+            matrix=self.matrix[rows],
+            columns=self.columns,
+            name=f"{self.name}[sample={count}]",
+            metadata=dict(self.metadata),
+        )
+
+    def head(self, count: int) -> "Dataset":
+        """The first ``count`` rows."""
+        return Dataset(
+            matrix=self.matrix[:count],
+            columns=self.columns,
+            name=f"{self.name}[head={count}]",
+            metadata=dict(self.metadata),
+        )
+
+    def select(self, names: Sequence[str]) -> "Dataset":
+        """A dataset restricted to the named columns, in the given order."""
+        indexes = [self.column_index(name) for name in names]
+        return Dataset(
+            matrix=self.matrix[:, indexes],
+            columns=tuple(names),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------ summaries
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Per-column mean / std / min / max (used in the qualitative experiment)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for i, name in enumerate(self.columns):
+            values = self.matrix[:, i]
+            summary[name] = {
+                "mean": float(values.mean()) if len(values) else float("nan"),
+                "std": float(values.std()) if len(values) else float("nan"),
+                "min": float(values.min()) if len(values) else float("nan"),
+                "max": float(values.max()) if len(values) else float("nan"),
+            }
+        return summary

@@ -1,0 +1,18 @@
+"""Regeneration of every figure and table of the paper's evaluation (Section 6).
+
+Each experiment module exposes functions returning
+:class:`repro.workloads.runner.ExperimentResult` objects (figures) or plain row
+lists (tables), plus the command line interface in :mod:`repro.experiments.cli`:
+
+``python -m repro.experiments list``
+    Show every available experiment.
+``python -m repro.experiments run fig7-size --scale 0.1``
+    Run one experiment at a fraction of the paper's dataset sizes.
+``python -m repro.experiments all --scale 0.05``
+    Run the full suite and print every table.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import figure7, figure8, table1, ablations
+
+__all__ = ["ExperimentConfig", "figure7", "figure8", "table1", "ablations"]

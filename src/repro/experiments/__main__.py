@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` entry point."""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

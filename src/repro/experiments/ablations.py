@@ -1,0 +1,193 @@
+"""Ablation experiments for design choices called out in the paper.
+
+These are not figures of the paper, but they quantify design decisions the paper
+discusses in prose:
+
+* ``angle_grid`` — Section 4.2 recommends five uniformly spread indexed angles;
+  this ablation varies the grid size and measures query time and index memory.
+* ``pairing`` — Section 5 pairs repulsive and attractive dimensions arbitrarily
+  and calls a smarter mapping future work; this ablation compares the arbitrary
+  pairing with the spread- and correlation-aware strategies.
+* ``query_strategy`` — compares the stream-merge query with the paper-literal
+  Claim 6 / Algorithm 4 strategy on the 2D index.
+* ``top1_vs_topk`` — quantifies the benefit of the apriori-``k`` region index
+  over the general tree when ``k`` is known in advance (Sections 3-4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.angles import AngleGrid
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+from repro.data.generators import generate_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.registry import build_algorithm
+from repro.workloads.runner import ExperimentResult, time_queries
+from repro.workloads.workload import make_workload
+
+__all__ = ["angle_grid", "pairing", "query_strategy", "top1_vs_topk"]
+
+
+def angle_grid(
+    config: Optional[ExperimentConfig] = None,
+    grid_sizes: Sequence[int] = (2, 3, 5, 9),
+    paper_size: int = 500_000,
+    num_dims: int = 6,
+) -> List[ExperimentResult]:
+    """Query time and memory of the SD-Index as the number of indexed angles varies."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size])[0]
+    repulsive = tuple(range(num_dims // 2))
+    attractive = tuple(range(num_dims // 2, num_dims))
+    dataset = generate_dataset("uniform", size, num_dims, seed=config.seed)
+    workload = make_workload(
+        repulsive, attractive, num_queries=config.queries(), k=config.k,
+        num_dims=num_dims, seed=config.seed,
+    )
+    timing = ExperimentResult(
+        name="Ablation: indexed angles vs query time",
+        x_label="num_indexed_angles",
+        y_label="mean query time (ms)",
+        notes=f"{size} {num_dims}-dimensional uniform points, k={config.k}",
+    )
+    memory = ExperimentResult(
+        name="Ablation: indexed angles vs memory",
+        x_label="num_indexed_angles",
+        y_label="memory (MB)",
+    )
+    for count in grid_sizes:
+        degrees = AngleGrid.uniform(count).degrees()
+        index = build_algorithm(
+            "SD-Index", dataset.matrix, repulsive, attractive,
+            angles=degrees, branching=config.branching,
+        )
+        summary = time_queries(index, workload)
+        timing.series_for("SD-Index").add(count, summary.mean_milliseconds)
+        memory.series_for("SD-Index").add(count, index.stats().memory_mb)
+    return [timing, memory]
+
+
+def pairing(
+    config: Optional[ExperimentConfig] = None,
+    strategies: Sequence[str] = ("order", "spread", "correlation"),
+    paper_size: int = 500_000,
+    num_dims: int = 6,
+    distribution: str = "anticorrelated",
+) -> List[ExperimentResult]:
+    """Query time of the SD-Index under different dimension pairing strategies."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size])[0]
+    repulsive = tuple(range(num_dims // 2))
+    attractive = tuple(range(num_dims // 2, num_dims))
+    dataset = generate_dataset(distribution, size, num_dims, seed=config.seed)
+    workload = make_workload(
+        repulsive, attractive, num_queries=config.queries(), k=config.k,
+        num_dims=num_dims, seed=config.seed,
+    )
+    result = ExperimentResult(
+        name="Ablation: dimension pairing strategy vs query time",
+        x_label="strategy_index",
+        y_label="mean query time (ms)",
+        notes=f"{size} {num_dims}-dimensional {distribution} points; "
+        + ", ".join(f"{i}={s}" for i, s in enumerate(strategies)),
+    )
+    for position, strategy in enumerate(strategies):
+        index = build_algorithm(
+            "SD-Index", dataset.matrix, repulsive, attractive,
+            angles=config.angles, branching=config.branching, pairing=strategy,
+        )
+        summary = time_queries(index, workload)
+        result.series_for(strategy).add(position, summary.mean_milliseconds)
+    return [result]
+
+
+def query_strategy(
+    config: Optional[ExperimentConfig] = None,
+    paper_size: int = 2_000_000,
+    distribution: str = "uniform",
+) -> List[ExperimentResult]:
+    """Stream-merge vs the paper's Claim 6 / Algorithm 4 strategy on the 2D index."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size], minimum=5000)[0]
+    dataset = generate_dataset(distribution, size, 2, seed=config.seed)
+    index = TopKIndex(
+        dataset.matrix[:, 0],
+        dataset.matrix[:, 1],
+        angle_grid=AngleGrid.from_degrees(config.angles),
+        branching=config.branching,
+    )
+    workload = make_workload(
+        (1,), (0,), num_queries=config.queries(), k=config.k, num_dims=2, seed=config.seed,
+    )
+    result = ExperimentResult(
+        name="Ablation: 2D query strategy (stream merge vs Claim 6)",
+        x_label="k",
+        y_label="mean query time (ms)",
+        notes=f"{size} 2-dimensional {distribution} points",
+    )
+    import time as _time
+
+    for k in (1, 5, 20, 50):
+        for strategy in ("streams", "claim6"):
+            durations = []
+            for query in workload:
+                started = _time.perf_counter()
+                index.query(
+                    query.point[0], query.point[1], k=k,
+                    alpha=query.alpha[0], beta=query.beta[0], strategy=strategy,
+                )
+                durations.append(_time.perf_counter() - started)
+            result.series_for(strategy).add(k, 1000.0 * sum(durations) / len(durations))
+    return [result]
+
+
+def top1_vs_topk(
+    config: Optional[ExperimentConfig] = None,
+    paper_size: int = 2_000_000,
+    distribution: str = "uniform",
+) -> List[ExperimentResult]:
+    """Apriori-k region index vs the runtime-k tree when k is known in advance."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size], minimum=5000)[0]
+    dataset = generate_dataset(distribution, size, 2, seed=config.seed)
+    x, y = dataset.matrix[:, 0], dataset.matrix[:, 1]
+    workload = make_workload(
+        (1,), (0,), num_queries=config.queries(), k=1, num_dims=2,
+        seed=config.seed, random_weights=False,
+    )
+    timing = ExperimentResult(
+        name="Ablation: apriori-k top-1 index vs runtime-k tree",
+        x_label="k",
+        y_label="mean query time (ms)",
+        notes=f"{size} 2-dimensional {distribution} points, unit weights",
+    )
+    memory = ExperimentResult(
+        name="Ablation: apriori-k top-1 index vs runtime-k tree (memory)",
+        x_label="k",
+        y_label="memory (MB)",
+    )
+    import time as _time
+
+    topk_index = TopKIndex(
+        x, y, angle_grid=AngleGrid.from_degrees(config.angles), branching=config.branching
+    )
+    for k in (1, 5, 10):
+        top1_index = Top1Index(x, y, k=k)
+        durations_top1 = []
+        durations_topk = []
+        for query in workload:
+            started = _time.perf_counter()
+            top1_index.query(query.point[0], query.point[1], k=k)
+            durations_top1.append(_time.perf_counter() - started)
+            started = _time.perf_counter()
+            topk_index.query(query.point[0], query.point[1], k=k)
+            durations_topk.append(_time.perf_counter() - started)
+        timing.series_for("SD-Index top1").add(k, 1000.0 * sum(durations_top1) / len(durations_top1))
+        timing.series_for("SD-Index topK").add(k, 1000.0 * sum(durations_topk) / len(durations_topk))
+        memory.series_for("SD-Index top1").add(k, top1_index.stats().memory_mb)
+        memory.series_for("SD-Index topK").add(k, topk_index.stats().memory_mb)
+    return [timing, memory]

@@ -1,0 +1,135 @@
+"""Command-line interface regenerating the paper's figures and tables.
+
+Examples
+--------
+List the experiments::
+
+    python -m repro.experiments list
+
+Run one figure at 5% of the paper's dataset sizes::
+
+    python -m repro.experiments run fig7-size --scale 0.05
+
+Run everything (can take a while at larger scales)::
+
+    python -m repro.experiments all --scale 0.02 --queries 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments import ablations, figure7, figure8
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import format_table1, run_table1
+from repro.workloads.reporting import format_series_table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(config: ExperimentConfig) -> str:
+    rows = run_table1(config)
+    return format_table1(rows)
+
+
+def _wrap(function: Callable) -> Callable[[ExperimentConfig], str]:
+    def runner(config: ExperimentConfig) -> str:
+        results = function(config)
+        return "\n\n".join(format_series_table(result) for result in results)
+
+    return runner
+
+
+#: Experiment name -> callable(config) -> printable report.
+EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
+    "fig7-size": _wrap(figure7.dataset_size_sweep),
+    "fig7-dims": _wrap(figure7.dimension_sweep),
+    "fig7-k": _wrap(figure7.k_sweep),
+    "fig7-attractive": _wrap(figure7.attractive_sweep),
+    "fig8-updates": _wrap(figure8.update_sweep),
+    "fig8-insertion": _wrap(figure8.insertion_sweep),
+    "fig8-2d-size": _wrap(figure8.twod_size_sweep),
+    "fig8-top1": _wrap(figure8.top1_size_sweep),
+    "fig8-2d-k": _wrap(figure8.twod_k_sweep),
+    "fig8-memory": _wrap(figure8.memory_sweep),
+    "fig8-branching": _wrap(figure8.branching_sweep),
+    "fig8-construction": _wrap(figure8.construction_sweep),
+    "table1": _run_table1,
+    "ablation-angles": _wrap(ablations.angle_grid),
+    "ablation-pairing": _wrap(ablations.pairing),
+    "ablation-strategy": _wrap(ablations.query_strategy),
+    "ablation-top1-vs-topk": _wrap(ablations.top1_vs_topk),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures and tables of the SD-Query paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    _add_config_arguments(run_parser)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    _add_config_arguments(all_parser)
+    return parser
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=ExperimentConfig.scale,
+        help="fraction of the paper's dataset sizes (1.0 = full scale)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=ExperimentConfig.num_queries,
+        help="queries per configuration (the paper uses 100)",
+    )
+    parser.add_argument("--k", type=int, default=ExperimentConfig.k, help="default k")
+    parser.add_argument("--seed", type=int, default=ExperimentConfig.seed, help="random seed")
+    parser.add_argument(
+        "--branching", type=int, default=ExperimentConfig.branching,
+        help="branching factor of the SD-Index projection tree",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=args.scale,
+        num_queries=args.queries,
+        k=args.k,
+        seed=args.seed,
+        branching=args.branching,
+    )
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """CLI entry point (also exposed as the ``repro-experiments`` console script)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    config = _config_from_args(args)
+    if args.command == "run":
+        print(EXPERIMENTS[args.experiment](config))
+        return 0
+    if args.command == "all":
+        for name in sorted(EXPERIMENTS):
+            print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+            print(EXPERIMENTS[name](config))
+            print()
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

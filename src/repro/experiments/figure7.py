@@ -1,0 +1,278 @@
+"""Figure 7: querying time in the multi-dimensional setting.
+
+* 7a-7c — querying time vs dataset size on 6-dimensional uniform / correlated /
+  anti-correlated data (three repulsive + three attractive dimensions), for
+  SeqScan, SD-Index, TA, BRS and PE.
+* 7d-7f — querying time vs dimensionality (2 to 8 dimensions, half repulsive and
+  half attractive), PE excluded as in the paper.
+* 7g-7h — querying time vs ``k`` (5 to 100) on 6-dimensional data.
+* 7i-7j — querying time vs the number of attractive dimensions (0 to 3) with
+  three repulsive dimensions fixed.
+
+Each function returns one :class:`ExperimentResult` per distribution, with one
+series per method; the y-axis is the mean per-query time in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.generators import generate_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.registry import build_algorithm
+from repro.workloads.runner import ExperimentResult, time_queries
+from repro.workloads.workload import make_workload
+
+__all__ = [
+    "dataset_size_sweep",
+    "dimension_sweep",
+    "k_sweep",
+    "attractive_sweep",
+    "PAPER_SIZES",
+]
+
+#: Dataset sizes of Figures 7a-7c (points).
+PAPER_SIZES: Tuple[int, ...] = (100_000, 250_000, 500_000, 750_000, 1_000_000)
+
+#: Distributions the multi-dimensional figures cover.
+_FIG7_DISTRIBUTIONS = ("uniform", "correlated", "anticorrelated")
+
+
+def _roles(num_dims: int, num_attractive: Optional[int] = None) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Split ``num_dims`` dimensions into repulsive and attractive halves."""
+    if num_attractive is None:
+        num_attractive = num_dims // 2
+    num_repulsive = num_dims - num_attractive
+    repulsive = tuple(range(num_repulsive))
+    attractive = tuple(range(num_repulsive, num_dims))
+    return repulsive, attractive
+
+
+def _measure(
+    methods: Sequence[str],
+    data: np.ndarray,
+    repulsive: Sequence[int],
+    attractive: Sequence[int],
+    num_queries: int,
+    k: int,
+    seed: int,
+    config: ExperimentConfig,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Per-method (mean milliseconds, mean candidates examined) on one dataset.
+
+    The candidate count is the substrate-independent measure of pruning power: it
+    is what the wall-clock figures of the paper reflect once every competitor
+    pays the same per-point cost (see EXPERIMENTS.md).
+    """
+    workload = make_workload(
+        repulsive,
+        attractive,
+        num_queries=num_queries,
+        k=k,
+        num_dims=data.shape[1],
+        seed=seed,
+    )
+    timings: Dict[str, float] = {}
+    candidates: Dict[str, float] = {}
+    for method in methods:
+        algorithm = build_algorithm(
+            method,
+            data,
+            repulsive,
+            attractive,
+            angles=config.angles,
+            branching=config.branching,
+        )
+        summary = time_queries(algorithm, workload)
+        timings[method] = summary.mean_milliseconds
+        candidates[method] = summary.mean_candidates
+    return timings, candidates
+
+
+def dataset_size_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = _FIG7_DISTRIBUTIONS,
+    methods: Sequence[str] = ("SeqScan", "SD-Index", "TA", "BRS", "PE"),
+    num_dims: int = 6,
+) -> List[ExperimentResult]:
+    """Figures 7a-7c: querying time vs dataset size (6-dimensional data)."""
+    config = config or ExperimentConfig()
+    sizes = config.sizes(PAPER_SIZES)
+    repulsive, attractive = _roles(num_dims)
+    results: List[ExperimentResult] = []
+    for distribution in distributions:
+        result = ExperimentResult(
+            name=f"Figure 7 ({distribution}): querying time vs dataset size",
+            x_label="num_points",
+            y_label="mean query time (ms)",
+            notes=f"{num_dims}-dimensional {distribution} data, k={config.k}",
+        )
+        pruning = ExperimentResult(
+            name=f"Figure 7 ({distribution}): candidates examined vs dataset size",
+            x_label="num_points",
+            y_label="mean candidates examined",
+            notes="substrate-independent pruning power for the same workloads",
+        )
+        for size in sizes:
+            dataset = generate_dataset(distribution, size, num_dims, seed=config.seed)
+            timings, candidates = _measure(
+                methods,
+                dataset.matrix,
+                repulsive,
+                attractive,
+                num_queries=config.queries(),
+                k=config.k,
+                seed=config.seed,
+                config=config,
+            )
+            for method, value in timings.items():
+                result.series_for(method).add(size, value)
+            for method, value in candidates.items():
+                pruning.series_for(method).add(size, value)
+        results.append(result)
+        results.append(pruning)
+    return results
+
+
+def dimension_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = _FIG7_DISTRIBUTIONS,
+    methods: Sequence[str] = ("SeqScan", "SD-Index", "TA", "BRS"),
+    dimensions: Sequence[int] = (2, 4, 6, 8),
+    paper_size: int = 500_000,
+) -> List[ExperimentResult]:
+    """Figures 7d-7f: querying time vs dimensionality."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size])[0]
+    results: List[ExperimentResult] = []
+    for distribution in distributions:
+        result = ExperimentResult(
+            name=f"Figure 7 ({distribution}): querying time vs dimensionality",
+            x_label="num_dims",
+            y_label="mean query time (ms)",
+            notes=f"{size} points per dataset, k={config.k}",
+        )
+        pruning = ExperimentResult(
+            name=f"Figure 7 ({distribution}): candidates examined vs dimensionality",
+            x_label="num_dims",
+            y_label="mean candidates examined",
+            notes="substrate-independent pruning power for the same workloads",
+        )
+        for num_dims in dimensions:
+            repulsive, attractive = _roles(num_dims)
+            dataset = generate_dataset(distribution, size, num_dims, seed=config.seed)
+            timings, candidates = _measure(
+                methods,
+                dataset.matrix,
+                repulsive,
+                attractive,
+                num_queries=config.queries(),
+                k=config.k,
+                seed=config.seed,
+                config=config,
+            )
+            for method, value in timings.items():
+                result.series_for(method).add(num_dims, value)
+            for method, value in candidates.items():
+                pruning.series_for(method).add(num_dims, value)
+        results.append(result)
+        results.append(pruning)
+    return results
+
+
+def k_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = ("uniform", "correlated"),
+    methods: Sequence[str] = ("SeqScan", "SD-Index", "TA", "BRS"),
+    k_values: Sequence[int] = (5, 25, 50, 75, 100),
+    num_dims: int = 6,
+    paper_size: int = 500_000,
+) -> List[ExperimentResult]:
+    """Figures 7g-7h: querying time vs k on 6-dimensional data."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size])[0]
+    repulsive, attractive = _roles(num_dims)
+    results: List[ExperimentResult] = []
+    for distribution in distributions:
+        result = ExperimentResult(
+            name=f"Figure 7 ({distribution}): querying time vs k",
+            x_label="k",
+            y_label="mean query time (ms)",
+            notes=f"{size} points, {num_dims}-dimensional {distribution} data",
+        )
+        dataset = generate_dataset(distribution, size, num_dims, seed=config.seed)
+        algorithms = {
+            method: build_algorithm(
+                method,
+                dataset.matrix,
+                repulsive,
+                attractive,
+                angles=config.angles,
+                branching=config.branching,
+            )
+            for method in methods
+        }
+        for k in k_values:
+            workload = make_workload(
+                repulsive,
+                attractive,
+                num_queries=config.queries(),
+                k=k,
+                num_dims=num_dims,
+                seed=config.seed,
+            )
+            for method, algorithm in algorithms.items():
+                summary = time_queries(algorithm, workload)
+                result.series_for(method).add(k, summary.mean_milliseconds)
+        results.append(result)
+    return results
+
+
+def attractive_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = ("uniform", "correlated"),
+    methods: Sequence[str] = ("SeqScan", "SD-Index", "TA", "BRS"),
+    attractive_counts: Sequence[int] = (0, 1, 2, 3),
+    num_repulsive: int = 3,
+    paper_size: int = 500_000,
+) -> List[ExperimentResult]:
+    """Figures 7i-7j: querying time vs the number of attractive dimensions.
+
+    Three repulsive dimensions are kept fixed and the number of attractive
+    dimensions varies from 0 to 3; with 0 attractive dimensions the SD-Index
+    degenerates into the adapted TA (no 2D subproblems remain), which is the
+    behaviour the paper reports.
+    """
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size])[0]
+    results: List[ExperimentResult] = []
+    for distribution in distributions:
+        result = ExperimentResult(
+            name=f"Figure 7 ({distribution}): querying time vs attractive dimensions",
+            x_label="num_attractive_dims",
+            y_label="mean query time (ms)",
+            notes=f"{size} points, {num_repulsive} repulsive dimensions fixed, k={config.k}",
+        )
+        for num_attractive in attractive_counts:
+            num_dims = num_repulsive + num_attractive
+            repulsive = tuple(range(num_repulsive))
+            attractive = tuple(range(num_repulsive, num_dims))
+            dataset = generate_dataset(distribution, size, num_dims, seed=config.seed)
+            # A query must involve at least one dimension; with zero attractive
+            # dimensions the query is a pure "farthest" query on the repulsive ones.
+            timings, _candidates = _measure(
+                methods,
+                dataset.matrix,
+                repulsive,
+                attractive,
+                num_queries=config.queries(),
+                k=config.k,
+                seed=config.seed,
+                config=config,
+            )
+            for method, value in timings.items():
+                result.series_for(method).add(num_attractive, value)
+        results.append(result)
+    return results

@@ -1,0 +1,436 @@
+"""Figure 8: updates, 2D querying, memory footprints and construction times.
+
+* 8a — querying time of the SD-Index top-k structure before vs after a batch of
+  deletions and insertions (uniform and correlated data).
+* 8b — insertion cost vs dataset size for SD top-1, SD top-k, BRS and PE.
+* 8c-8d — 2D querying time vs dataset size (uniform, correlated).
+* 8e — 2D top-1 querying time vs dataset size for the three distributions.
+* 8f-8g — 2D querying time vs k.
+* 8h — memory footprint vs dataset size (SD top-k on 6D data, SD top-1 per
+  distribution on 2D data).
+* 8i — memory footprint vs the branching factor of the SD top-k tree.
+* 8j — index construction time vs dataset size (SD top-1, SD top-k, BRS, PE).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import BRSTopK, ProgressiveExplorationTopK
+from repro.core.angles import AngleGrid
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+from repro.data.generators import generate_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.registry import build_algorithm
+from repro.workloads.runner import ExperimentResult, time_queries
+from repro.workloads.workload import make_workload
+
+__all__ = [
+    "update_sweep",
+    "insertion_sweep",
+    "twod_size_sweep",
+    "top1_size_sweep",
+    "twod_k_sweep",
+    "memory_sweep",
+    "branching_sweep",
+    "construction_sweep",
+    "PAPER_2D_SIZES",
+]
+
+#: Dataset sizes of the 2D experiments (Figures 8c-8e reach ten million points).
+PAPER_2D_SIZES: Tuple[int, ...] = (1_000_000, 2_500_000, 5_000_000, 7_500_000, 10_000_000)
+
+#: Dataset sizes of the multi-dimensional figure-8 experiments.
+PAPER_6D_SIZES: Tuple[int, ...] = (100_000, 250_000, 500_000, 750_000, 1_000_000)
+
+
+def _angle_grid(config: ExperimentConfig) -> AngleGrid:
+    return AngleGrid.from_degrees(config.angles)
+
+
+def _six_dim_roles() -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    return (0, 1, 2), (3, 4, 5)
+
+
+# --------------------------------------------------------------------- Figure 8a
+def update_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = ("uniform", "correlated"),
+    paper_updates: Sequence[int] = (0, 250, 500, 1000),
+    num_dims: int = 6,
+    paper_size: int = 500_000,
+) -> List[ExperimentResult]:
+    """Figure 8a: querying cost of SD-Index top-k before and after updates.
+
+    For each update count ``u`` the experiment deletes ``u`` random points and
+    inserts ``u`` fresh points (keeping the index size constant) and then
+    re-measures the querying time; the ``SD-Index`` series is the no-update
+    reference and ``SD-Index*`` the post-update measurement, as in the paper.
+    """
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size])[0]
+    update_counts = [int(round(u * max(config.scale * 5, 0.05))) if u else 0 for u in paper_updates]
+    update_counts = sorted(set(update_counts))
+    num_repulsive = num_dims - num_dims // 2
+    repulsive = tuple(range(num_repulsive))
+    attractive = tuple(range(num_repulsive, num_dims))
+    results: List[ExperimentResult] = []
+    for distribution in distributions:
+        result = ExperimentResult(
+            name=f"Figure 8a ({distribution}): querying cost vs updates",
+            x_label="num_deletes_and_inserts",
+            y_label="mean query time (ms)",
+            notes=f"{size} points, {num_dims}-dimensional data, k={config.k}",
+        )
+        dataset = generate_dataset(distribution, size, num_dims, seed=config.seed)
+        workload = make_workload(
+            repulsive,
+            attractive,
+            num_queries=config.queries(),
+            k=config.k,
+            num_dims=num_dims,
+            seed=config.seed,
+        )
+        baseline_index = build_algorithm(
+            "SD-Index",
+            dataset.matrix,
+            repulsive,
+            attractive,
+            angles=config.angles,
+            branching=config.branching,
+        )
+        baseline_ms = time_queries(baseline_index, workload).mean_milliseconds
+        rng = np.random.default_rng(config.seed + 1)
+        for count in update_counts:
+            index = build_algorithm(
+                "SD-Index",
+                dataset.matrix,
+                repulsive,
+                attractive,
+                angles=config.angles,
+                branching=config.branching,
+            )
+            victims = rng.choice(size, size=count, replace=False) if count else []
+            for victim in victims:
+                index.delete(int(victim))
+            replacements = rng.random((count, num_dims))
+            for point in replacements:
+                index.insert(point)
+            updated_ms = time_queries(index, workload).mean_milliseconds
+            result.series_for("SD-Index").add(count, baseline_ms)
+            result.series_for("SD-Index*").add(count, updated_ms)
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------- Figure 8b
+def insertion_sweep(
+    config: Optional[ExperimentConfig] = None,
+    paper_sizes: Sequence[int] = PAPER_6D_SIZES,
+    num_inserts: int = 200,
+    distribution: str = "uniform",
+) -> List[ExperimentResult]:
+    """Figure 8b: insertion cost vs dataset size for SD top-1, SD top-k, BRS and PE.
+
+    The 2D structures (top-1 and top-k) are built on the first two dimensions;
+    BRS and PE insert full 6-dimensional points, as in the paper's setup.
+    """
+    config = config or ExperimentConfig()
+    sizes = config.sizes(paper_sizes)
+    result = ExperimentResult(
+        name="Figure 8b: insertion cost vs dataset size",
+        x_label="num_points",
+        y_label=f"time for {num_inserts} inserts (ms)",
+        notes=f"{distribution} data",
+    )
+    rng = np.random.default_rng(config.seed + 2)
+    grid = _angle_grid(config)
+    for size in sizes:
+        dataset6 = generate_dataset(distribution, size, 6, seed=config.seed)
+        matrix = dataset6.matrix
+        x, y = matrix[:, 0], matrix[:, 1]
+
+        top1 = Top1Index(x, y, k=1)
+        topk = TopKIndex(x, y, angle_grid=grid, branching=config.branching)
+        brs = BRSTopK(matrix, (0, 1, 2), (3, 4, 5))
+        pe = ProgressiveExplorationTopK(matrix, (0, 1, 2), (3, 4, 5))
+
+        new_points = rng.random((num_inserts, 6))
+        timings: Dict[str, float] = {}
+
+        started = time.perf_counter()
+        for i, point in enumerate(new_points):
+            top1.insert(point[0], point[1], row_id=size + i)
+        timings["SD-Index top1"] = (time.perf_counter() - started) * 1000.0
+
+        started = time.perf_counter()
+        for i, point in enumerate(new_points):
+            topk.insert(point[0], point[1], row_id=size + i)
+        timings["SD-Index topK"] = (time.perf_counter() - started) * 1000.0
+
+        started = time.perf_counter()
+        for i, point in enumerate(new_points):
+            brs.insert(point, row_id=size + i)
+        timings["BRS"] = (time.perf_counter() - started) * 1000.0
+
+        started = time.perf_counter()
+        for i, point in enumerate(new_points):
+            pe.insert(point, row_id=size + i)
+        timings["PE"] = (time.perf_counter() - started) * 1000.0
+
+        for method, value in timings.items():
+            result.series_for(method).add(size, value)
+    return [result]
+
+
+# ----------------------------------------------------------------- Figures 8c-8d
+def twod_size_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = ("uniform", "correlated"),
+    methods: Sequence[str] = ("SeqScan", "SD-Index", "TA", "BRS"),
+    paper_sizes: Sequence[int] = PAPER_2D_SIZES,
+) -> List[ExperimentResult]:
+    """Figures 8c-8d: 2D querying time vs dataset size."""
+    config = config or ExperimentConfig()
+    sizes = config.sizes(paper_sizes, minimum=5000)
+    repulsive, attractive = (1,), (0,)
+    results: List[ExperimentResult] = []
+    for distribution in distributions:
+        result = ExperimentResult(
+            name=f"Figure 8c-d ({distribution}): 2D querying time vs dataset size",
+            x_label="num_points",
+            y_label="mean query time (ms)",
+            notes=f"2-dimensional {distribution} data, k={config.k}",
+        )
+        for size in sizes:
+            dataset = generate_dataset(distribution, size, 2, seed=config.seed)
+            workload = make_workload(
+                repulsive,
+                attractive,
+                num_queries=config.queries(),
+                k=config.k,
+                num_dims=2,
+                seed=config.seed,
+            )
+            for method in methods:
+                algorithm = build_algorithm(
+                    method,
+                    dataset.matrix,
+                    repulsive,
+                    attractive,
+                    angles=config.angles,
+                    branching=config.branching,
+                )
+                summary = time_queries(algorithm, workload)
+                result.series_for(method).add(size, summary.mean_milliseconds)
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------- Figure 8e
+def top1_size_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = ("uniform", "correlated", "anticorrelated"),
+    paper_sizes: Sequence[int] = PAPER_2D_SIZES,
+) -> List[ExperimentResult]:
+    """Figure 8e: 2D top-1 querying time vs dataset size (per distribution)."""
+    config = config or ExperimentConfig()
+    sizes = config.sizes(paper_sizes, minimum=5000)
+    result = ExperimentResult(
+        name="Figure 8e: SD-Index top-1 querying time vs dataset size",
+        x_label="num_points",
+        y_label="mean query time (ms)",
+        notes="2-dimensional data, k=1, unit weights; SeqScan shown for reference",
+    )
+    repulsive, attractive = (1,), (0,)
+    for size in sizes:
+        for distribution in distributions:
+            dataset = generate_dataset(distribution, size, 2, seed=config.seed)
+            workload = make_workload(
+                repulsive,
+                attractive,
+                num_queries=config.queries(),
+                k=1,
+                num_dims=2,
+                seed=config.seed,
+                random_weights=False,
+            )
+            index = Top1Index(dataset.matrix[:, 0], dataset.matrix[:, 1], k=1)
+            durations = []
+            for query in workload:
+                started = time.perf_counter()
+                index.query(query.point[0], query.point[1], k=1)
+                durations.append(time.perf_counter() - started)
+            mean_ms = 1000.0 * sum(durations) / len(durations)
+            result.series_for(f"SD-Index top1 {distribution}").add(size, mean_ms)
+        # Sequential scan reference on the uniform dataset.
+        dataset = generate_dataset("uniform", size, 2, seed=config.seed)
+        workload = make_workload(
+            repulsive, attractive, num_queries=config.queries(), k=1, num_dims=2,
+            seed=config.seed, random_weights=False,
+        )
+        scan = build_algorithm("SeqScan", dataset.matrix, repulsive, attractive)
+        result.series_for("SeqScan").add(size, time_queries(scan, workload).mean_milliseconds)
+    return [result]
+
+
+# ----------------------------------------------------------------- Figures 8f-8g
+def twod_k_sweep(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = ("uniform", "correlated"),
+    methods: Sequence[str] = ("SeqScan", "SD-Index", "TA", "BRS"),
+    k_values: Sequence[int] = (5, 25, 50, 75, 100),
+    paper_size: int = 10_000_000,
+) -> List[ExperimentResult]:
+    """Figures 8f-8g: 2D querying time vs k."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size], minimum=5000)[0]
+    repulsive, attractive = (1,), (0,)
+    results: List[ExperimentResult] = []
+    for distribution in distributions:
+        result = ExperimentResult(
+            name=f"Figure 8f-g ({distribution}): 2D querying time vs k",
+            x_label="k",
+            y_label="mean query time (ms)",
+            notes=f"{size} 2-dimensional points",
+        )
+        dataset = generate_dataset(distribution, size, 2, seed=config.seed)
+        algorithms = {
+            method: build_algorithm(
+                method,
+                dataset.matrix,
+                repulsive,
+                attractive,
+                angles=config.angles,
+                branching=config.branching,
+            )
+            for method in methods
+        }
+        for k in k_values:
+            workload = make_workload(
+                repulsive,
+                attractive,
+                num_queries=config.queries(),
+                k=k,
+                num_dims=2,
+                seed=config.seed,
+            )
+            for method, algorithm in algorithms.items():
+                summary = time_queries(algorithm, workload)
+                result.series_for(method).add(k, summary.mean_milliseconds)
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------- Figure 8h
+def memory_sweep(
+    config: Optional[ExperimentConfig] = None,
+    paper_sizes: Sequence[int] = PAPER_6D_SIZES,
+) -> List[ExperimentResult]:
+    """Figure 8h: memory footprint vs dataset size.
+
+    The SD-Index top-k series measures the full 6-dimensional index (three paired
+    projection trees over five angles); the top-1 series measure the 2D region
+    index for each data distribution, whose size depends on how many points ever
+    own a region.
+    """
+    config = config or ExperimentConfig()
+    sizes = config.sizes(paper_sizes)
+    result = ExperimentResult(
+        name="Figure 8h: memory footprint vs dataset size",
+        x_label="num_points",
+        y_label="memory (MB)",
+        notes="analytic footprint; top-k on 6D data, top-1 on 2D data per distribution",
+    )
+    repulsive, attractive = _six_dim_roles()
+    for size in sizes:
+        dataset = generate_dataset("uniform", size, 6, seed=config.seed)
+        index = build_algorithm(
+            "SD-Index",
+            dataset.matrix,
+            repulsive,
+            attractive,
+            angles=config.angles,
+            branching=config.branching,
+        )
+        result.series_for("SD-Index topK").add(size, index.stats().memory_mb)
+        for distribution in ("uniform", "correlated", "anticorrelated"):
+            data2 = generate_dataset(distribution, size, 2, seed=config.seed)
+            top1 = Top1Index(data2.matrix[:, 0], data2.matrix[:, 1], k=1)
+            result.series_for(f"SD-Index top1 {distribution}").add(
+                size, top1.stats().memory_mb
+            )
+    return [result]
+
+
+# --------------------------------------------------------------------- Figure 8i
+def branching_sweep(
+    config: Optional[ExperimentConfig] = None,
+    branching_factors: Sequence[int] = (2, 4, 8, 16, 32, 48),
+    paper_size: int = 500_000,
+) -> List[ExperimentResult]:
+    """Figure 8i: memory footprint of the top-k index vs branching factor."""
+    config = config or ExperimentConfig()
+    size = config.sizes([paper_size])[0]
+    repulsive, attractive = _six_dim_roles()
+    dataset = generate_dataset("uniform", size, 6, seed=config.seed)
+    result = ExperimentResult(
+        name="Figure 8i: memory footprint vs branching factor",
+        x_label="branching_factor",
+        y_label="memory (MB)",
+        notes=f"{size} 6-dimensional uniform points",
+    )
+    for branching in branching_factors:
+        index = build_algorithm(
+            "SD-Index",
+            dataset.matrix,
+            repulsive,
+            attractive,
+            angles=config.angles,
+            branching=branching,
+        )
+        result.series_for("SD-Index topK").add(branching, index.stats().memory_mb)
+    return [result]
+
+
+# --------------------------------------------------------------------- Figure 8j
+def construction_sweep(
+    config: Optional[ExperimentConfig] = None,
+    paper_sizes: Sequence[int] = PAPER_6D_SIZES,
+    distribution: str = "uniform",
+) -> List[ExperimentResult]:
+    """Figure 8j: index construction time vs dataset size."""
+    config = config or ExperimentConfig()
+    sizes = config.sizes(paper_sizes)
+    grid = _angle_grid(config)
+    result = ExperimentResult(
+        name="Figure 8j: index construction time vs dataset size",
+        x_label="num_points",
+        y_label="construction time (s)",
+        notes=f"{distribution} data; top-1/top-k built on 2 dimensions, BRS/PE on 6",
+    )
+    for size in sizes:
+        dataset6 = generate_dataset(distribution, size, 6, seed=config.seed)
+        matrix = dataset6.matrix
+        x, y = matrix[:, 0], matrix[:, 1]
+
+        started = time.perf_counter()
+        Top1Index(x, y, k=1)
+        result.series_for("SD-Index top1").add(size, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        TopKIndex(x, y, angle_grid=grid, branching=config.branching)
+        result.series_for("SD-Index topK").add(size, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        BRSTopK(matrix, (0, 1, 2), (3, 4, 5))
+        result.series_for("BRS").add(size, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        ProgressiveExplorationTopK(matrix, (0, 1, 2), (3, 4, 5))
+        result.series_for("PE").add(size, time.perf_counter() - started)
+    return [result]

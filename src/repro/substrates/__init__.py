@@ -1,0 +1,20 @@
+"""Supporting data structures: sorted columns, bounded heaps, MBRs and an R*-tree.
+
+These are the substrates the SD-Index and the baselines are built on.  They are
+independent of the SD-Query semantics and usable on their own.
+"""
+
+from repro.substrates.bidirectional import FarthestFirstExplorer, NearestFirstExplorer
+from repro.substrates.heaps import BoundedMaxHeap
+from repro.substrates.mbr import MBR
+from repro.substrates.rstartree import RStarTree
+from repro.substrates.sorted_column import SortedColumn
+
+__all__ = [
+    "SortedColumn",
+    "NearestFirstExplorer",
+    "FarthestFirstExplorer",
+    "BoundedMaxHeap",
+    "MBR",
+    "RStarTree",
+]

@@ -1,0 +1,115 @@
+"""Bidirectional explorers over a :class:`SortedColumn` (Section 5, 1D subproblems).
+
+Two access patterns are needed when a single dimension forms its own subproblem:
+
+* an *attractive* dimension is explored nearest-first from the query value, using
+  two pointers that start at the insertion position of the query value and move
+  outwards (the paper's example on the ``Coverage`` column);
+* a *repulsive* dimension is explored farthest-first, using two pointers that
+  start at the two extremes of the sorted order and move inwards.
+
+Both explorers yield ``(row_id, absolute_distance)`` pairs; the distance sequence
+is monotone (non-decreasing for nearest-first, non-increasing for farthest-first),
+which is exactly the property the threshold aggregation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.substrates.sorted_column import SortedColumn
+
+__all__ = ["NearestFirstExplorer", "FarthestFirstExplorer"]
+
+
+class NearestFirstExplorer:
+    """Yield rows of a column ordered by increasing distance to a query value."""
+
+    def __init__(self, column: SortedColumn, query_value: float) -> None:
+        self._column = column
+        self._query_value = float(query_value)
+        position = column.rank_of(self._query_value)
+        self._left = position - 1
+        self._right = position
+        self._last_distance: Optional[float] = None
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return self
+
+    def _candidates(self) -> Tuple[Optional[float], Optional[float]]:
+        left_distance = None
+        right_distance = None
+        if self._left >= 0:
+            _, value = self._column.entry(self._left)
+            left_distance = abs(value - self._query_value)
+        if self._right < len(self._column):
+            _, value = self._column.entry(self._right)
+            right_distance = abs(value - self._query_value)
+        return left_distance, right_distance
+
+    def __next__(self) -> Tuple[int, float]:
+        left_distance, right_distance = self._candidates()
+        if left_distance is None and right_distance is None:
+            raise StopIteration
+        take_left = right_distance is None or (
+            left_distance is not None and left_distance <= right_distance
+        )
+        if take_left:
+            row, value = self._column.entry(self._left)
+            self._left -= 1
+        else:
+            row, value = self._column.entry(self._right)
+            self._right += 1
+        distance = abs(value - self._query_value)
+        self._last_distance = distance
+        return row, distance
+
+    def head_distance(self) -> Optional[float]:
+        """Distance of the next entry without consuming it (None when exhausted)."""
+        left_distance, right_distance = self._candidates()
+        if left_distance is None and right_distance is None:
+            return None
+        if left_distance is None:
+            return right_distance
+        if right_distance is None:
+            return left_distance
+        return min(left_distance, right_distance)
+
+
+class FarthestFirstExplorer:
+    """Yield rows of a column ordered by decreasing distance to a query value."""
+
+    def __init__(self, column: SortedColumn, query_value: float) -> None:
+        self._column = column
+        self._query_value = float(query_value)
+        self._low = 0
+        self._high = len(column) - 1
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return self
+
+    def _candidates(self) -> Tuple[Optional[float], Optional[float]]:
+        if self._low > self._high:
+            return None, None
+        _, low_value = self._column.entry(self._low)
+        _, high_value = self._column.entry(self._high)
+        return abs(low_value - self._query_value), abs(high_value - self._query_value)
+
+    def __next__(self) -> Tuple[int, float]:
+        low_distance, high_distance = self._candidates()
+        if low_distance is None:
+            raise StopIteration
+        if low_distance >= high_distance:
+            row, value = self._column.entry(self._low)
+            self._low += 1
+        else:
+            row, value = self._column.entry(self._high)
+            self._high -= 1
+        return row, abs(value - self._query_value)
+
+    def head_distance(self) -> Optional[float]:
+        """Distance of the next entry without consuming it (None when exhausted)."""
+        low_distance, high_distance = self._candidates()
+        if low_distance is None:
+            return None
+        return max(low_distance, high_distance)

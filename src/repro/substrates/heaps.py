@@ -1,0 +1,62 @@
+"""Small heap utilities used across the query algorithms."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["BoundedMaxHeap"]
+
+
+class BoundedMaxHeap:
+    """Keeps the ``k`` highest-scoring ``(score, item)`` pairs seen so far.
+
+    Internally a min-heap of size at most ``k``: the root is the *worst* retained
+    score, which doubles as the pruning threshold of every top-k algorithm
+    ("the k-th best score so far").
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._heap: List[Tuple[float, int]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def kth_score(self) -> Optional[float]:
+        """The lowest retained score, or None while the heap is not yet full."""
+        if not self.is_full:
+            return None
+        return self._heap[0][0]
+
+    def would_accept(self, score: float) -> bool:
+        """True if pushing ``score`` would change the retained set."""
+        kth = self.kth_score()
+        return kth is None or score > kth
+
+    def push(self, score: float, item) -> bool:
+        """Offer an item; returns True if it was retained."""
+        entry = (float(score), self._counter, item)
+        self._counter += 1
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry[0] > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def items(self) -> List[Tuple[float, object]]:
+        """Retained ``(score, item)`` pairs, best first."""
+        ordered = sorted(self._heap, key=lambda entry: (-entry[0], entry[1]))
+        return [(score, item) for score, _, item in ordered]
+
+    def __iter__(self) -> Iterator[Tuple[float, object]]:
+        return iter(self.items())

@@ -1,0 +1,116 @@
+"""Minimum bounding rectangles (MBRs) for the in-memory R*-tree."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MBR"]
+
+
+class MBR:
+    """An axis-aligned minimum bounding rectangle in ``d`` dimensions."""
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]) -> None:
+        self.lower = np.asarray(lower, dtype=float).copy()
+        self.upper = np.asarray(upper, dtype=float).copy()
+        if self.lower.shape != self.upper.shape or self.lower.ndim != 1:
+            raise ValueError("lower and upper must be 1-d arrays of equal length")
+        if np.any(self.lower > self.upper):
+            raise ValueError("lower bound exceeds upper bound")
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "MBR":
+        return cls(point, point)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "MBR":
+        matrix = np.asarray(points, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError("from_points needs a non-empty (n, d) matrix")
+        return cls(matrix.min(axis=0), matrix.max(axis=0))
+
+    @classmethod
+    def union_of(cls, rectangles: Iterable["MBR"]) -> "MBR":
+        rectangles = list(rectangles)
+        if not rectangles:
+            raise ValueError("cannot take the union of zero rectangles")
+        lower = np.min([r.lower for r in rectangles], axis=0)
+        upper = np.max([r.upper for r in rectangles], axis=0)
+        return cls(lower, upper)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_dims(self) -> int:
+        return len(self.lower)
+
+    def copy(self) -> "MBR":
+        return MBR(self.lower, self.upper)
+
+    def area(self) -> float:
+        """Hyper-volume of the rectangle."""
+        return float(np.prod(self.upper - self.lower))
+
+    def margin(self) -> float:
+        """Sum of the edge lengths (the R* split heuristic's perimeter measure)."""
+        return float(np.sum(self.upper - self.lower))
+
+    def center(self) -> np.ndarray:
+        return (self.lower + self.upper) / 2.0
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(np.minimum(self.lower, other.lower), np.maximum(self.upper, other.upper))
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "MBR") -> bool:
+        return bool(np.all(self.lower <= other.upper) and np.all(other.lower <= self.upper))
+
+    def overlap_area(self, other: "MBR") -> float:
+        """Area of the intersection (0 when disjoint)."""
+        lower = np.maximum(self.lower, other.lower)
+        upper = np.minimum(self.upper, other.upper)
+        extents = upper - lower
+        if np.any(extents < 0):
+            return 0.0
+        return float(np.prod(extents))
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        values = np.asarray(point, dtype=float)
+        return bool(np.all(self.lower <= values) and np.all(values <= self.upper))
+
+    def extend_point(self, point: Sequence[float]) -> None:
+        """Grow the rectangle in place to cover ``point``."""
+        values = np.asarray(point, dtype=float)
+        np.minimum(self.lower, values, out=self.lower)
+        np.maximum(self.upper, values, out=self.upper)
+
+    def extend(self, other: "MBR") -> None:
+        """Grow the rectangle in place to cover ``other``."""
+        np.minimum(self.lower, other.lower, out=self.lower)
+        np.maximum(self.upper, other.upper, out=self.upper)
+
+    # --------------------------------------------------- distances to a query point
+    def min_abs_difference(self, dim: int, value: float) -> float:
+        """Minimum ``|p_dim - value|`` over points in the rectangle."""
+        if self.lower[dim] <= value <= self.upper[dim]:
+            return 0.0
+        return float(min(abs(self.lower[dim] - value), abs(self.upper[dim] - value)))
+
+    def max_abs_difference(self, dim: int, value: float) -> float:
+        """Maximum ``|p_dim - value|`` over points in the rectangle."""
+        return float(max(abs(self.lower[dim] - value), abs(self.upper[dim] - value)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(np.array_equal(self.lower, other.lower) and np.array_equal(self.upper, other.upper))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MBR(lower={self.lower.tolist()}, upper={self.upper.tolist()})"

@@ -1,0 +1,508 @@
+"""An in-memory R*-tree over multidimensional points.
+
+This is the hierarchical index substrate the BRS baseline (Tao et al.) is built
+on.  It follows the classic R*-tree design: ChooseSubtree with minimum overlap
+enlargement at the leaf level, the R* axis/index split based on margin and
+overlap, and optional forced reinsertion.  A Sort-Tile-Recursive (STR) bulk load
+is provided for building the index over a full dataset, which is how the
+benchmark harness constructs it (the paper builds the R*-tree once per dataset).
+
+The tree stores points (row id + coordinate vector) at the leaves and exposes:
+
+* ``insert`` / ``delete`` — standard dynamic updates,
+* ``range_query`` — all points inside an :class:`MBR`,
+* ``best_first`` — a generic best-first traversal driven by caller-provided
+  upper-bound functions, which is exactly what a branch-and-bound top-k needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import IndexStats
+from repro.substrates.mbr import MBR
+
+__all__ = ["RStarTree", "default_node_capacity"]
+
+
+#: Node capacities the paper tuned for each dimensionality (Section 6.1).
+_PAPER_NODE_CAPACITIES = {2: 28, 4: 16, 6: 12, 8: 9}
+
+
+def default_node_capacity(num_dims: int) -> int:
+    """The paper's tuned R*-tree node capacity for a given dimensionality.
+
+    Intermediate dimensionalities interpolate between the tuned values; anything
+    outside the tuned range falls back to the nearest endpoint.
+    """
+    if num_dims in _PAPER_NODE_CAPACITIES:
+        return _PAPER_NODE_CAPACITIES[num_dims]
+    known = sorted(_PAPER_NODE_CAPACITIES)
+    if num_dims <= known[0]:
+        return _PAPER_NODE_CAPACITIES[known[0]]
+    if num_dims >= known[-1]:
+        return _PAPER_NODE_CAPACITIES[known[-1]]
+    below = max(d for d in known if d < num_dims)
+    above = min(d for d in known if d > num_dims)
+    fraction = (num_dims - below) / (above - below)
+    value = (1 - fraction) * _PAPER_NODE_CAPACITIES[below] + fraction * _PAPER_NODE_CAPACITIES[above]
+    return max(4, int(round(value)))
+
+
+class _Entry:
+    """A leaf entry: one data point."""
+
+    __slots__ = ("row_id", "point", "mbr")
+
+    def __init__(self, row_id: int, point: np.ndarray) -> None:
+        self.row_id = int(row_id)
+        self.point = np.asarray(point, dtype=float)
+        self.mbr = MBR.from_point(self.point)
+
+
+class _RNode:
+    __slots__ = ("level", "children", "entries", "mbr", "parent")
+
+    def __init__(self, level: int) -> None:
+        self.level = level  # 0 = leaf
+        self.children: List["_RNode"] = []
+        self.entries: List[_Entry] = []
+        self.mbr: Optional[MBR] = None
+        self.parent: Optional["_RNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def members(self) -> List:
+        return self.entries if self.is_leaf else self.children
+
+    def recompute_mbr(self) -> None:
+        members = self.members()
+        if not members:
+            self.mbr = None
+            return
+        self.mbr = MBR.union_of(member.mbr for member in members)
+
+
+class RStarTree:
+    """In-memory R*-tree over points, with STR bulk loading."""
+
+    def __init__(
+        self,
+        num_dims: int,
+        node_capacity: Optional[int] = None,
+        min_fill: float = 0.4,
+        forced_reinsert: bool = True,
+    ) -> None:
+        if num_dims < 1:
+            raise ValueError("num_dims must be >= 1")
+        self.num_dims = int(num_dims)
+        self.node_capacity = int(node_capacity or default_node_capacity(num_dims))
+        if self.node_capacity < 4:
+            raise ValueError("node capacity must be >= 4")
+        self.min_entries = max(2, int(math.floor(self.node_capacity * min_fill)))
+        self.forced_reinsert = forced_reinsert
+        self._root = _RNode(level=0)
+        self._size = 0
+        self._build_seconds = 0.0
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._root.level + 1
+
+    # ------------------------------------------------------------------ bulk load
+    @classmethod
+    def bulk_load(
+        cls,
+        points: np.ndarray,
+        row_ids: Optional[Sequence[int]] = None,
+        node_capacity: Optional[int] = None,
+    ) -> "RStarTree":
+        """Build a tree with Sort-Tile-Recursive packing (bottom-up, full nodes)."""
+        matrix = np.asarray(points, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("points must be an (n, d) matrix")
+        tree = cls(num_dims=matrix.shape[1], node_capacity=node_capacity)
+        started = time.perf_counter()
+        rows = (
+            np.arange(len(matrix), dtype=np.int64)
+            if row_ids is None
+            else np.asarray(list(row_ids), dtype=np.int64)
+        )
+        if len(rows) != len(matrix):
+            raise ValueError("row_ids must align with points")
+        if len(matrix) == 0:
+            tree._build_seconds = time.perf_counter() - started
+            return tree
+
+        entries = [_Entry(row, matrix[i]) for i, row in enumerate(rows)]
+        level_nodes = tree._str_pack_leaves(entries)
+        level = 1
+        while len(level_nodes) > 1:
+            level_nodes = tree._str_pack_internal(level_nodes, level)
+            level += 1
+        tree._root = level_nodes[0]
+        tree._size = len(entries)
+        tree._build_seconds = time.perf_counter() - started
+        return tree
+
+    def _str_slices(self, items: List, key_dim: int, groups: int) -> List[List]:
+        items = sorted(items, key=lambda item: float(self._item_center(item)[key_dim]))
+        size = math.ceil(len(items) / groups)
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    @staticmethod
+    def _item_center(item) -> np.ndarray:
+        return item.mbr.center()
+
+    def _str_pack(self, items: List, make_node: Callable[[List], _RNode]) -> List[_RNode]:
+        capacity = self.node_capacity
+        num_nodes = math.ceil(len(items) / capacity)
+        slices = math.ceil(num_nodes ** (1.0 / self.num_dims)) if num_nodes > 1 else 1
+        groups = [items]
+        for dim in range(self.num_dims - 1):
+            next_groups: List[List] = []
+            for group in groups:
+                group_nodes = math.ceil(len(group) / capacity)
+                group_slices = math.ceil(group_nodes ** (1.0 / (self.num_dims - dim))) or 1
+                next_groups.extend(self._str_slices(group, dim, max(group_slices, 1)))
+            groups = next_groups
+        nodes: List[_RNode] = []
+        for group in groups:
+            ordered = sorted(
+                group, key=lambda item: float(self._item_center(item)[self.num_dims - 1])
+            )
+            for i in range(0, len(ordered), capacity):
+                nodes.append(make_node(ordered[i:i + capacity]))
+        del slices  # retained for readability of the classic STR description
+        return nodes
+
+    def _str_pack_leaves(self, entries: List[_Entry]) -> List[_RNode]:
+        def make_leaf(chunk: List[_Entry]) -> _RNode:
+            node = _RNode(level=0)
+            node.entries = list(chunk)
+            node.recompute_mbr()
+            return node
+
+        return self._str_pack(entries, make_leaf)
+
+    def _str_pack_internal(self, children: List[_RNode], level: int) -> List[_RNode]:
+        def make_internal(chunk: List[_RNode]) -> _RNode:
+            node = _RNode(level=level)
+            node.children = list(chunk)
+            for child in chunk:
+                child.parent = node
+            node.recompute_mbr()
+            return node
+
+        return self._str_pack(children, make_internal)
+
+    # ------------------------------------------------------------------ insertion
+    def insert(self, point: Sequence[float], row_id: int) -> None:
+        """Insert one point with the R* ChooseSubtree / split / reinsert machinery."""
+        started = time.perf_counter()
+        entry = _Entry(row_id, np.asarray(point, dtype=float))
+        if entry.point.shape != (self.num_dims,):
+            raise ValueError(f"point must have {self.num_dims} dimensions")
+        self._insert_entry(entry, level=0, reinserted_levels=set())
+        self._size += 1
+        self._build_seconds += time.perf_counter() - started
+
+    def _insert_entry(self, item, level: int, reinserted_levels: set) -> None:
+        node = self._choose_subtree(item, level)
+        if node.is_leaf:
+            node.entries.append(item)
+        else:
+            node.children.append(item)
+            item.parent = node
+        self._extend_upward(node, item.mbr)
+        if len(node.members()) > self.node_capacity:
+            self._handle_overflow(node, reinserted_levels)
+
+    def _choose_subtree(self, item, level: int) -> _RNode:
+        node = self._root
+        while node.level > level:
+            children = node.children
+            if node.level == level + 1 and node.level == 1:
+                # Children are leaves: minimize overlap enlargement (R* heuristic).
+                best = min(
+                    children,
+                    key=lambda child: (
+                        self._overlap_enlargement(children, child, item.mbr),
+                        child.mbr.enlargement(item.mbr),
+                        child.mbr.area(),
+                    ),
+                )
+            else:
+                best = min(
+                    children,
+                    key=lambda child: (child.mbr.enlargement(item.mbr), child.mbr.area()),
+                )
+            node = best
+        return node
+
+    @staticmethod
+    def _overlap_enlargement(siblings: List[_RNode], candidate: _RNode, mbr: MBR) -> float:
+        enlarged = candidate.mbr.union(mbr)
+        before = sum(
+            candidate.mbr.overlap_area(other.mbr) for other in siblings if other is not candidate
+        )
+        after = sum(
+            enlarged.overlap_area(other.mbr) for other in siblings if other is not candidate
+        )
+        return after - before
+
+    def _extend_upward(self, node: _RNode, mbr: MBR) -> None:
+        while node is not None:
+            if node.mbr is None:
+                node.recompute_mbr()
+            else:
+                node.mbr.extend(mbr)
+            node = node.parent
+
+    def _handle_overflow(self, node: _RNode, reinserted_levels: set) -> None:
+        if (
+            self.forced_reinsert
+            and node is not self._root
+            and node.level not in reinserted_levels
+        ):
+            reinserted_levels.add(node.level)
+            self._reinsert(node, reinserted_levels)
+        else:
+            self._split(node, reinserted_levels)
+
+    def _reinsert(self, node: _RNode, reinserted_levels: set) -> None:
+        """Remove the 30% of members farthest from the node center and re-add them."""
+        members = node.members()
+        center = node.mbr.center()
+        members.sort(
+            key=lambda member: -float(np.sum((member.mbr.center() - center) ** 2))
+        )
+        removed_count = max(1, int(round(0.3 * len(members))))
+        removed = members[:removed_count]
+        kept = members[removed_count:]
+        if node.is_leaf:
+            node.entries = kept
+        else:
+            node.children = kept
+        node.recompute_mbr()
+        self._shrink_upward(node.parent)
+        for member in removed:
+            self._insert_entry(member, node.level, reinserted_levels)
+
+    def _split(self, node: _RNode, reinserted_levels: set) -> None:
+        members = node.members()
+        first_group, second_group = self._rstar_split_groups(members)
+        sibling = _RNode(level=node.level)
+        if node.is_leaf:
+            node.entries = first_group
+            sibling.entries = second_group
+        else:
+            node.children = first_group
+            sibling.children = second_group
+            for child in second_group:
+                child.parent = sibling
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+
+        parent = node.parent
+        if parent is None:
+            new_root = _RNode(level=node.level + 1)
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbr()
+            self._root = new_root
+            return
+        sibling.parent = parent
+        parent.children.append(sibling)
+        self._shrink_upward(parent)
+        if len(parent.children) > self.node_capacity:
+            self._handle_overflow(parent, reinserted_levels)
+
+    def _rstar_split_groups(self, members: List) -> Tuple[List, List]:
+        """R* split: choose the axis with minimal margin sum, then the distribution
+        with minimal overlap (ties by area)."""
+        best = None
+        min_entries = self.min_entries
+        for dim in range(self.num_dims):
+            for sort_key in (
+                lambda member: (float(member.mbr.lower[dim]), float(member.mbr.upper[dim])),
+                lambda member: (float(member.mbr.upper[dim]), float(member.mbr.lower[dim])),
+            ):
+                ordered = sorted(members, key=sort_key)
+                for split_at in range(min_entries, len(ordered) - min_entries + 1):
+                    left = ordered[:split_at]
+                    right = ordered[split_at:]
+                    left_mbr = MBR.union_of(member.mbr for member in left)
+                    right_mbr = MBR.union_of(member.mbr for member in right)
+                    margin = left_mbr.margin() + right_mbr.margin()
+                    overlap = left_mbr.overlap_area(right_mbr)
+                    area = left_mbr.area() + right_mbr.area()
+                    candidate = (margin, overlap, area, left, right)
+                    if best is None or candidate[:3] < best[:3]:
+                        best = candidate
+        if best is None:
+            middle = len(members) // 2
+            return list(members[:middle]), list(members[middle:])
+        return list(best[3]), list(best[4])
+
+    def _shrink_upward(self, node: Optional[_RNode]) -> None:
+        while node is not None:
+            node.recompute_mbr()
+            node = node.parent
+
+    # ------------------------------------------------------------------ deletion
+    def delete(self, row_id: int, point: Sequence[float]) -> bool:
+        """Delete the entry with the given row id (point used to guide the search)."""
+        target = np.asarray(point, dtype=float)
+        leaf = self._find_leaf(self._root, row_id, target)
+        if leaf is None:
+            return False
+        leaf.entries = [entry for entry in leaf.entries if entry.row_id != row_id]
+        self._size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(self, node: _RNode, row_id: int, point: np.ndarray) -> Optional[_RNode]:
+        if node.mbr is not None and not node.mbr.contains_point(point):
+            return None
+        if node.is_leaf:
+            if any(entry.row_id == row_id for entry in node.entries):
+                return node
+            return None
+        for child in node.children:
+            found = self._find_leaf(child, row_id, point)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, leaf: _RNode) -> None:
+        orphans: List[_Entry] = []
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.members()) < self.min_entries:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_mbr()
+            node = parent
+        self._root.recompute_mbr()
+        if not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        self._size -= len(orphans)
+        for entry in orphans:
+            self.insert(entry.point, entry.row_id)
+
+    def _collect_entries(self, node: _RNode) -> List[_Entry]:
+        if node.is_leaf:
+            return list(node.entries)
+        collected: List[_Entry] = []
+        for child in node.children:
+            collected.extend(self._collect_entries(child))
+        return collected
+
+    # ------------------------------------------------------------------ queries
+    def range_query(self, box: MBR) -> List[Tuple[int, np.ndarray]]:
+        """All ``(row_id, point)`` pairs inside ``box``."""
+        results: List[Tuple[int, np.ndarray]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(box):
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if box.contains_point(entry.point):
+                        results.append((entry.row_id, entry.point))
+            else:
+                stack.extend(node.children)
+        return results
+
+    def best_first(
+        self,
+        node_bound: Callable[[MBR], float],
+        point_score: Callable[[np.ndarray], float],
+    ) -> Iterator[Tuple[int, np.ndarray, float, int]]:
+        """Best-first traversal by descending score.
+
+        ``node_bound(mbr)`` must upper-bound ``point_score`` over every point in
+        the MBR.  Yields ``(row_id, point, score, nodes_visited_so_far)`` in
+        non-increasing score order — the branch-and-bound loop BRS needs.
+        """
+        counter = itertools.count()
+        heap: List[Tuple[float, int, bool, object]] = []
+        nodes_visited = 0
+        if self._root.mbr is not None:
+            heapq.heappush(heap, (-node_bound(self._root.mbr), next(counter), False, self._root))
+        while heap:
+            negative_bound, _, is_point, payload = heapq.heappop(heap)
+            if is_point:
+                entry = payload
+                yield entry.row_id, entry.point, -negative_bound, nodes_visited
+                continue
+            node = payload
+            nodes_visited += 1
+            if node.is_leaf:
+                for entry in node.entries:
+                    heapq.heappush(
+                        heap, (-point_score(entry.point), next(counter), True, entry)
+                    )
+            else:
+                for child in node.children:
+                    if child.mbr is None:
+                        continue
+                    heapq.heappush(
+                        heap, (-node_bound(child.mbr), next(counter), False, child)
+                    )
+
+    def iter_entries(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """All stored ``(row_id, point)`` pairs (test helper)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.row_id, entry.point
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> IndexStats:
+        num_nodes = 0
+        num_leaves = 0
+        memory = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            num_nodes += 1
+            memory += 2 * 8 * self.num_dims  # the node MBR
+            if node.is_leaf:
+                num_leaves += 1
+                memory += len(node.entries) * (8 + 8 * self.num_dims)
+            else:
+                memory += 8 * len(node.children)
+                stack.extend(node.children)
+        return IndexStats(
+            name="rstar-tree",
+            num_points=self._size,
+            num_nodes=num_nodes,
+            num_regions=num_leaves,
+            height=self.height,
+            branching=self.node_capacity,
+            memory_bytes=memory,
+            build_seconds=self._build_seconds,
+        )

@@ -1,0 +1,99 @@
+"""A single dimension kept in sorted order, with value/rank lookups.
+
+Both the adapted Threshold Algorithm baseline and the 1D subproblems of the
+SD-Index (Section 5) keep each dimension in a sorted container and walk it from
+either a query value (attractive dimensions) or from its extremes (repulsive
+dimensions).  :class:`SortedColumn` is that container: it is an immutable,
+numpy-backed sorted projection of one dataset column that remembers which row
+each value came from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SortedColumn"]
+
+
+class SortedColumn:
+    """One dataset column sorted ascending, carrying the originating row ids."""
+
+    def __init__(self, values: Sequence[float], row_ids: Optional[Sequence[int]] = None) -> None:
+        data = np.asarray(values, dtype=float)
+        if data.ndim != 1:
+            raise ValueError("a sorted column is built from a 1-d array")
+        rows = (
+            np.arange(len(data), dtype=np.int64)
+            if row_ids is None
+            else np.asarray(list(row_ids), dtype=np.int64)
+        )
+        if rows.shape != data.shape:
+            raise ValueError("row_ids must align with values")
+        order = np.argsort(data, kind="stable")
+        self._values = data[order]
+        self._rows = rows[order]
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        for row, value in zip(self._rows, self._values):
+            yield int(row), float(value)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row ids aligned with :attr:`values` (read-only view)."""
+        view = self._rows.view()
+        view.flags.writeable = False
+        return view
+
+    def entry(self, position: int) -> Tuple[int, float]:
+        """``(row_id, value)`` at a sorted position."""
+        return int(self._rows[position]), float(self._values[position])
+
+    # ------------------------------------------------------------------ lookups
+    def rank_of(self, value: float) -> int:
+        """Number of entries strictly smaller than ``value``."""
+        return int(np.searchsorted(self._values, value, side="left"))
+
+    def min(self) -> float:
+        if not len(self):
+            raise ValueError("column is empty")
+        return float(self._values[0])
+
+    def max(self) -> float:
+        if not len(self):
+            raise ValueError("column is empty")
+        return float(self._values[-1])
+
+    def farthest_distance(self, value: float) -> float:
+        """Largest ``|v - value|`` over the column (0 for an empty column)."""
+        if not len(self):
+            return 0.0
+        return max(abs(self.min() - value), abs(self.max() - value))
+
+    def nearest_distance(self, value: float) -> float:
+        """Smallest ``|v - value|`` over the column (0 for an empty column)."""
+        if not len(self):
+            return 0.0
+        position = self.rank_of(value)
+        best = np.inf
+        if position < len(self):
+            best = abs(float(self._values[position]) - value)
+        if position > 0:
+            best = min(best, abs(float(self._values[position - 1]) - value))
+        return float(best)
+
+    def memory_bytes(self) -> int:
+        """Analytic memory estimate: one float and one id per entry."""
+        return 16 * len(self)

@@ -1,0 +1,18 @@
+"""Workload generation, method registry and the timing harness used by all experiments."""
+
+from repro.workloads.registry import ALGORITHM_BUILDERS, build_algorithm
+from repro.workloads.reporting import format_series_table, format_table
+from repro.workloads.runner import ExperimentResult, MeasuredSeries, time_queries
+from repro.workloads.workload import QueryWorkload, make_workload
+
+__all__ = [
+    "QueryWorkload",
+    "make_workload",
+    "ALGORITHM_BUILDERS",
+    "build_algorithm",
+    "time_queries",
+    "MeasuredSeries",
+    "ExperimentResult",
+    "format_table",
+    "format_series_table",
+]

@@ -1,0 +1,82 @@
+"""Registry of query algorithms usable by the experiment harness.
+
+Every entry builds one algorithm over a dataset with fixed dimension roles and
+returns an object exposing ``query(SDQuery) -> TopKResult`` — the SD-Index facade
+and every baseline already follow that contract.  The experiment modules refer to
+algorithms by the short names the paper's figures use: ``SD-Index``, ``TA``,
+``BRS``, ``PE`` and ``SeqScan``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    BRSTopK,
+    ProgressiveExplorationTopK,
+    PurePythonScan,
+    SequentialScan,
+    ThresholdAlgorithm,
+)
+from repro.core.sdindex import SDIndex
+
+__all__ = ["ALGORITHM_BUILDERS", "build_algorithm", "DEFAULT_METHODS"]
+
+
+def _build_sd_index(data: np.ndarray, repulsive, attractive, **kwargs) -> SDIndex:
+    allowed = {"angles", "branching", "leaf_capacity", "pairing"}
+    options = {key: value for key, value in kwargs.items() if key in allowed}
+    return SDIndex.build(data, repulsive=repulsive, attractive=attractive, **options)
+
+
+def _build_seqscan(data: np.ndarray, repulsive, attractive, **kwargs) -> SequentialScan:
+    return SequentialScan(data, repulsive, attractive)
+
+
+def _build_ta(data: np.ndarray, repulsive, attractive, **kwargs) -> ThresholdAlgorithm:
+    return ThresholdAlgorithm(data, repulsive, attractive)
+
+
+def _build_brs(data: np.ndarray, repulsive, attractive, **kwargs) -> BRSTopK:
+    return BRSTopK(data, repulsive, attractive, node_capacity=kwargs.get("node_capacity"))
+
+
+def _build_pe(data: np.ndarray, repulsive, attractive, **kwargs) -> ProgressiveExplorationTopK:
+    return ProgressiveExplorationTopK(data, repulsive, attractive)
+
+
+def _build_seqscan_py(data: np.ndarray, repulsive, attractive, **kwargs) -> PurePythonScan:
+    return PurePythonScan(data, repulsive, attractive)
+
+
+#: Algorithm name -> builder(data, repulsive, attractive, **options).
+ALGORITHM_BUILDERS: Dict[str, Callable] = {
+    "SD-Index": _build_sd_index,
+    "SeqScan": _build_seqscan,
+    "SeqScan-py": _build_seqscan_py,
+    "TA": _build_ta,
+    "BRS": _build_brs,
+    "PE": _build_pe,
+}
+
+#: The comparison set most figures use (PE is added only where the paper includes it).
+DEFAULT_METHODS = ("SeqScan", "SD-Index", "TA", "BRS")
+
+
+def build_algorithm(
+    name: str,
+    data: np.ndarray,
+    repulsive: Sequence[int],
+    attractive: Sequence[int],
+    **options,
+):
+    """Instantiate a registered algorithm over a dataset."""
+    try:
+        builder = ALGORITHM_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHM_BUILDERS)}"
+        ) from None
+    return builder(np.asarray(data, dtype=float), tuple(repulsive), tuple(attractive), **options)

@@ -1,0 +1,73 @@
+"""Plain-text reporting helpers: paper-style tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.workloads.runner import ExperimentResult
+
+__all__ = ["format_table", "format_series_table", "format_experiment"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a simple aligned text table."""
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered_rows = [[render(value) for value in row] for row in rows]
+    rendered_headers = [str(h) for h in headers]
+    widths = [
+        max(len(rendered_headers[i]), *(len(row[i]) for row in rendered_rows)) if rendered_rows
+        else len(rendered_headers[i])
+        for i in range(len(rendered_headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(rendered_headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series_table(result: ExperimentResult, float_format: str = "{:.3f}") -> str:
+    """Render an :class:`ExperimentResult` as one column per method.
+
+    This is the textual equivalent of one of the paper's figures: the first
+    column is the x-axis, the remaining columns are the per-method measurements.
+    """
+    x_values: List[float] = []
+    for series in result.series:
+        for x in series.x_values:
+            if x not in x_values:
+                x_values.append(x)
+    x_values.sort()
+    headers = [result.x_label] + [series.method for series in result.series]
+    rows: List[List[object]] = []
+    for x in x_values:
+        row: List[object] = [x]
+        for series in result.series:
+            try:
+                position = series.x_values.index(x)
+                row.append(series.y_values[position])
+            except ValueError:
+                row.append("-")
+        rows.append(row)
+    title = f"{result.name}  [{result.y_label}]"
+    if result.notes:
+        title += f"\n{result.notes}"
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def format_experiment(results: Sequence[ExperimentResult]) -> str:
+    """Concatenate several experiment tables into one report."""
+    return "\n\n".join(format_series_table(result) for result in results)

@@ -1,0 +1,112 @@
+"""Timing harness: run a workload through an algorithm and record statistics."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.query import SDQuery
+from repro.core.results import TopKResult
+from repro.workloads.workload import QueryWorkload
+
+__all__ = ["MeasuredSeries", "ExperimentResult", "time_queries"]
+
+
+@dataclass
+class MeasuredSeries:
+    """One line of a figure: an algorithm's measurement at each x-axis value."""
+
+    method: str
+    x_values: List[float] = field(default_factory=list)
+    y_values: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x_values.append(float(x))
+        self.y_values.append(float(y))
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {"method": self.method, "x": list(self.x_values), "y": list(self.y_values)}
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment: its x-axis label, unit, and one series per method."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: List[MeasuredSeries] = field(default_factory=list)
+    notes: str = ""
+
+    def series_for(self, method: str) -> MeasuredSeries:
+        for series in self.series:
+            if series.method == method:
+                return series
+        created = MeasuredSeries(method=method)
+        self.series.append(created)
+        return created
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "notes": self.notes,
+            "series": [series.as_dict() for series in self.series],
+        }
+
+
+@dataclass
+class TimingSummary:
+    """Per-workload timing statistics for one algorithm."""
+
+    total_seconds: float
+    mean_seconds: float
+    median_seconds: float
+    mean_candidates: float
+    num_queries: int
+
+    @property
+    def mean_milliseconds(self) -> float:
+        return self.mean_seconds * 1000.0
+
+    @property
+    def total_milliseconds(self) -> float:
+        return self.total_seconds * 1000.0
+
+
+def time_queries(
+    algorithm,
+    workload: QueryWorkload,
+    repeat: int = 1,
+    collect_results: bool = False,
+) -> TimingSummary:
+    """Run every query of the workload ``repeat`` times and summarize the timings.
+
+    The per-query timing uses ``time.perf_counter`` around the ``query`` call
+    only (index construction is measured separately by the construction
+    experiments), mirroring how the paper reports querying time.
+    """
+    durations: List[float] = []
+    candidate_counts: List[int] = []
+    results: List[TopKResult] = []
+    for _ in range(max(1, repeat)):
+        for query in workload:
+            started = time.perf_counter()
+            result = algorithm.query(query)
+            durations.append(time.perf_counter() - started)
+            candidate_counts.append(result.candidates_examined)
+            if collect_results:
+                results.append(result)
+    summary = TimingSummary(
+        total_seconds=sum(durations),
+        mean_seconds=statistics.fmean(durations) if durations else 0.0,
+        median_seconds=statistics.median(durations) if durations else 0.0,
+        mean_candidates=statistics.fmean(candidate_counts) if candidate_counts else 0.0,
+        num_queries=len(durations),
+    )
+    if collect_results:
+        summary.results = results  # type: ignore[attr-defined]
+    return summary

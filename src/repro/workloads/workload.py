@@ -1,0 +1,107 @@
+"""Query workload generation (Section 6.1 setup).
+
+The paper evaluates every configuration on 100 query points drawn from a uniform
+distribution, with weighting parameters drawn uniformly from ``(0, 1]`` and a
+default ``k`` of 5.  :func:`make_workload` reproduces that setup (seeded and
+scalable) and returns a :class:`QueryWorkload` — a list of fully specified
+:class:`SDQuery` objects that every algorithm answers in turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.query import QueryWeights, SDQuery
+
+__all__ = ["QueryWorkload", "make_workload"]
+
+
+@dataclass
+class QueryWorkload:
+    """A reusable list of SD-Queries plus the metadata describing how it was made."""
+
+    queries: List[SDQuery]
+    description: str = ""
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[SDQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> SDQuery:
+        return self.queries[index]
+
+    def with_k(self, k: int) -> "QueryWorkload":
+        """The same workload asking for a different ``k``."""
+        return QueryWorkload(
+            queries=[query.with_k(k) for query in self.queries],
+            description=f"{self.description} (k={k})",
+            seed=self.seed,
+        )
+
+
+def make_workload(
+    repulsive: Sequence[int],
+    attractive: Sequence[int],
+    num_queries: int = 100,
+    k: int = 5,
+    num_dims: Optional[int] = None,
+    seed: int = 0,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+    random_weights: bool = True,
+    weight_range: Tuple[float, float] = (0.05, 1.0),
+) -> QueryWorkload:
+    """Generate a seeded workload of SD-Queries.
+
+    Parameters
+    ----------
+    repulsive, attractive:
+        Dimension roles shared by every query (they must match the index build).
+    num_queries:
+        Number of query points (the paper uses 100).
+    k:
+        Results per query (the paper's default is 5).
+    num_dims:
+        Total dimensionality of the query points; defaults to covering the
+        largest named dimension.
+    value_range:
+        Query points are drawn uniformly from this range in every dimension.
+    random_weights:
+        Draw ``alpha`` and ``beta`` uniformly from ``weight_range`` per query (the
+        paper's setup); with ``False`` all weights are 1.
+    """
+    repulsive = tuple(int(d) for d in repulsive)
+    attractive = tuple(int(d) for d in attractive)
+    if num_dims is None:
+        num_dims = max(repulsive + attractive) + 1
+    rng = np.random.default_rng(seed)
+    low, high = value_range
+    weight_low, weight_high = weight_range
+    queries: List[SDQuery] = []
+    for _ in range(num_queries):
+        point = rng.uniform(low, high, size=num_dims)
+        if random_weights:
+            alpha = rng.uniform(weight_low, weight_high, size=len(repulsive))
+            beta = rng.uniform(weight_low, weight_high, size=len(attractive))
+        else:
+            alpha = np.ones(len(repulsive))
+            beta = np.ones(len(attractive))
+        queries.append(
+            SDQuery(
+                point=tuple(point),
+                repulsive=repulsive,
+                attractive=attractive,
+                k=k,
+                weights=QueryWeights(alpha=tuple(alpha), beta=tuple(beta)),
+            )
+        )
+    description = (
+        f"{num_queries} uniform queries, k={k}, |D|={len(repulsive)}, |S|={len(attractive)}, "
+        f"{'random' if random_weights else 'unit'} weights"
+    )
+    return QueryWorkload(queries=queries, description=description, seed=seed)

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.core.query import SDQuery
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A session-wide seeded generator for tests that just need 'some' randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_2d_dataset() -> np.ndarray:
+    """A small fixed 2D dataset reused by several index tests."""
+    generator = np.random.default_rng(7)
+    return generator.random((400, 2))
+
+
+@pytest.fixture
+def small_4d_dataset() -> np.ndarray:
+    """A small fixed 4D dataset (two repulsive, two attractive dimensions)."""
+    generator = np.random.default_rng(11)
+    return generator.random((600, 4))
+
+
+def oracle_topk(data: np.ndarray, query: SDQuery):
+    """Ground-truth answer computed by the sequential-scan oracle."""
+    scan = SequentialScan(data, query.repulsive, query.attractive)
+    return scan.query(query)
+
+
+def assert_same_scores(result, expected, tol: float = 1e-9) -> None:
+    """Assert two results contain the same multiset of scores (ties may permute)."""
+    mine = sorted(result.scores, reverse=True)
+    theirs = sorted(expected.scores, reverse=True)
+    assert len(mine) == len(theirs), f"sizes differ: {len(mine)} vs {len(theirs)}"
+    for a, b in zip(mine, theirs):
+        assert abs(a - b) <= tol, f"score mismatch: {mine} vs {theirs}"

@@ -1,0 +1,89 @@
+"""Integration tests: every algorithm returns score-equivalent answers on shared workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_dataset
+from repro.workloads.registry import ALGORITHM_BUILDERS, build_algorithm
+from repro.workloads.workload import make_workload
+from tests.conftest import assert_same_scores
+
+ALL_METHODS = sorted(ALGORITHM_BUILDERS)
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "correlated", "anticorrelated", "clustered"])
+def test_all_methods_agree_on_2d(distribution):
+    dataset = generate_dataset(distribution, 1500, 2, seed=3)
+    workload = make_workload([1], [0], num_queries=6, k=5, num_dims=2, seed=9)
+    algorithms = {
+        name: build_algorithm(name, dataset.matrix, [1], [0]) for name in ALL_METHODS
+    }
+    for query in workload:
+        reference = algorithms["SeqScan"].query(query)
+        for name, algorithm in algorithms.items():
+            assert_same_scores(algorithm.query(query), reference)
+
+
+@pytest.mark.parametrize("num_dims,repulsive,attractive", [
+    (4, (0, 1), (2, 3)),
+    (5, (0, 1, 2), (3, 4)),
+    (6, (0, 1, 2), (3, 4, 5)),
+])
+def test_all_methods_agree_in_higher_dimensions(num_dims, repulsive, attractive):
+    dataset = generate_dataset("uniform", 800, num_dims, seed=4)
+    workload = make_workload(repulsive, attractive, num_queries=4, k=7,
+                             num_dims=num_dims, seed=10)
+    algorithms = {
+        name: build_algorithm(name, dataset.matrix, repulsive, attractive)
+        for name in ALL_METHODS
+    }
+    for query in workload:
+        reference = algorithms["SeqScan"].query(query)
+        for name, algorithm in algorithms.items():
+            assert_same_scores(algorithm.query(query), reference)
+
+
+def test_agreement_on_skewed_weights():
+    """Extreme weight ratios push the query angle towards 0/90 degrees."""
+    dataset = generate_dataset("uniform", 1000, 4, seed=5)
+    algorithms = {
+        name: build_algorithm(name, dataset.matrix, (0, 1), (2, 3)) for name in ALL_METHODS
+    }
+    workload = make_workload((0, 1), (2, 3), num_queries=4, k=5, num_dims=4, seed=11,
+                             weight_range=(0.001, 1.0))
+    for query in workload:
+        reference = algorithms["SeqScan"].query(query)
+        for name, algorithm in algorithms.items():
+            assert_same_scores(algorithm.query(query), reference)
+
+
+def test_agreement_with_duplicate_heavy_data():
+    """Many duplicated points stress tie handling in every algorithm."""
+    rng = np.random.default_rng(6)
+    base = rng.random((50, 4))
+    data = np.vstack([base] * 8)  # 400 points, every one duplicated 8 times
+    algorithms = {
+        name: build_algorithm(name, data, (0, 1), (2, 3)) for name in ALL_METHODS
+    }
+    workload = make_workload((0, 1), (2, 3), num_queries=3, k=10, num_dims=4, seed=12)
+    for query in workload:
+        reference = algorithms["SeqScan"].query(query)
+        for name, algorithm in algorithms.items():
+            assert_same_scores(algorithm.query(query), reference)
+
+
+def test_agreement_with_large_k():
+    """k comparable to the dataset size must return everything, consistently."""
+    dataset = generate_dataset("uniform", 200, 4, seed=8)
+    workload = make_workload((0, 1), (2, 3), num_queries=2, k=200, num_dims=4, seed=13)
+    algorithms = {
+        name: build_algorithm(name, dataset.matrix, (0, 1), (2, 3)) for name in ALL_METHODS
+    }
+    for query in workload:
+        reference = algorithms["SeqScan"].query(query)
+        for name, algorithm in algorithms.items():
+            result = algorithm.query(query)
+            assert len(result) == 200
+            assert_same_scores(result, reference)

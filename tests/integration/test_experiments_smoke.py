@@ -1,0 +1,169 @@
+"""Smoke tests for the experiment harness at a tiny scale.
+
+These verify that every figure/table generator runs end-to-end and produces the
+expected series structure; they do not assert performance numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations, figure7, figure8, table1
+from repro.experiments.cli import EXPERIMENTS, main
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.reporting import format_series_table
+
+TINY = ExperimentConfig(scale=0.0005, num_queries=2, k=3)
+
+
+def series_methods(result):
+    return {series.method for series in result.series}
+
+
+class TestFigure7:
+    def test_dataset_size_sweep_structure(self):
+        results = figure7.dataset_size_sweep(
+            TINY, distributions=("uniform",), methods=("SeqScan", "SD-Index", "TA"), num_dims=4
+        )
+        # One timing result and one pruning-power (candidates examined) result.
+        assert len(results) == 2
+        assert series_methods(results[0]) == {"SeqScan", "SD-Index", "TA"}
+        assert "candidates" in results[1].name
+        for series in results[0].series:
+            assert len(series.x_values) == len(series.y_values) > 0
+            assert all(y >= 0 for y in series.y_values)
+        # The SD-Index must prune: it examines fewer candidates than the scan.
+        scan = results[1].series_for("SeqScan").y_values
+        sd = results[1].series_for("SD-Index").y_values
+        assert all(s < full for s, full in zip(sd, scan))
+
+    def test_dimension_sweep_structure(self):
+        results = figure7.dimension_sweep(
+            TINY, distributions=("uniform",), methods=("SeqScan", "SD-Index"),
+            dimensions=(2, 4), paper_size=50_000,
+        )
+        assert len(results) == 2
+        assert series_methods(results[0]) == {"SeqScan", "SD-Index"}
+        assert results[0].series_for("SD-Index").x_values == [2, 4]
+
+    def test_k_sweep_structure(self):
+        results = figure7.k_sweep(
+            TINY, distributions=("uniform",), methods=("SeqScan", "SD-Index"),
+            k_values=(2, 5), num_dims=4, paper_size=50_000,
+        )
+        assert results[0].series_for("SD-Index").x_values == [2, 5]
+
+    def test_attractive_sweep_structure(self):
+        results = figure7.attractive_sweep(
+            TINY, distributions=("uniform",), methods=("SeqScan", "SD-Index"),
+            attractive_counts=(0, 2), num_repulsive=2, paper_size=50_000,
+        )
+        assert results[0].series_for("SD-Index").x_values == [0, 2]
+
+
+class TestFigure8:
+    def test_update_sweep(self):
+        results = figure8.update_sweep(
+            TINY, distributions=("uniform",), paper_updates=(0, 100), num_dims=4,
+            paper_size=50_000,
+        )
+        assert {"SD-Index", "SD-Index*"} <= series_methods(results[0])
+
+    def test_insertion_sweep(self):
+        results = figure8.insertion_sweep(TINY, paper_sizes=(50_000,), num_inserts=20)
+        assert series_methods(results[0]) == {"SD-Index top1", "SD-Index topK", "BRS", "PE"}
+
+    def test_twod_size_sweep(self):
+        results = figure8.twod_size_sweep(
+            TINY, distributions=("uniform",), methods=("SeqScan", "SD-Index"),
+            paper_sizes=(100_000,),
+        )
+        assert series_methods(results[0]) == {"SeqScan", "SD-Index"}
+
+    def test_top1_size_sweep(self):
+        results = figure8.top1_size_sweep(TINY, distributions=("uniform",), paper_sizes=(100_000,))
+        methods = series_methods(results[0])
+        assert "SD-Index top1 uniform" in methods
+        assert "SeqScan" in methods
+
+    def test_twod_k_sweep(self):
+        results = figure8.twod_k_sweep(
+            TINY, distributions=("uniform",), methods=("SeqScan", "SD-Index"),
+            k_values=(2, 4), paper_size=100_000,
+        )
+        assert results[0].series_for("SD-Index").x_values == [2, 4]
+
+    def test_memory_sweep(self):
+        results = figure8.memory_sweep(TINY, paper_sizes=(50_000,))
+        methods = series_methods(results[0])
+        assert "SD-Index topK" in methods
+        assert "SD-Index top1 uniform" in methods
+        for series in results[0].series:
+            assert all(y > 0 for y in series.y_values)
+
+    def test_branching_sweep_memory_decreases(self):
+        results = figure8.branching_sweep(TINY, branching_factors=(2, 16), paper_size=50_000)
+        series = results[0].series_for("SD-Index topK")
+        assert series.y_values[0] >= series.y_values[-1]
+
+    def test_construction_sweep(self):
+        results = figure8.construction_sweep(TINY, paper_sizes=(50_000,))
+        methods = series_methods(results[0])
+        assert methods == {"SD-Index top1", "SD-Index topK", "BRS", "PE"}
+
+
+class TestTable1:
+    def test_rows_and_qualitative_pattern(self):
+        rows = table1.run_table1(TINY, k_values=(10, 50), num_molecules=20_000)
+        assert rows[0].description == "Overall Average"
+        assert [row.description for row in rows[1:]] == ["k=10", "k=50"]
+        overall = rows[0]
+        for row in rows[1:]:
+            # The paper's qualitative claims: heavier, still drug-like, much lower PSA.
+            assert row.molecular_weight > 1.5 * overall.molecular_weight
+            assert row.drug_likeness > overall.drug_likeness - 0.5
+            assert row.polar_surface_area < 0.7 * overall.polar_surface_area
+
+    def test_format_table1_mentions_paper_numbers(self):
+        rows = table1.run_table1(TINY, k_values=(10,), num_molecules=20_000)
+        text = table1.format_table1(rows)
+        assert "Overall Average" in text
+        assert "938.67" in text  # the paper's k=10 molecular weight
+
+
+class TestAblationsAndCli:
+    def test_angle_grid_ablation(self):
+        results = ablations.angle_grid(TINY, grid_sizes=(2, 3), paper_size=50_000, num_dims=4)
+        assert len(results) == 2
+
+    def test_pairing_ablation(self):
+        results = ablations.pairing(TINY, paper_size=50_000, num_dims=4)
+        assert len(results) == 1
+        assert series_methods(results[0]) == {"order", "spread", "correlation"}
+
+    def test_query_strategy_ablation(self):
+        results = ablations.query_strategy(TINY, paper_size=100_000)
+        assert series_methods(results[0]) == {"streams", "claim6"}
+
+    def test_top1_vs_topk_ablation(self):
+        results = ablations.top1_vs_topk(TINY, paper_size=100_000)
+        assert len(results) == 2
+
+    def test_cli_list_and_registry(self, capsys):
+        assert main(["list"]) == 0
+        captured = capsys.readouterr()
+        for name in ("fig7-size", "fig8-memory", "table1"):
+            assert name in captured.out
+        assert set(EXPERIMENTS) >= {"fig7-size", "fig8-construction", "table1"}
+
+    def test_cli_run_single_experiment(self, capsys):
+        exit_code = main(["run", "fig8-branching", "--scale", "0.0005", "--queries", "1"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Figure 8i" in captured.out
+
+    def test_series_table_formatting(self):
+        results = figure8.branching_sweep(TINY, branching_factors=(2, 4), paper_size=50_000)
+        text = format_series_table(results[0])
+        assert "branching_factor" in text
+        assert "SD-Index topK" in text

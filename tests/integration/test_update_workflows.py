@@ -1,0 +1,100 @@
+"""Integration tests for update workflows: indexes stay correct across mixed updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.core.query import SDQuery
+from repro.core.sdindex import SDIndex
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+from tests.conftest import assert_same_scores
+
+
+def oracle(data, rows, query):
+    matrix = np.asarray(data)
+    return SequentialScan(matrix, query.repulsive, query.attractive, row_ids=rows).query(query)
+
+
+class TestSDIndexUpdateWorkflow:
+    def test_interleaved_updates_and_queries(self):
+        rng = np.random.default_rng(21)
+        base = rng.random((300, 4))
+        index = SDIndex.build(base, repulsive=[0, 1], attractive=[2, 3])
+        live = {i: base[i] for i in range(len(base))}
+        next_row = len(base)
+        for step in range(150):
+            action = rng.random()
+            if action < 0.45 or len(live) < 20:
+                point = rng.random(4)
+                row = index.insert(point)
+                live[row] = point
+                next_row += 1
+            else:
+                victim = int(rng.choice(list(live)))
+                index.delete(victim)
+                del live[victim]
+            if step % 30 == 0:
+                rows = list(live)
+                matrix = np.array([live[r] for r in rows])
+                query = SDQuery.simple(rng.random(4), [0, 1], [2, 3], k=6,
+                                       alpha=rng.uniform(0.1, 2, 2), beta=rng.uniform(0.1, 2, 2))
+                assert_same_scores(index.query(query), oracle(matrix, rows, query))
+
+    def test_update_then_rebuild_equivalence(self):
+        rng = np.random.default_rng(22)
+        base = rng.random((200, 4))
+        index = SDIndex.build(base, repulsive=[0, 1], attractive=[2, 3])
+        extra = rng.random((40, 4))
+        for point in extra:
+            index.insert(point)
+        for victim in range(0, 40):
+            index.delete(victim)
+        remaining = np.vstack([base[40:], extra])
+        rebuilt = SDIndex.build(remaining, repulsive=[0, 1], attractive=[2, 3])
+        for _ in range(5):
+            query = SDQuery.simple(rng.random(4), [0, 1], [2, 3], k=8)
+            assert_same_scores(index.query(query), rebuilt.query(query))
+
+
+class TestTopKIndexRebuildPolicy:
+    def test_auto_rebuild_keeps_queries_correct(self):
+        rng = np.random.default_rng(23)
+        data = rng.random((400, 2))
+        index = TopKIndex(data[:, 0], data[:, 1], rebuild_threshold=0.1)
+        # Delete 30% of the points: several automatic rebuilds should trigger.
+        victims = rng.choice(400, size=120, replace=False)
+        for victim in victims:
+            index.delete(int(victim))
+        remaining_rows = [i for i in range(400) if i not in set(int(v) for v in victims)]
+        matrix = data[remaining_rows]
+        query = SDQuery.simple([0.5, 0.5], [1], [0], k=10)
+        expected = SequentialScan(matrix, [1], [0]).query(query)
+        assert_same_scores(index.query(0.5, 0.5, k=10), expected)
+
+
+class TestTop1UpdateWorkflow:
+    def test_top1_survives_bulk_churn(self):
+        rng = np.random.default_rng(24)
+        data = rng.random((250, 2))
+        index = Top1Index(data[:, 0], data[:, 1], k=1)
+        live = {i: data[i] for i in range(len(data))}
+        next_row = len(data)
+        for _ in range(400):
+            if rng.random() < 0.5 or len(live) < 5:
+                point = rng.random(2)
+                index.insert(point[0], point[1], row_id=next_row)
+                live[next_row] = point
+                next_row += 1
+            else:
+                victim = int(rng.choice(list(live)))
+                index.delete(victim)
+                del live[victim]
+        rows = list(live)
+        matrix = np.array([live[r] for r in rows])
+        for _ in range(10):
+            qx, qy = rng.random(2)
+            query = SDQuery.simple([qx, qy], [1], [0], k=1)
+            assert_same_scores(index.query(qx, qy), oracle(matrix, rows, query))

@@ -1,0 +1,93 @@
+"""Property-based checks of the paper's geometric claims (Claims 1-4 and 6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    Angle,
+    claim1_holds,
+    lower_projection_height,
+    score_2d,
+    score_from_axis,
+    upper_projection_height,
+)
+
+coordinate = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+degrees = st.floats(min_value=0.0, max_value=90.0, allow_nan=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(px=coordinate, py=coordinate, qx=coordinate, qy=coordinate, angle=degrees)
+def test_claim1_implies_non_positive_score(px, py, qx, qy, angle):
+    """Claim 1: if q lies between p's projected points the score cannot be positive."""
+    a = Angle.from_degrees(angle)
+    if claim1_holds(a, px, py, qx, qy):
+        assert score_2d(a, px, py, qx, qy) <= 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(px=coordinate, py=coordinate, qx=coordinate, qy=coordinate, angle=degrees)
+def test_claims_2_and_3_score_via_projection(px, py, qx, qy, angle):
+    """Claims 2-3: the score is always recoverable from the projection heights."""
+    a = Angle.from_degrees(angle)
+    direct = score_2d(a, px, py, qx, qy)
+    via_axis = score_from_axis(a, px, py, qx, qy)
+    assert math.isclose(direct, via_axis, abs_tol=1e-7)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    points=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=40),
+    qx=coordinate,
+    qy=coordinate,
+    k=st.integers(min_value=1, max_value=5),
+    angle=degrees,
+)
+def test_claim4_topk_within_extreme_projections(points, qx, qy, k, angle):
+    """Claim 4: the top-k lies among the k highest lower / k lowest upper projections."""
+    a = Angle.from_degrees(angle)
+    scores = [score_2d(a, px, py, qx, qy) for px, py in points]
+    order = sorted(range(len(points)), key=lambda i: -scores[i])
+    top_k = set(order[:k])
+
+    lower_heights = [lower_projection_height(a, px, py, qx) for px, py in points]
+    upper_heights = [upper_projection_height(a, px, py, qx) for px, py in points]
+    k_highest_lower = set(sorted(range(len(points)), key=lambda i: -lower_heights[i])[:k])
+    k_lowest_upper = set(sorted(range(len(points)), key=lambda i: upper_heights[i])[:k])
+    candidates = k_highest_lower | k_lowest_upper
+
+    # Score-equivalence form of Claim 4: the best k scores within the candidate set
+    # are the best k scores overall (identities may swap only between equal scores).
+    top_k_scores = sorted((scores[i] for i in top_k), reverse=True)
+    candidate_top_scores = sorted((scores[i] for i in candidates), reverse=True)[:k]
+    for expected, achieved in zip(top_k_scores, candidate_top_scores):
+        assert math.isclose(expected, achieved, abs_tol=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    dy1=coordinate, dx1=coordinate, dy2=coordinate, dx2=coordinate,
+    theta1=degrees, theta2=degrees, theta3=degrees,
+)
+def test_observation2_single_crossover(dy1, dx1, dy2, dx2, theta1, theta2, theta3):
+    """Section 4.2, observation 2: the preference between two points flips at most once.
+
+    The observation requires strictly increasing angles: with theta1 == theta2 a
+    tie at that angle satisfies both premises without forcing anything at theta3.
+    """
+    angles = sorted([theta1, theta2, theta3])
+    assume(angles[0] < angles[1] - 1e-9)
+    a1, a2, a3 = (Angle.from_degrees(d) for d in angles)
+
+    def score(angle, dy, dx):
+        return angle.cos * abs(dy) - angle.sin * abs(dx)
+
+    first_prefers_one = score(a1, dy1, dx1) >= score(a1, dy2, dx2)
+    second_prefers_two = score(a2, dy2, dx2) >= score(a2, dy1, dx1)
+    if first_prefers_one and second_prefers_two:
+        assert score(a3, dy2, dx2) >= score(a3, dy1, dx1) - 1e-9

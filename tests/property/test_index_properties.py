@@ -1,0 +1,99 @@
+"""Property-based tests: every index agrees with the exact sequential scan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SequentialScan
+from repro.core.query import SDQuery
+from repro.core.sdindex import SDIndex
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+
+coordinate = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+weight = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+point2d = st.tuples(coordinate, coordinate)
+
+
+def _scores_match(result, expected, tol=1e-6):
+    mine = sorted(result.scores, reverse=True)
+    theirs = sorted(expected.scores, reverse=True)
+    assert len(mine) == len(theirs)
+    for a, b in zip(mine, theirs):
+        assert abs(a - b) <= tol * max(1.0, abs(b))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    points=st.lists(point2d, min_size=1, max_size=50),
+    query=point2d,
+    k=st.integers(min_value=1, max_value=8),
+    alpha=weight,
+    beta=weight,
+)
+def test_topk_index_matches_oracle(points, query, k, alpha, beta):
+    data = np.array(points, dtype=float)
+    index = TopKIndex(data[:, 0], data[:, 1], branching=3, leaf_capacity=4)
+    sd_query = SDQuery.simple(list(query), repulsive=[1], attractive=[0], k=k,
+                              alpha=alpha, beta=beta)
+    expected = SequentialScan(data, [1], [0]).query(sd_query)
+    result = index.query(query[0], query[1], k=k, alpha=alpha, beta=beta)
+    _scores_match(result, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(point2d, min_size=1, max_size=40),
+    query=point2d,
+    k=st.integers(min_value=1, max_value=4),
+)
+def test_top1_index_matches_oracle(points, query, k):
+    data = np.array(points, dtype=float)
+    index = Top1Index(data[:, 0], data[:, 1], k=k)
+    sd_query = SDQuery.simple(list(query), repulsive=[1], attractive=[0], k=k)
+    expected = SequentialScan(data, [1], [0]).query(sd_query)
+    result = index.query(query[0], query[1], k=k)
+    _scores_match(result, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(st.tuples(coordinate, coordinate, coordinate, coordinate), min_size=2, max_size=40),
+    query=st.tuples(coordinate, coordinate, coordinate, coordinate),
+    k=st.integers(min_value=1, max_value=6),
+    weights=st.tuples(weight, weight, weight, weight),
+)
+def test_sdindex_matches_oracle_4d(data, query, k, weights):
+    matrix = np.array(data, dtype=float)
+    index = SDIndex.build(matrix, repulsive=[0, 1], attractive=[2, 3],
+                          branching=3, leaf_capacity=4)
+    sd_query = SDQuery.simple(list(query), repulsive=[0, 1], attractive=[2, 3], k=k,
+                              alpha=weights[:2], beta=weights[2:])
+    expected = SequentialScan(matrix, [0, 1], [2, 3]).query(sd_query)
+    _scores_match(index.query(sd_query), expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    points=st.lists(point2d, min_size=2, max_size=30, unique=True),
+    query=point2d,
+    deletions=st.data(),
+)
+def test_topk_index_consistent_under_deletions(points, query, deletions):
+    data = np.array(points, dtype=float)
+    index = TopKIndex(data[:, 0], data[:, 1], branching=3, leaf_capacity=4)
+    num_deletions = deletions.draw(st.integers(min_value=0, max_value=len(points) - 1))
+    victims = deletions.draw(
+        st.lists(st.sampled_from(range(len(points))), min_size=num_deletions,
+                 max_size=num_deletions, unique=True)
+    )
+    for victim in victims:
+        index.delete(victim)
+    remaining = np.delete(data, victims, axis=0)
+    sd_query = SDQuery.simple(list(query), repulsive=[1], attractive=[0], k=3)
+    expected = SequentialScan(remaining, [1], [0]).query(sd_query)
+    result = index.query(query[0], query[1], k=3)
+    _scores_match(result, expected)

@@ -1,0 +1,73 @@
+"""Property-based tests (hypothesis) for the isoline envelope machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Angle
+from repro.core.isoline import EnvelopeSide, build_envelope, peel_envelope_layers, tent_height, vee_height
+
+coordinate = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+point_list = st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=60)
+angle_degrees = st.floats(min_value=0.0, max_value=90.0, allow_nan=False)
+axis_value = st.floats(min_value=-150.0, max_value=150.0, allow_nan=False)
+
+
+@settings(max_examples=120, deadline=None)
+@given(points=point_list, degrees=angle_degrees, axis=axis_value)
+def test_lower_envelope_owner_is_never_beaten(points, degrees, axis):
+    """The reported owner's tent is within epsilon of the maximum tent at any axis."""
+    angle = Angle.from_degrees(degrees)
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    envelope = build_envelope(xs, ys, angle, EnvelopeSide.LOWER_PROJECTIONS)
+    owner = envelope.owner_at(axis)
+    owner_height = tent_height(angle, xs[owner], ys[owner], axis)
+    best = max(tent_height(angle, px, py, axis) for px, py in points)
+    assert owner_height >= best - 1e-7
+
+
+@settings(max_examples=120, deadline=None)
+@given(points=point_list, degrees=angle_degrees, axis=axis_value)
+def test_upper_envelope_owner_is_never_beaten(points, degrees, axis):
+    angle = Angle.from_degrees(degrees)
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    envelope = build_envelope(xs, ys, angle, EnvelopeSide.UPPER_PROJECTIONS)
+    owner = envelope.owner_at(axis)
+    owner_height = vee_height(angle, xs[owner], ys[owner], axis)
+    best = min(vee_height(angle, px, py, axis) for px, py in points)
+    assert owner_height <= best + 1e-7
+
+
+@settings(max_examples=100, deadline=None)
+@given(points=point_list, degrees=angle_degrees)
+def test_envelope_breakpoints_sorted_and_linear_size(points, degrees):
+    """Claim 5: at most one region per point, with sorted boundaries."""
+    angle = Angle.from_degrees(degrees)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    envelope = build_envelope(xs, ys, angle)
+    assert len(envelope.owners) <= len(points)
+    assert len(set(envelope.owners)) == len(envelope.owners)
+    assert envelope.breakpoints == sorted(envelope.breakpoints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_list, degrees=angle_degrees, layers=st.integers(min_value=1, max_value=5))
+def test_peeled_layers_partition_their_owners(points, degrees, layers):
+    angle = Angle.from_degrees(degrees)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    peeled = peel_envelope_layers(xs, ys, angle, layers)
+    seen = set()
+    for layer in peeled:
+        owners = set(layer.owners)
+        assert not owners & seen
+        seen |= owners
+    assert len(seen) <= len(points)

@@ -1,0 +1,79 @@
+"""Unit tests for angle grids (repro.core.angles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.angles import DEFAULT_ANGLE_DEGREES, AngleGrid
+from repro.core.geometry import Angle
+
+
+class TestConstruction:
+    def test_default_grid_matches_paper(self):
+        grid = AngleGrid.default()
+        assert grid.degrees() == pytest.approx(DEFAULT_ANGLE_DEGREES)
+        assert len(grid) == 5
+
+    def test_uniform_grid_spans_quadrant(self):
+        grid = AngleGrid.uniform(4)
+        degrees = grid.degrees()
+        assert degrees[0] == pytest.approx(0.0)
+        assert degrees[-1] == pytest.approx(90.0)
+        assert len(degrees) == 4
+
+    def test_from_degrees_sorts_and_deduplicates(self):
+        grid = AngleGrid.from_degrees([90.0, 0.0, 45.0, 45.0])
+        assert grid.degrees() == pytest.approx((0.0, 45.0, 90.0))
+
+    def test_rejects_grid_without_full_span(self):
+        with pytest.raises(ValueError):
+            AngleGrid.from_degrees([10.0, 80.0])
+
+    def test_rejects_single_angle(self):
+        with pytest.raises(ValueError):
+            AngleGrid(angles=(Angle.from_degrees(45.0),))
+
+    def test_uniform_rejects_count_below_two(self):
+        with pytest.raises(ValueError):
+            AngleGrid.uniform(1)
+
+
+class TestBracketing:
+    def test_exact_angle_returns_same_pair(self):
+        grid = AngleGrid.default()
+        lower, upper = grid.bracket(Angle.from_degrees(45.0))
+        assert lower.degrees == pytest.approx(45.0)
+        assert upper.degrees == pytest.approx(45.0)
+
+    def test_interior_angle_is_bracketed_by_neighbours(self):
+        grid = AngleGrid.default()
+        lower, upper = grid.bracket(Angle.from_degrees(30.0))
+        assert lower.degrees == pytest.approx(22.5)
+        assert upper.degrees == pytest.approx(45.0)
+
+    def test_extreme_angles(self):
+        grid = AngleGrid.default()
+        lower, upper = grid.bracket(Angle.from_degrees(0.0))
+        assert lower.degrees == pytest.approx(0.0) and upper.degrees == pytest.approx(0.0)
+        lower, upper = grid.bracket(Angle.from_degrees(90.0))
+        assert lower.degrees == pytest.approx(90.0) and upper.degrees == pytest.approx(90.0)
+
+
+class TestQueryHistory:
+    def test_history_grid_keeps_anchors(self):
+        grid = AngleGrid.from_query_history([30.0] * 50, count=4)
+        degrees = grid.degrees()
+        assert degrees[0] == pytest.approx(0.0)
+        assert degrees[-1] == pytest.approx(90.0)
+        # interior angles concentrate near the observed angle
+        assert any(abs(d - 30.0) < 1.0 for d in degrees[1:-1])
+
+    def test_history_grid_with_empty_history_is_uniform(self):
+        grid = AngleGrid.from_query_history([], count=5)
+        assert grid.degrees() == pytest.approx(AngleGrid.uniform(5).degrees())
+
+    def test_history_quantiles_spread(self):
+        history = list(range(0, 91, 1))
+        grid = AngleGrid.from_query_history(history, count=5)
+        interior = grid.degrees()[1:-1]
+        assert interior == pytest.approx((22.5, 45.0, 67.5), abs=1.0)

@@ -1,0 +1,153 @@
+"""Unit tests for the baseline algorithms (sequential scan, TA, BRS, PE)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BRSTopK,
+    ProgressiveExplorationTopK,
+    SequentialScan,
+    ThresholdAlgorithm,
+)
+from repro.core.query import SDQuery
+from tests.conftest import assert_same_scores
+
+BASELINES = [SequentialScan, ThresholdAlgorithm, BRSTopK, ProgressiveExplorationTopK]
+
+
+def make_query(point, k=5, alpha=None, beta=None):
+    return SDQuery.simple(point, repulsive=[0, 1], attractive=[2, 3], k=k, alpha=alpha, beta=beta)
+
+
+class TestSequentialScan:
+    def test_returns_k_best_scores(self, small_4d_dataset):
+        scan = SequentialScan(small_4d_dataset, [0, 1], [2, 3])
+        query = make_query([0.5] * 4, k=10)
+        result = scan.query(query)
+        assert len(result) == 10
+        assert result.scores == sorted(result.scores, reverse=True)
+        assert result.candidates_examined == len(small_4d_dataset)
+
+    def test_k_larger_than_dataset(self, rng):
+        data = rng.random((5, 4))
+        scan = SequentialScan(data, [0, 1], [2, 3])
+        assert len(scan.query(make_query([0.0] * 4, k=50))) == 5
+
+    def test_respects_row_ids(self, rng):
+        data = rng.random((20, 4))
+        scan = SequentialScan(data, [0, 1], [2, 3], row_ids=range(100, 120))
+        result = scan.query(make_query([0.0] * 4, k=3))
+        assert all(100 <= row < 120 for row in result.row_ids)
+
+    def test_rejects_role_mismatch(self, small_4d_dataset):
+        scan = SequentialScan(small_4d_dataset, [0, 1], [2, 3])
+        bad = SDQuery.simple([0.0] * 4, repulsive=[0], attractive=[1], k=1)
+        with pytest.raises(ValueError):
+            scan.query(bad)
+
+    def test_rejects_dimension_mismatch(self, small_4d_dataset):
+        scan = SequentialScan(small_4d_dataset, [0, 1], [2, 3])
+        bad = SDQuery.simple([0.0] * 5, repulsive=[0, 1], attractive=[2, 3], k=1)
+        with pytest.raises(ValueError):
+            scan.query(bad)
+
+
+@pytest.mark.parametrize("baseline_cls", [ThresholdAlgorithm, BRSTopK, ProgressiveExplorationTopK])
+class TestBaselineCorrectness:
+    def test_matches_oracle_on_random_queries(self, baseline_cls, small_4d_dataset, rng):
+        oracle = SequentialScan(small_4d_dataset, [0, 1], [2, 3])
+        algorithm = baseline_cls(small_4d_dataset, [0, 1], [2, 3])
+        for _ in range(8):
+            query = make_query(
+                rng.random(4), k=int(rng.integers(1, 12)),
+                alpha=rng.uniform(0.1, 2.0, 2), beta=rng.uniform(0.1, 2.0, 2),
+            )
+            assert_same_scores(algorithm.query(query), oracle.query(query))
+
+    def test_query_point_far_outside_data(self, baseline_cls, small_4d_dataset):
+        oracle = SequentialScan(small_4d_dataset, [0, 1], [2, 3])
+        algorithm = baseline_cls(small_4d_dataset, [0, 1], [2, 3])
+        query = make_query([10.0, -10.0, 5.0, -5.0], k=7)
+        assert_same_scores(algorithm.query(query), oracle.query(query))
+
+    def test_duplicate_points(self, baseline_cls):
+        data = np.tile(np.array([[0.1, 0.2, 0.3, 0.4]]), (20, 1))
+        oracle = SequentialScan(data, [0, 1], [2, 3])
+        algorithm = baseline_cls(data, [0, 1], [2, 3])
+        query = make_query([0.5] * 4, k=5)
+        assert_same_scores(algorithm.query(query), oracle.query(query))
+
+    def test_stats_report_memory(self, baseline_cls, small_4d_dataset):
+        algorithm = baseline_cls(small_4d_dataset, [0, 1], [2, 3])
+        stats = algorithm.stats()
+        assert stats.num_points == len(small_4d_dataset)
+        assert stats.memory_bytes > 0
+
+
+class TestThresholdAlgorithmSpecifics:
+    def test_prunes_compared_to_scan(self, rng):
+        """TA should terminate before scoring every point on easy workloads."""
+        data = rng.random((5000, 2))
+        ta = ThresholdAlgorithm(data, [0], [1])
+        query = SDQuery.simple([0.5, 0.5], repulsive=[0], attractive=[1], k=1)
+        result = ta.query(query)
+        assert result.full_evaluations < len(data)
+
+    def test_single_dimension_query(self, rng):
+        data = rng.random((200, 2))
+        ta = ThresholdAlgorithm(data, [0], [])
+        oracle = SequentialScan(data, [0], [])
+        query = SDQuery.simple([0.5, 0.5], repulsive=[0], attractive=[], k=3)
+        assert_same_scores(ta.query(query), oracle.query(query))
+
+
+class TestBRSSpecifics:
+    def test_visits_few_nodes_for_small_k(self, rng):
+        data = rng.random((5000, 2))
+        brs = BRSTopK(data, [0], [1])
+        query = SDQuery.simple([0.5, 0.5], repulsive=[0], attractive=[1], k=1)
+        result = brs.query(query)
+        assert result.nodes_visited < brs.tree.stats().num_nodes
+
+    def test_insert_and_delete_roundtrip(self, rng):
+        data = rng.random((100, 4))
+        brs = BRSTopK(data, [0, 1], [2, 3])
+        brs.insert([2.0, 2.0, 0.5, 0.5], row_id=1000)
+        query = make_query([0.0, 0.0, 0.5, 0.5], k=1)
+        assert brs.query(query).row_ids == [1000]
+        assert brs.delete(1000, [2.0, 2.0, 0.5, 0.5])
+        assert brs.query(query).row_ids != [1000]
+
+    def test_custom_node_capacity(self, rng):
+        data = rng.random((200, 2))
+        brs = BRSTopK(data, [0], [1], node_capacity=8)
+        assert brs.tree.node_capacity == 8
+
+
+class TestPESpecifics:
+    def test_budget_fallback_is_exact(self, rng):
+        """Even when PE degenerates to a scan it must stay exact."""
+        data = rng.random((800, 6))
+        pe = ProgressiveExplorationTopK(data, [0, 1, 2], [3, 4, 5])
+        oracle = SequentialScan(data, [0, 1, 2], [3, 4, 5])
+        query = SDQuery.simple(rng.random(6), repulsive=[0, 1, 2], attractive=[3, 4, 5], k=10)
+        assert_same_scores(pe.query(query), oracle.query(query))
+
+    def test_insert_updates_sorted_structures(self, rng):
+        data = rng.random((50, 4))
+        pe = ProgressiveExplorationTopK(data, [0, 1], [2, 3])
+        pe.insert([5.0, 5.0, 0.5, 0.5], row_id=999)
+        query = make_query([0.0, 0.0, 0.5, 0.5], k=1)
+        assert pe.query(query).row_ids == [999]
+
+    def test_insert_rejects_wrong_dimensionality(self, rng):
+        pe = ProgressiveExplorationTopK(rng.random((10, 4)), [0, 1], [2, 3])
+        with pytest.raises(ValueError):
+            pe.insert([1.0, 2.0], row_id=100)
+
+    def test_empty_dataset(self):
+        pe = ProgressiveExplorationTopK(np.zeros((0, 4)), [0, 1], [2, 3])
+        result = pe.query(make_query([0.0] * 4, k=3))
+        assert len(result) == 0

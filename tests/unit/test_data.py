@@ -1,0 +1,147 @@
+"""Unit tests for datasets and generators (repro.data)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.chembl import (
+    CHEMBL_COLUMNS,
+    PAPER_OVERALL_AVERAGES,
+    generate_chembl_like,
+    paper_query_molecule,
+)
+from repro.data.dataset import Dataset
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    generate_anticorrelated,
+    generate_clustered,
+    generate_correlated,
+    generate_dataset,
+    generate_uniform,
+)
+
+
+class TestDataset:
+    def test_basic_accessors(self):
+        ds = Dataset(matrix=np.arange(6.0).reshape(3, 2), columns=("a", "b"), name="t")
+        assert len(ds) == 3
+        assert ds.num_dims == 2
+        assert ds.column_index("b") == 1
+        assert ds.column("a").tolist() == [0.0, 2.0, 4.0]
+        assert ds.point(1).tolist() == [2.0, 3.0]
+
+    def test_unknown_column_raises(self):
+        ds = Dataset(matrix=np.zeros((2, 2)), columns=("a", "b"))
+        with pytest.raises(KeyError):
+            ds.column_index("missing")
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            Dataset(matrix=np.zeros((2, 2)), columns=("a", "a"))
+
+    def test_rejects_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(matrix=np.zeros((2, 3)), columns=("a", "b"))
+
+    def test_sample_and_head(self):
+        ds = Dataset(matrix=np.random.default_rng(0).random((50, 2)), columns=("a", "b"))
+        sample = ds.sample(10, seed=1)
+        assert len(sample) == 10
+        assert sample.num_dims == 2
+        head = ds.head(5)
+        assert np.allclose(head.matrix, ds.matrix[:5])
+
+    def test_sample_is_deterministic(self):
+        ds = Dataset(matrix=np.random.default_rng(0).random((50, 2)), columns=("a", "b"))
+        assert np.allclose(ds.sample(10, seed=3).matrix, ds.sample(10, seed=3).matrix)
+
+    def test_select_reorders_columns(self):
+        ds = Dataset(matrix=np.arange(6.0).reshape(2, 3), columns=("a", "b", "c"))
+        selected = ds.select(["c", "a"])
+        assert selected.columns == ("c", "a")
+        assert selected.matrix.tolist() == [[2.0, 0.0], [5.0, 3.0]]
+
+    def test_describe(self):
+        ds = Dataset(matrix=np.array([[1.0, 10.0], [3.0, 30.0]]), columns=("a", "b"))
+        summary = ds.describe()
+        assert summary["a"]["mean"] == pytest.approx(2.0)
+        assert summary["b"]["max"] == pytest.approx(30.0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_shapes_and_ranges(self, name):
+        ds = generate_dataset(name, 500, 4, seed=3)
+        assert ds.matrix.shape == (500, 4)
+        assert ds.matrix.min() >= 0.0
+        assert ds.matrix.max() <= 1.0
+        assert ds.metadata["distribution"] == name
+
+    def test_generators_are_deterministic(self):
+        a = generate_uniform(100, 3, seed=5)
+        b = generate_uniform(100, 3, seed=5)
+        assert np.allclose(a.matrix, b.matrix)
+        c = generate_uniform(100, 3, seed=6)
+        assert not np.allclose(a.matrix, c.matrix)
+
+    def test_correlated_has_positive_correlation(self):
+        ds = generate_correlated(5000, 2, seed=1)
+        correlation = np.corrcoef(ds.matrix[:, 0], ds.matrix[:, 1])[0, 1]
+        assert correlation > 0.7
+
+    def test_anticorrelated_has_negative_correlation(self):
+        ds = generate_anticorrelated(5000, 2, seed=1)
+        correlation = np.corrcoef(ds.matrix[:, 0], ds.matrix[:, 1])[0, 1]
+        assert correlation < -0.3
+
+    def test_clustered_uses_requested_cluster_count(self):
+        ds = generate_clustered(1000, 2, seed=2, num_clusters=3)
+        assert ds.metadata["num_clusters"] == 3
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dataset("zipf", 10, 2)
+
+
+class TestChemblGenerator:
+    def test_columns_and_size(self):
+        ds = generate_chembl_like(num_molecules=5000, seed=1)
+        assert ds.columns == CHEMBL_COLUMNS
+        assert len(ds) == 5000
+
+    def test_overall_averages_close_to_paper(self):
+        ds = generate_chembl_like(num_molecules=60_000, seed=1)
+        assert ds.column("drug_likeness").mean() == pytest.approx(
+            PAPER_OVERALL_AVERAGES["drug_likeness"], abs=0.8
+        )
+        assert ds.column("molecular_weight").mean() == pytest.approx(
+            PAPER_OVERALL_AVERAGES["molecular_weight"], rel=0.08
+        )
+        assert ds.column("polar_surface_area").mean() == pytest.approx(
+            PAPER_OVERALL_AVERAGES["polar_surface_area"], rel=0.12
+        )
+
+    def test_exception_population_exists(self):
+        ds = generate_chembl_like(num_molecules=30_000, seed=2)
+        mw = ds.column("molecular_weight")
+        psa = ds.column("polar_surface_area")
+        heavy = mw > 750
+        assert heavy.sum() > 50
+        # Heavy molecules have distinctly lower PSA than the rest on average.
+        assert psa[heavy].mean() < 0.6 * psa[~heavy].mean()
+
+    def test_rejects_tiny_library(self):
+        with pytest.raises(ValueError):
+            generate_chembl_like(num_molecules=10)
+
+    def test_query_molecule_matches_paper(self):
+        ds = generate_chembl_like(num_molecules=5000, seed=3)
+        query = paper_query_molecule(ds)
+        assert query[ds.column_index("drug_likeness")] == pytest.approx(11.0)
+        assert query[ds.column_index("molecular_weight")] == pytest.approx(250.0)
+
+    def test_deterministic(self):
+        a = generate_chembl_like(num_molecules=2000, seed=4)
+        b = generate_chembl_like(num_molecules=2000, seed=4)
+        assert np.allclose(a.matrix, b.matrix)

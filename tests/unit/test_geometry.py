@@ -1,0 +1,168 @@
+"""Unit tests for projection geometry (repro.core.geometry) and the paper's claims."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import (
+    Angle,
+    ProjectionKind,
+    claim1_holds,
+    lower_projection_height,
+    projected_point,
+    projection_kind,
+    score_2d,
+    score_from_axis,
+    upper_projection_height,
+)
+
+
+class TestAngle:
+    def test_from_equal_weights_is_45_degrees(self):
+        angle = Angle.from_weights(1.0, 1.0)
+        assert angle.degrees == pytest.approx(45.0)
+        assert angle.slope == pytest.approx(1.0)
+
+    def test_from_degrees_roundtrip(self):
+        for degrees in (0.0, 22.5, 45.0, 67.5, 90.0):
+            angle = Angle.from_degrees(degrees)
+            assert angle.degrees == pytest.approx(degrees)
+
+    def test_angle_is_normalized(self):
+        angle = Angle.from_weights(3.0, 4.0)
+        assert math.hypot(angle.cos, angle.sin) == pytest.approx(1.0)
+        assert angle.slope == pytest.approx(4.0 / 3.0)
+
+    def test_slope_at_90_degrees_is_infinite(self):
+        assert Angle.from_degrees(90.0).slope == math.inf
+
+    def test_rejects_out_of_range_degrees(self):
+        with pytest.raises(ValueError):
+            Angle.from_degrees(120.0)
+        with pytest.raises(ValueError):
+            Angle.from_degrees(-5.0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            Angle.from_weights(-1.0, 1.0)
+
+    def test_weight_scaling_does_not_change_angle(self):
+        a1 = Angle.from_weights(1.0, 2.0)
+        a2 = Angle.from_weights(10.0, 20.0)
+        assert a1.degrees == pytest.approx(a2.degrees)
+
+    def test_intercepts_match_definition(self):
+        angle = Angle.from_weights(1.0, 1.0)
+        x, y = 2.0, 5.0
+        assert angle.intercept_a(x, y) == pytest.approx((y + x) / math.sqrt(2))
+        assert angle.intercept_b(x, y) == pytest.approx((y - x) / math.sqrt(2))
+
+    def test_vectorized_intercepts(self):
+        angle = Angle.from_degrees(30.0)
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([1.0, 2.0, 3.0])
+        w_a, w_b = angle.intercepts(xs, ys)
+        for i in range(3):
+            assert w_a[i] == pytest.approx(angle.intercept_a(xs[i], ys[i]))
+            assert w_b[i] == pytest.approx(angle.intercept_b(xs[i], ys[i]))
+
+    def test_interpolation_coefficients_reconstruct_angle(self):
+        lower = Angle.from_degrees(22.5)
+        upper = Angle.from_degrees(67.5)
+        target = Angle.from_degrees(40.0)
+        mu_l, mu_u = target.interpolation_coefficients(lower, upper)
+        assert mu_l >= 0 and mu_u >= 0
+        assert mu_l * lower.cos + mu_u * upper.cos == pytest.approx(target.cos)
+        assert mu_l * lower.sin + mu_u * upper.sin == pytest.approx(target.sin)
+
+    def test_interpolation_rejects_unbracketed_angle(self):
+        lower = Angle.from_degrees(0.0)
+        upper = Angle.from_degrees(30.0)
+        with pytest.raises(ValueError):
+            Angle.from_degrees(60.0).interpolation_coefficients(lower, upper)
+
+
+class TestProjectionKind:
+    def test_equation6_quadrants(self):
+        # Query at the origin; Equation 6 of the paper.
+        assert projection_kind(1.0, 1.0, 0.0, 0.0) is ProjectionKind.LLP
+        assert projection_kind(-1.0, 1.0, 0.0, 0.0) is ProjectionKind.RLP
+        assert projection_kind(1.0, -1.0, 0.0, 0.0) is ProjectionKind.LUP
+        assert projection_kind(-1.0, -1.0, 0.0, 0.0) is ProjectionKind.RUP
+
+    def test_kind_properties(self):
+        assert ProjectionKind.LLP.is_lower and ProjectionKind.LLP.is_left
+        assert ProjectionKind.RLP.is_lower and not ProjectionKind.RLP.is_left
+        assert not ProjectionKind.LUP.is_lower and ProjectionKind.LUP.is_left
+        assert not ProjectionKind.RUP.is_lower and not ProjectionKind.RUP.is_left
+
+
+class TestProjectionHeights:
+    def test_heights_at_45_degrees(self):
+        angle = Angle.from_weights(1.0, 1.0)
+        # Point (3, 5), axis at x=0: geometric projected y-values are 5 -+ 3.
+        lower = lower_projection_height(angle, 3.0, 5.0, 0.0) / angle.cos
+        upper = upper_projection_height(angle, 3.0, 5.0, 0.0) / angle.cos
+        assert lower == pytest.approx(2.0)
+        assert upper == pytest.approx(8.0)
+
+    def test_projected_point_lies_on_axis(self):
+        angle = Angle.from_weights(2.0, 1.0)
+        qx, qy = 0.5, 0.5
+        px, py = 0.9, 0.8
+        x_proj, _ = projected_point(angle, px, py, qx, qy)
+        assert x_proj == qx
+
+    def test_projected_point_undefined_at_90_degrees(self):
+        angle = Angle.from_degrees(90.0)
+        with pytest.raises(ValueError):
+            projected_point(angle, 1.0, 1.0, 0.0, 0.0)
+
+
+class TestClaims:
+    """Claims 1-3 of the paper, checked on deterministic configurations."""
+
+    def test_claim1_negative_score(self):
+        angle = Angle.from_weights(1.0, 1.0)
+        # q lies between the two projected points of p: score must be <= 0.
+        px, py, qx, qy = 0.0, 0.0, 1.0, 0.5
+        assert claim1_holds(angle, px, py, qx, qy)
+        assert score_2d(angle, px, py, qx, qy) <= 0
+
+    def test_claim2_score_equals_projected_point_score(self):
+        angle = Angle.from_weights(1.0, 1.0)
+        # p does not satisfy Claim 1 (its lower projection stays above the query).
+        px, py, qx, qy = 1.0, 5.0, 0.0, 1.0
+        assert not claim1_holds(angle, px, py, qx, qy)
+        direct = score_2d(angle, px, py, qx, qy)
+        via_axis = score_from_axis(angle, px, py, qx, qy)
+        assert direct == pytest.approx(via_axis)
+
+    def test_claim3_score_from_projection_when_claim1_holds(self):
+        angle = Angle.from_weights(1.0, 1.0)
+        px, py, qx, qy = 0.0, 0.0, 2.0, 1.0
+        assert claim1_holds(angle, px, py, qx, qy)
+        assert score_2d(angle, px, py, qx, qy) == pytest.approx(
+            score_from_axis(angle, px, py, qx, qy)
+        )
+
+    @pytest.mark.parametrize("degrees", [0.0, 15.0, 45.0, 75.0, 90.0])
+    def test_score_from_axis_always_matches_direct_score(self, degrees, rng):
+        angle = Angle.from_degrees(degrees)
+        for _ in range(200):
+            px, py, qx, qy = rng.uniform(-5, 5, size=4)
+            assert score_2d(angle, px, py, qx, qy) == pytest.approx(
+                score_from_axis(angle, px, py, qx, qy), abs=1e-9
+            )
+
+    def test_normalized_score_matches_weighted_score(self, rng):
+        for _ in range(100):
+            alpha, beta = rng.uniform(0.1, 3.0, size=2)
+            angle = Angle.from_weights(alpha, beta)
+            scale = math.hypot(alpha, beta)
+            px, py, qx, qy = rng.uniform(-2, 2, size=4)
+            weighted = alpha * abs(py - qy) - beta * abs(px - qx)
+            assert scale * angle.normalized_score(px - qx, py - qy) == pytest.approx(weighted)

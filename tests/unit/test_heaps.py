@@ -1,0 +1,62 @@
+"""Unit tests for BoundedMaxHeap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.substrates.heaps import BoundedMaxHeap
+
+
+class TestBoundedMaxHeap:
+    def test_keeps_best_k(self):
+        heap = BoundedMaxHeap(3)
+        for value in [5.0, 1.0, 9.0, 3.0, 7.0]:
+            heap.push(value, f"item-{value}")
+        assert [score for score, _ in heap.items()] == [9.0, 7.0, 5.0]
+
+    def test_kth_score_is_none_until_full(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.kth_score() is None
+        heap.push(1.0, "a")
+        assert heap.kth_score() is None
+        heap.push(2.0, "b")
+        assert heap.kth_score() == 1.0
+
+    def test_would_accept(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.would_accept(0.0)
+        heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        assert heap.would_accept(1.5)
+        assert not heap.would_accept(1.0)
+        assert not heap.would_accept(0.5)
+
+    def test_push_returns_whether_retained(self):
+        heap = BoundedMaxHeap(1)
+        assert heap.push(1.0, "a")
+        assert heap.push(2.0, "b")
+        assert not heap.push(0.5, "c")
+
+    def test_items_best_first_with_stable_ties(self):
+        heap = BoundedMaxHeap(3)
+        heap.push(1.0, "first")
+        heap.push(1.0, "second")
+        heap.push(1.0, "third")
+        assert [item for _, item in heap.items()] == ["first", "second", "third"]
+
+    def test_len_and_is_full(self):
+        heap = BoundedMaxHeap(2)
+        assert len(heap) == 0 and not heap.is_full
+        heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        assert len(heap) == 2 and heap.is_full
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(0)
+
+    def test_iteration_matches_items(self):
+        heap = BoundedMaxHeap(4)
+        for value in range(10):
+            heap.push(float(value), value)
+        assert list(heap) == heap.items()

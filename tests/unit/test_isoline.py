@@ -1,0 +1,157 @@
+"""Unit tests for isoline envelopes (repro.core.isoline)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Angle
+from repro.core.isoline import (
+    Envelope,
+    EnvelopeSide,
+    build_envelope,
+    peel_envelope_layers,
+    tent_height,
+    vee_height,
+)
+
+
+def brute_force_owner(x, y, angle, axis, lower=True):
+    """Ground truth: who provides the best projection at a given axis position."""
+    heights = [
+        tent_height(angle, px, py, axis) if lower else vee_height(angle, px, py, axis)
+        for px, py in zip(x, y)
+    ]
+    if lower:
+        best = max(range(len(heights)), key=lambda i: heights[i])
+    else:
+        best = min(range(len(heights)), key=lambda i: heights[i])
+    return heights[best]
+
+
+class TestEnvelopeStructure:
+    def test_empty_envelope(self):
+        envelope = build_envelope([], [], Angle.from_weights(1, 1))
+        assert envelope.is_empty
+        assert envelope.owner_at(0.0) is None
+        assert envelope.regions() == []
+
+    def test_single_point_owns_everything(self):
+        envelope = build_envelope([0.5], [0.5], Angle.from_weights(1, 1))
+        assert len(envelope) == 1
+        for axis in (-100.0, 0.0, 0.5, 100.0):
+            assert envelope.owner_at(axis) == 0
+
+    def test_breakpoints_are_sorted(self, rng):
+        x = rng.random(200)
+        y = rng.random(200)
+        envelope = build_envelope(x, y, Angle.from_weights(1.0, 0.7))
+        breaks = envelope.breakpoints
+        assert breaks == sorted(breaks)
+
+    def test_regions_tile_the_axis(self, rng):
+        x = rng.random(100)
+        y = rng.random(100)
+        envelope = build_envelope(x, y, Angle.from_weights(1.0, 1.0))
+        regions = envelope.regions()
+        assert regions[0].left == -math.inf
+        assert regions[-1].right == math.inf
+        for left, right in zip(regions, regions[1:]):
+            assert left.right == right.left
+
+    def test_paper_figure3_example(self):
+        """Figure 3 of the paper: p2, p1, p3 own the lower-projection regions."""
+        # Reconstruct a configuration matching Figure 3's qualitative layout:
+        # p2 leftish and high, p1 middle and highest, p3 right, p4/p5 dominated.
+        x = [3.0, 1.0, 5.0, 2.0, 4.0]
+        y = [3.0, 2.5, 2.0, 1.0, 0.5]
+        envelope = build_envelope(x, y, Angle.from_weights(1, 1))
+        assert envelope.owners == [1, 0, 2]  # p2, p1, p3 in paper numbering
+        # p4 (index 3) and p5 (index 4) never provide the highest lower projection.
+        assert 3 not in envelope.owners
+        assert 4 not in envelope.owners
+
+    def test_duplicate_points_keep_single_owner(self):
+        x = [1.0, 1.0, 1.0]
+        y = [2.0, 2.0, 2.0]
+        envelope = build_envelope(x, y, Angle.from_weights(1, 1))
+        assert len(envelope) == 1
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            build_envelope([1.0, 2.0], [1.0], Angle.from_weights(1, 1))
+
+    def test_row_ids_are_respected(self):
+        envelope = build_envelope([0.0, 10.0], [5.0, 5.0], Angle.from_weights(1, 1),
+                                  row_ids=[42, 99])
+        assert set(envelope.owners) <= {42, 99}
+
+    def test_envelope_memory_accounting(self, rng):
+        envelope = build_envelope(rng.random(50), rng.random(50), Angle.from_weights(1, 1))
+        assert envelope.memory_bytes() == 8 * len(envelope.breakpoints) + 8 * len(envelope.owners)
+
+
+class TestEnvelopeCorrectness:
+    @pytest.mark.parametrize("degrees", [0.0, 20.0, 45.0, 70.0, 90.0])
+    @pytest.mark.parametrize("side", [EnvelopeSide.LOWER_PROJECTIONS, EnvelopeSide.UPPER_PROJECTIONS])
+    def test_owner_matches_brute_force(self, degrees, side, rng):
+        angle = Angle.from_degrees(degrees)
+        x = rng.random(150)
+        y = rng.random(150)
+        envelope = build_envelope(x, y, angle, side=side)
+        lower = side == EnvelopeSide.LOWER_PROJECTIONS
+        for axis in rng.uniform(-0.5, 1.5, size=40):
+            owner = envelope.owner_at(axis)
+            owner_height = (
+                tent_height(angle, x[owner], y[owner], axis)
+                if lower
+                else vee_height(angle, x[owner], y[owner], axis)
+            )
+            best_height = brute_force_owner(x, y, angle, axis, lower=lower)
+            assert owner_height == pytest.approx(best_height, abs=1e-9)
+
+    def test_flat_angle_single_region(self, rng):
+        x = rng.random(50)
+        y = rng.random(50)
+        envelope = build_envelope(x, y, Angle.from_degrees(0.0))
+        assert len(envelope) == 1
+        assert envelope.owner_at(0.3) == int(np.argmax(y))
+
+
+class TestEnvelopePeeling:
+    def test_layers_are_disjoint(self, rng):
+        x = rng.random(80)
+        y = rng.random(80)
+        layers = peel_envelope_layers(x, y, Angle.from_weights(1, 1), layers=4)
+        seen = set()
+        for layer in layers:
+            owners = set(layer.owners)
+            assert not owners & seen
+            seen |= owners
+
+    def test_peeling_stops_when_points_run_out(self):
+        layers = peel_envelope_layers([0.0, 1.0], [0.0, 1.0], Angle.from_weights(1, 1), layers=10)
+        assert 1 <= len(layers) <= 2
+        total_owners = sum(len(layer) for layer in layers)
+        assert total_owners == 2
+
+    def test_rejects_non_positive_layer_count(self):
+        with pytest.raises(ValueError):
+            peel_envelope_layers([0.0], [0.0], Angle.from_weights(1, 1), layers=0)
+
+    def test_first_layer_equals_plain_envelope(self, rng):
+        x = rng.random(60)
+        y = rng.random(60)
+        angle = Angle.from_weights(1.0, 0.5)
+        layers = peel_envelope_layers(x, y, angle, layers=3)
+        plain = build_envelope(x, y, angle)
+        assert layers[0].owners == plain.owners
+        assert layers[0].breakpoints == pytest.approx(plain.breakpoints)
+
+
+class TestEnvelopeValidation:
+    def test_breakpoint_count_must_match_owner_count(self):
+        with pytest.raises(ValueError):
+            Envelope(side=EnvelopeSide.LOWER_PROJECTIONS, owners=[1, 2], breakpoints=[])

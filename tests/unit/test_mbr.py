@@ -1,0 +1,105 @@
+"""Unit tests for minimum bounding rectangles (repro.substrates.mbr)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.substrates.mbr import MBR
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self):
+        box = MBR.from_point([1.0, 2.0])
+        assert box.area() == 0.0
+        assert box.contains_point([1.0, 2.0])
+
+    def test_from_points(self):
+        box = MBR.from_points(np.array([[0.0, 1.0], [2.0, -1.0]]))
+        assert box.lower.tolist() == [0.0, -1.0]
+        assert box.upper.tolist() == [2.0, 1.0]
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            MBR([1.0], [0.0])
+
+    def test_rejects_empty_point_set(self):
+        with pytest.raises(ValueError):
+            MBR.from_points(np.zeros((0, 2)))
+
+    def test_union_of_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBR.union_of([])
+
+
+class TestGeometry:
+    def test_area_and_margin(self):
+        box = MBR([0.0, 0.0], [2.0, 3.0])
+        assert box.area() == pytest.approx(6.0)
+        assert box.margin() == pytest.approx(5.0)
+
+    def test_union_and_enlargement(self):
+        a = MBR([0.0, 0.0], [1.0, 1.0])
+        b = MBR([2.0, 2.0], [3.0, 3.0])
+        union = a.union(b)
+        assert union.lower.tolist() == [0.0, 0.0]
+        assert union.upper.tolist() == [3.0, 3.0]
+        assert a.enlargement(b) == pytest.approx(9.0 - 1.0)
+
+    def test_intersects_and_overlap(self):
+        a = MBR([0.0, 0.0], [2.0, 2.0])
+        b = MBR([1.0, 1.0], [3.0, 3.0])
+        c = MBR([5.0, 5.0], [6.0, 6.0])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.overlap_area(c) == 0.0
+
+    def test_touching_boxes_intersect_with_zero_overlap(self):
+        a = MBR([0.0, 0.0], [1.0, 1.0])
+        b = MBR([1.0, 0.0], [2.0, 1.0])
+        assert a.intersects(b)
+        assert a.overlap_area(b) == 0.0
+
+    def test_extend_point_and_extend(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        box.extend_point([2.0, -1.0])
+        assert box.upper.tolist() == [2.0, 1.0]
+        assert box.lower.tolist() == [0.0, -1.0]
+        box.extend(MBR([-5.0, 0.0], [0.0, 5.0]))
+        assert box.lower.tolist() == [-5.0, -1.0]
+        assert box.upper.tolist() == [2.0, 5.0]
+
+    def test_center_and_copy_and_eq(self):
+        box = MBR([0.0, 0.0], [2.0, 4.0])
+        assert box.center().tolist() == [1.0, 2.0]
+        clone = box.copy()
+        assert clone == box
+        clone.extend_point([10.0, 10.0])
+        assert clone != box
+
+
+class TestQueryDistances:
+    def test_min_abs_difference_inside_is_zero(self):
+        box = MBR([0.0], [10.0])
+        assert box.min_abs_difference(0, 5.0) == 0.0
+
+    def test_min_abs_difference_outside(self):
+        box = MBR([0.0], [10.0])
+        assert box.min_abs_difference(0, -3.0) == pytest.approx(3.0)
+        assert box.min_abs_difference(0, 12.0) == pytest.approx(2.0)
+
+    def test_max_abs_difference(self):
+        box = MBR([0.0], [10.0])
+        assert box.max_abs_difference(0, 2.0) == pytest.approx(8.0)
+        assert box.max_abs_difference(0, -5.0) == pytest.approx(15.0)
+        assert box.max_abs_difference(0, 20.0) == pytest.approx(20.0)
+
+    def test_bounds_hold_for_random_points(self, rng):
+        box = MBR([0.0, 0.0], [1.0, 2.0])
+        inside = np.column_stack([rng.uniform(0, 1, 100), rng.uniform(0, 2, 100)])
+        for q in rng.uniform(-2, 4, size=(20, 2)):
+            for dim in range(2):
+                diffs = np.abs(inside[:, dim] - q[dim])
+                assert diffs.min() >= box.min_abs_difference(dim, q[dim]) - 1e-12
+                assert diffs.max() <= box.max_abs_difference(dim, q[dim]) + 1e-12

@@ -1,0 +1,95 @@
+"""Unit tests for dimension pairing (repro.core.pairing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pairing import PAIRING_STRATEGIES, DimensionPairing, pair_dimensions
+
+
+class TestOrderPairing:
+    def test_equal_cardinalities_pair_everything(self):
+        pairing = pair_dimensions([0, 1, 2], [3, 4, 5], strategy="order")
+        assert pairing.pairs == ((0, 3), (1, 4), (2, 5))
+        assert pairing.leftover_repulsive == ()
+        assert pairing.leftover_attractive == ()
+        assert pairing.num_subproblems == 3
+
+    def test_more_repulsive_than_attractive(self):
+        pairing = pair_dimensions([0, 1, 2], [3], strategy="order")
+        assert pairing.pairs == ((0, 3),)
+        assert pairing.leftover_repulsive == (1, 2)
+        assert pairing.leftover_attractive == ()
+        assert pairing.num_subproblems == 3
+
+    def test_more_attractive_than_repulsive(self):
+        pairing = pair_dimensions([5], [1, 2, 3], strategy="order")
+        assert pairing.pairs == ((5, 1),)
+        assert pairing.leftover_attractive == (2, 3)
+
+    def test_no_attractive_dimensions(self):
+        pairing = pair_dimensions([0, 1], [], strategy="order")
+        assert pairing.pairs == ()
+        assert pairing.leftover_repulsive == (0, 1)
+
+    def test_describe_mentions_every_subproblem(self):
+        pairing = pair_dimensions([0, 1], [2], strategy="order")
+        description = pairing.describe()
+        assert "pair(y=d0, x=d2)" in description
+        assert "1d-repulsive(d1)" in description
+
+
+class TestDataDrivenPairings:
+    def test_spread_pairs_widest_dimensions_together(self, rng):
+        data = np.zeros((500, 4))
+        data[:, 0] = rng.random(500) * 100.0  # widest repulsive
+        data[:, 1] = rng.random(500)
+        data[:, 2] = rng.random(500)
+        data[:, 3] = rng.random(500) * 50.0  # widest attractive
+        pairing = pair_dimensions([0, 1], [2, 3], strategy="spread", data=data)
+        assert (0, 3) in pairing.pairs
+        assert (1, 2) in pairing.pairs
+
+    def test_correlation_pairs_correlated_dimensions_together(self, rng):
+        base = rng.random(800)
+        data = np.column_stack([
+            base + rng.normal(0, 0.01, 800),        # dim 0 (repulsive), tracks base
+            rng.random(800),                          # dim 1 (repulsive), noise
+            rng.random(800),                          # dim 2 (attractive), noise
+            base + rng.normal(0, 0.01, 800),        # dim 3 (attractive), tracks base
+        ])
+        pairing = pair_dimensions([0, 1], [2, 3], strategy="correlation", data=data)
+        assert (0, 3) in pairing.pairs
+
+    def test_data_driven_strategies_require_data(self):
+        with pytest.raises(ValueError):
+            pair_dimensions([0], [1], strategy="spread")
+        with pytest.raises(ValueError):
+            pair_dimensions([0], [1], strategy="correlation")
+
+    def test_constant_column_correlation_is_handled(self):
+        data = np.ones((100, 2))
+        pairing = pair_dimensions([0], [1], strategy="correlation", data=data)
+        assert pairing.pairs == ((0, 1),)
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            pair_dimensions([0], [1], strategy="random")
+
+    def test_strategies_constant_lists_known_strategies(self):
+        assert set(PAIRING_STRATEGIES) == {"order", "spread", "correlation"}
+
+    def test_every_strategy_produces_a_complete_partition(self, rng):
+        data = rng.random((200, 6))
+        for strategy in PAIRING_STRATEGIES:
+            pairing = pair_dimensions([0, 1, 2], [3, 4, 5], strategy=strategy, data=data)
+            covered = set()
+            for r, a in pairing.pairs:
+                covered.add(r)
+                covered.add(a)
+            covered |= set(pairing.leftover_repulsive) | set(pairing.leftover_attractive)
+            assert covered == {0, 1, 2, 3, 4, 5}
+            assert len(pairing.pairs) == 3

@@ -1,0 +1,210 @@
+"""Unit tests for the projection tree (repro.core.projection_tree)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.angles import AngleGrid
+from repro.core.geometry import Angle
+from repro.core.projection_tree import ProjectionTree, StreamSpec
+
+DEFAULT_ANGLES = tuple(AngleGrid.default())
+
+
+def make_tree(data, **kwargs):
+    options = {"angles": DEFAULT_ANGLES, "branching": 4, "leaf_capacity": 8}
+    options.update(kwargs)
+    return ProjectionTree(data[:, 0], data[:, 1], **options)
+
+
+def brute_force_stream(data, spec, qx, angle):
+    """Ground truth ordering of one projection stream."""
+    right_side, use_a, maximize = StreamSpec.config(spec)
+    entries = []
+    for row, (x, y) in enumerate(data):
+        eligible = x >= qx if right_side else x <= qx
+        if not eligible:
+            continue
+        key = angle.intercept_a(x, y) if use_a else angle.intercept_b(x, y)
+        entries.append((key, row))
+    entries.sort(reverse=maximize)
+    return [key for key, _ in entries]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = ProjectionTree([], [], angles=DEFAULT_ANGLES)
+        assert len(tree) == 0
+        stream = tree.open_stream(StreamSpec.LLP, 0.5, Angle.from_weights(1, 1))
+        assert stream.exhausted()
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(ValueError):
+            ProjectionTree([0.0], [0.0], angles=DEFAULT_ANGLES, branching=1)
+
+    def test_rejects_bad_leaf_capacity(self):
+        with pytest.raises(ValueError):
+            ProjectionTree([0.0], [0.0], angles=DEFAULT_ANGLES, leaf_capacity=0)
+
+    def test_rejects_empty_angle_set(self):
+        with pytest.raises(ValueError):
+            ProjectionTree([0.0], [0.0], angles=())
+
+    def test_rejects_duplicate_row_ids(self):
+        with pytest.raises(ValueError):
+            ProjectionTree([0.0, 1.0], [0.0, 1.0], angles=DEFAULT_ANGLES, row_ids=[3, 3])
+
+    def test_height_is_logarithmic(self, rng):
+        data = rng.random((2000, 2))
+        tree = make_tree(data, branching=4, leaf_capacity=8)
+        stats = tree.stats()
+        expected_height = math.ceil(math.log(2000 / 8, 4)) + 1
+        assert stats.height <= expected_height + 1
+
+    def test_point_lookup(self, rng):
+        data = rng.random((50, 2))
+        tree = make_tree(data)
+        for row in range(50):
+            px, py = tree.point(row)
+            assert px == pytest.approx(data[row, 0])
+            assert py == pytest.approx(data[row, 1])
+        assert 3 in tree
+        assert 5000 not in tree
+
+
+class TestStreams:
+    @pytest.mark.parametrize("spec", StreamSpec.ALL)
+    @pytest.mark.parametrize("degrees", [0.0, 22.5, 37.0, 45.0, 80.0, 90.0])
+    def test_stream_order_matches_brute_force(self, rng, spec, degrees):
+        data = rng.random((300, 2))
+        tree = make_tree(data)
+        angle = Angle.from_degrees(degrees)
+        qx = float(rng.random())
+        stream = tree.open_stream(spec, qx, angle)
+        keys = [key for _, _, _, key in stream]
+        expected = brute_force_stream(data, spec, qx, angle)
+        assert len(keys) == len(expected)
+        assert keys == pytest.approx(expected)
+
+    def test_head_key_bounds_next_yield(self, rng):
+        data = rng.random((200, 2))
+        tree = make_tree(data)
+        angle = Angle.from_weights(1.0, 0.6)
+        stream = tree.open_stream(StreamSpec.LLP, 0.4, angle)
+        while not stream.exhausted():
+            head = stream.head_key()
+            _, _, _, key = next(stream)
+            assert key <= head + 1e-9
+
+    def test_streams_cover_each_point_exactly_once(self, rng):
+        data = rng.random((120, 2))
+        tree = make_tree(data)
+        angle = Angle.from_weights(1, 1)
+        qx = 0.5
+        left = [row for row, _, _, _ in tree.open_stream(StreamSpec.RLP, qx, angle)]
+        right = [row for row, _, _, _ in tree.open_stream(StreamSpec.LLP, qx, angle)]
+        assert len(set(left)) == len(left)
+        assert len(set(right)) == len(right)
+        assert set(left) | set(right) == set(range(len(data)))
+
+    def test_interpolated_bounds_are_admissible(self, rng):
+        """Bounds at a non-indexed angle must never cut off the true best key."""
+        data = rng.random((150, 2))
+        tree = make_tree(data, angles=tuple(AngleGrid.from_degrees([0, 45, 90])))
+        angle = Angle.from_degrees(30.0)
+        qx = 0.5
+        stream = tree.open_stream(StreamSpec.LLP, qx, angle)
+        keys = [key for _, _, _, key in stream]
+        expected = brute_force_stream(data, StreamSpec.LLP, qx, angle)
+        assert keys == pytest.approx(expected)
+
+
+class TestUpdates:
+    def test_insert_appears_in_streams(self, rng):
+        data = rng.random((100, 2))
+        tree = make_tree(data)
+        tree.insert(0.5, 2.0, row_id=500)  # far above everything: best LLP/RLP key
+        angle = Angle.from_weights(1, 1)
+        stream = tree.open_stream(StreamSpec.LLP, 0.2, angle)
+        first_row, _, _, _ = next(stream)
+        assert first_row == 500
+
+    def test_insert_rejects_duplicate_row(self, rng):
+        data = rng.random((20, 2))
+        tree = make_tree(data)
+        with pytest.raises(ValueError):
+            tree.insert(0.1, 0.1, row_id=5)
+
+    def test_deleted_rows_disappear_from_streams(self, rng):
+        data = rng.random((80, 2))
+        tree = make_tree(data)
+        tree.delete(7)
+        angle = Angle.from_weights(1, 1)
+        rows = [row for row, _, _, _ in tree.open_stream(StreamSpec.LLP, -1.0, angle)]
+        assert 7 not in rows
+        assert len(rows) == 79
+
+    def test_delete_unknown_row_raises(self, rng):
+        tree = make_tree(rng.random((10, 2)))
+        with pytest.raises(KeyError):
+            tree.delete(999)
+
+    def test_deleted_row_id_cannot_be_reused(self, rng):
+        tree = make_tree(rng.random((10, 2)))
+        tree.delete(3)
+        with pytest.raises(ValueError):
+            tree.insert(0.5, 0.5, row_id=3)
+
+    def test_many_inserts_trigger_splits_but_stay_correct(self, rng):
+        data = rng.random((64, 2))
+        tree = make_tree(data, leaf_capacity=4, branching=2)
+        for i in range(300):
+            x, y = rng.random(2)
+            tree.insert(x, y, row_id=1000 + i)
+        assert len(tree) == 364
+        angle = Angle.from_weights(1, 1)
+        all_points = {row: (x, y) for row, x, y in tree.iter_points()}
+        stream_rows = [row for row, _, _, _ in tree.open_stream(StreamSpec.LLP, -10.0, angle)]
+        assert set(stream_rows) == set(all_points)
+
+    def test_rebuild_resets_garbage(self, rng):
+        data = rng.random((100, 2))
+        tree = make_tree(data, rebuild_threshold=10.0)  # never auto-rebuild
+        for row in range(40):
+            tree.delete(row)
+        assert len(tree) == 60
+        tree.rebuild()
+        assert len(tree) == 60
+        angle = Angle.from_weights(1, 1)
+        rows = [row for row, _, _, _ in tree.open_stream(StreamSpec.RLP, 10.0, angle)]
+        assert len(rows) == 60
+
+    def test_needs_rebuild_after_many_deletes(self, rng):
+        data = rng.random((100, 2))
+        tree = make_tree(data, rebuild_threshold=0.2)
+        # delete() auto-rebuilds once the threshold is crossed, so garbage stays bounded
+        for row in range(50):
+            tree.delete(row)
+        assert not tree.needs_rebuild()
+        assert len(tree) == 50
+
+
+class TestStats:
+    def test_stats_shape(self, rng):
+        data = rng.random((500, 2))
+        tree = make_tree(data, branching=8, leaf_capacity=16)
+        stats = tree.stats()
+        assert stats.num_points == 500
+        assert stats.num_nodes >= stats.num_regions >= 1
+        assert stats.branching == 8
+        assert stats.num_angles == len(DEFAULT_ANGLES)
+        assert stats.memory_bytes > 0
+
+    def test_memory_grows_with_angles(self, rng):
+        data = rng.random((400, 2))
+        small = ProjectionTree(data[:, 0], data[:, 1], angles=tuple(AngleGrid.from_degrees([0, 90])))
+        large = ProjectionTree(data[:, 0], data[:, 1], angles=tuple(AngleGrid.uniform(9)))
+        assert large.stats().memory_bytes > small.stats().memory_bytes

@@ -1,0 +1,167 @@
+"""Unit tests for the query model and exact scoring (repro.core.query)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.query import (
+    DimensionRole,
+    QueryWeights,
+    SDQuery,
+    normalized_angle,
+    sd_score,
+    sd_scores,
+)
+
+
+class TestQueryWeights:
+    def test_uniform_weights(self):
+        weights = QueryWeights.uniform(2, 3)
+        assert weights.alpha == (1.0, 1.0)
+        assert weights.beta == (1.0, 1.0, 1.0)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            QueryWeights(alpha=(0.0,), beta=(1.0,))
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            QueryWeights(alpha=(1.0,), beta=(-0.5,))
+
+    def test_rejects_non_finite_weight(self):
+        with pytest.raises(ValueError):
+            QueryWeights(alpha=(math.inf,), beta=(1.0,))
+
+
+class TestSDQueryValidation:
+    def test_basic_construction(self):
+        query = SDQuery.simple([0.5, 0.5], repulsive=[0], attractive=[1], k=3)
+        assert query.k == 3
+        assert query.repulsive == (0,)
+        assert query.attractive == (1,)
+        assert query.alpha == (1.0,)
+        assert query.beta == (1.0,)
+
+    def test_rejects_dimension_used_twice(self):
+        with pytest.raises(ValueError):
+            SDQuery.simple([0.0, 0.0], repulsive=[0], attractive=[0])
+
+    def test_rejects_out_of_range_dimension(self):
+        with pytest.raises(ValueError):
+            SDQuery.simple([0.0, 0.0], repulsive=[2], attractive=[1])
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError):
+            SDQuery.simple([0.0, 0.0], repulsive=[0], attractive=[1], k=0)
+
+    def test_rejects_empty_roles(self):
+        with pytest.raises(ValueError):
+            SDQuery.simple([0.0, 0.0], repulsive=[], attractive=[])
+
+    def test_rejects_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SDQuery(
+                point=(0.0, 0.0, 0.0),
+                repulsive=(0, 1),
+                attractive=(2,),
+                k=1,
+                weights=QueryWeights(alpha=(1.0,), beta=(1.0,)),
+            )
+
+    def test_rejects_non_finite_query_point(self):
+        with pytest.raises(ValueError):
+            SDQuery.simple([float("nan"), 0.0], repulsive=[0], attractive=[1])
+
+    def test_scalar_weights_are_broadcast(self):
+        query = SDQuery.simple([0.0] * 4, repulsive=[0, 1], attractive=[2, 3], alpha=0.5, beta=2.0)
+        assert query.alpha == (0.5, 0.5)
+        assert query.beta == (2.0, 2.0)
+
+    def test_roles_and_role_of(self):
+        query = SDQuery.simple([0.0] * 3, repulsive=[0], attractive=[2])
+        assert query.role_of(0) is DimensionRole.REPULSIVE
+        assert query.role_of(2) is DimensionRole.ATTRACTIVE
+        assert query.role_of(1) is DimensionRole.IGNORED
+        assert query.roles() == {
+            0: DimensionRole.REPULSIVE,
+            2: DimensionRole.ATTRACTIVE,
+        }
+
+    def test_with_k_and_with_weights(self):
+        query = SDQuery.simple([0.0, 0.0], repulsive=[0], attractive=[1], k=2)
+        assert query.with_k(9).k == 9
+        reweighted = query.with_weights(alpha=[3.0], beta=[0.25])
+        assert reweighted.alpha == (3.0,)
+        assert reweighted.beta == (0.25,)
+        # the original is unchanged (SDQuery is immutable)
+        assert query.alpha == (1.0,)
+
+
+class TestDimensionRole:
+    def test_signs(self):
+        assert DimensionRole.REPULSIVE.sign() == 1
+        assert DimensionRole.ATTRACTIVE.sign() == -1
+        assert DimensionRole.IGNORED.sign() == 0
+
+
+class TestScoring:
+    def test_paper_example_figure1(self):
+        """The introduction's example: SDscore(p1, q1) = 3 and SDscore(p3, q2) = 2."""
+        # Phylogeny on x (attractive), habitat on y (repulsive); alpha = beta = 1.
+        q1 = SDQuery.simple([1.0, 1.0], repulsive=[1], attractive=[0], k=1)
+        p1 = [1.0, 4.0]
+        assert sd_score(p1, q1) == pytest.approx(3.0)
+        q2 = SDQuery.simple([5.0, 1.0], repulsive=[1], attractive=[0], k=1)
+        p3 = [5.0, 3.0]
+        assert sd_score(p3, q2) == pytest.approx(2.0)
+
+    def test_score_is_weighted_sum_of_absolute_differences(self):
+        query = SDQuery.simple(
+            [0.0, 0.0, 0.0], repulsive=[0, 1], attractive=[2], alpha=[2.0, 0.5], beta=[3.0]
+        )
+        point = [1.0, -4.0, 2.0]
+        assert sd_score(point, query) == pytest.approx(2.0 * 1 + 0.5 * 4 - 3.0 * 2)
+
+    def test_score_of_query_itself_is_zero_when_symmetric(self):
+        query = SDQuery.simple([0.3, 0.7], repulsive=[0], attractive=[1])
+        assert sd_score([0.3, 0.7], query) == pytest.approx(0.0)
+
+    def test_vectorized_scores_match_scalar(self, rng):
+        data = rng.random((50, 3))
+        query = SDQuery.simple(rng.random(3), repulsive=[0, 2], attractive=[1],
+                               alpha=[1.5, 0.7], beta=[2.0])
+        vectorized = sd_scores(data, query)
+        for i in range(len(data)):
+            assert vectorized[i] == pytest.approx(sd_score(data[i], query))
+
+    def test_sd_score_rejects_wrong_shape(self):
+        query = SDQuery.simple([0.0, 0.0], repulsive=[0], attractive=[1])
+        with pytest.raises(ValueError):
+            sd_score([1.0, 2.0, 3.0], query)
+
+    def test_sd_scores_rejects_wrong_shape(self):
+        query = SDQuery.simple([0.0, 0.0], repulsive=[0], attractive=[1])
+        with pytest.raises(ValueError):
+            sd_scores(np.zeros((5, 3)), query)
+
+
+class TestNormalizedAngle:
+    def test_equal_weights_is_45_degrees(self):
+        assert normalized_angle(1.0, 1.0) == pytest.approx(math.pi / 4)
+
+    def test_zero_beta_is_zero(self):
+        assert normalized_angle(2.0, 0.0) == pytest.approx(0.0)
+
+    def test_zero_alpha_is_90_degrees(self):
+        assert normalized_angle(0.0, 2.0) == pytest.approx(math.pi / 2)
+
+    def test_rejects_both_zero(self):
+        with pytest.raises(ValueError):
+            normalized_angle(0.0, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalized_angle(-1.0, 1.0)

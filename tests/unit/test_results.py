@@ -1,0 +1,64 @@
+"""Unit tests for result records (repro.core.results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import IndexStats, Match, TopKResult
+
+
+class TestMatch:
+    def test_ordering_is_best_first(self):
+        matches = [Match(row_id=1, score=0.5), Match(row_id=2, score=2.0), Match(row_id=3, score=1.0)]
+        assert [m.row_id for m in sorted(matches)] == [2, 3, 1]
+
+    def test_ties_break_on_row_id(self):
+        matches = [Match(row_id=9, score=1.0), Match(row_id=3, score=1.0)]
+        assert [m.row_id for m in sorted(matches)] == [3, 9]
+
+
+class TestTopKResult:
+    def test_matches_are_sorted_on_construction(self):
+        result = TopKResult(matches=[Match(row_id=1, score=0.1), Match(row_id=2, score=0.9)])
+        assert result.row_ids == [2, 1]
+        assert result.scores == [0.9, 0.1]
+
+    def test_same_scores_ignores_row_identity(self):
+        a = TopKResult(matches=[Match(row_id=1, score=1.0), Match(row_id=2, score=0.5)])
+        b = TopKResult(matches=[Match(row_id=7, score=0.5), Match(row_id=9, score=1.0)])
+        assert a.same_scores(b)
+
+    def test_same_scores_detects_differences(self):
+        a = TopKResult(matches=[Match(row_id=1, score=1.0)])
+        b = TopKResult(matches=[Match(row_id=1, score=0.9)])
+        assert not a.same_scores(b)
+        c = TopKResult(matches=[Match(row_id=1, score=1.0), Match(row_id=2, score=0.5)])
+        assert not a.same_scores(c)
+
+    def test_from_pairs_keeps_only_best_k(self):
+        result = TopKResult.from_pairs([(i, float(i)) for i in range(10)], k=3)
+        assert result.scores == [9.0, 8.0, 7.0]
+
+    def test_sequence_protocol(self):
+        result = TopKResult(matches=[Match(row_id=1, score=1.0), Match(row_id=2, score=2.0)])
+        assert len(result) == 2
+        assert result[0].row_id == 2
+        assert [m.row_id for m in result] == [2, 1]
+
+    def test_score_vector(self):
+        result = TopKResult(matches=[Match(row_id=1, score=1.0)])
+        assert result.score_vector().tolist() == [1.0]
+
+
+class TestIndexStats:
+    def test_memory_mb(self):
+        stats = IndexStats(name="x", num_points=10, memory_bytes=2 * 1024 * 1024)
+        assert stats.memory_mb == pytest.approx(2.0)
+
+    def test_as_dict_roundtrip(self):
+        stats = IndexStats(name="x", num_points=10, num_nodes=3, memory_bytes=100)
+        data = stats.as_dict()
+        assert data["name"] == "x"
+        assert data["num_points"] == 10
+        assert data["num_nodes"] == 3
+        assert data["memory_mb"] == pytest.approx(100 / (1024 * 1024))

@@ -1,0 +1,147 @@
+"""Unit tests for the in-memory R*-tree substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.substrates.mbr import MBR
+from repro.substrates.rstartree import RStarTree, default_node_capacity
+
+
+def check_invariants(tree: RStarTree) -> None:
+    """Structural invariants: MBR containment and entry/child counts."""
+    def recurse(node):
+        members = node.members()
+        if node.mbr is None:
+            assert not members
+            return 0
+        assert len(members) <= tree.node_capacity
+        count = 0
+        if node.is_leaf:
+            for entry in node.entries:
+                assert node.mbr.contains_point(entry.point)
+            count = len(node.entries)
+        else:
+            for child in node.children:
+                assert child.mbr is not None
+                assert node.mbr.contains_point(child.mbr.lower)
+                assert node.mbr.contains_point(child.mbr.upper)
+                assert child.level == node.level - 1
+                count += recurse(child)
+        return count
+
+    total = recurse(tree._root)
+    assert total == len(tree)
+
+
+class TestNodeCapacity:
+    def test_paper_capacities(self):
+        assert default_node_capacity(2) == 28
+        assert default_node_capacity(4) == 16
+        assert default_node_capacity(6) == 12
+        assert default_node_capacity(8) == 9
+
+    def test_interpolation_and_clamping(self):
+        assert default_node_capacity(3) in range(16, 29)
+        assert default_node_capacity(1) == 28
+        assert default_node_capacity(20) == 9
+
+
+class TestBulkLoad:
+    def test_bulk_load_contains_every_point(self, rng):
+        points = rng.random((500, 3))
+        tree = RStarTree.bulk_load(points)
+        assert len(tree) == 500
+        stored = dict(tree.iter_entries())
+        assert len(stored) == 500
+        for row in (0, 100, 499):
+            assert np.allclose(stored[row], points[row])
+        check_invariants(tree)
+
+    def test_bulk_load_empty(self):
+        tree = RStarTree.bulk_load(np.zeros((0, 2)))
+        assert len(tree) == 0
+
+    def test_bulk_load_custom_row_ids(self, rng):
+        points = rng.random((50, 2))
+        rows = list(range(1000, 1050))
+        tree = RStarTree.bulk_load(points, row_ids=rows)
+        assert set(dict(tree.iter_entries())) == set(rows)
+
+    def test_bulk_load_rejects_misaligned_rows(self, rng):
+        with pytest.raises(ValueError):
+            RStarTree.bulk_load(rng.random((10, 2)), row_ids=[1, 2, 3])
+
+
+class TestInsertDelete:
+    def test_incremental_inserts_maintain_invariants(self, rng):
+        tree = RStarTree(num_dims=2, node_capacity=8)
+        points = rng.random((300, 2))
+        for i, point in enumerate(points):
+            tree.insert(point, row_id=i)
+        assert len(tree) == 300
+        check_invariants(tree)
+
+    def test_insert_rejects_wrong_dimensionality(self):
+        tree = RStarTree(num_dims=2)
+        with pytest.raises(ValueError):
+            tree.insert([1.0, 2.0, 3.0], row_id=0)
+
+    def test_delete_removes_point(self, rng):
+        points = rng.random((200, 2))
+        tree = RStarTree.bulk_load(points, node_capacity=8)
+        assert tree.delete(17, points[17])
+        assert len(tree) == 199
+        assert 17 not in dict(tree.iter_entries())
+        check_invariants(tree)
+
+    def test_delete_missing_point_returns_false(self, rng):
+        points = rng.random((20, 2))
+        tree = RStarTree.bulk_load(points)
+        assert not tree.delete(999, [0.5, 0.5])
+
+    def test_many_deletes_keep_remaining_points(self, rng):
+        points = rng.random((150, 2))
+        tree = RStarTree.bulk_load(points, node_capacity=8)
+        for row in range(0, 100):
+            assert tree.delete(row, points[row])
+        remaining = set(dict(tree.iter_entries()))
+        assert remaining == set(range(100, 150))
+        check_invariants(tree)
+
+
+class TestQueries:
+    def test_range_query_matches_linear_scan(self, rng):
+        points = rng.random((400, 2))
+        tree = RStarTree.bulk_load(points, node_capacity=10)
+        box = MBR([0.2, 0.3], [0.6, 0.9])
+        found = {row for row, _ in tree.range_query(box)}
+        expected = {
+            i for i, p in enumerate(points)
+            if 0.2 <= p[0] <= 0.6 and 0.3 <= p[1] <= 0.9
+        }
+        assert found == expected
+
+    def test_best_first_orders_by_score(self, rng):
+        points = rng.random((200, 2))
+        tree = RStarTree.bulk_load(points, node_capacity=8)
+        query = np.array([0.5, 0.5])
+
+        def point_score(p):
+            return -float(np.abs(p - query).sum())
+
+        def node_bound(box):
+            return -sum(box.min_abs_difference(d, query[d]) for d in range(2))
+
+        scores = [score for _, _, score, _ in tree.best_first(node_bound, point_score)]
+        assert len(scores) == 200
+        assert scores == sorted(scores, reverse=True)
+
+    def test_stats(self, rng):
+        tree = RStarTree.bulk_load(rng.random((300, 4)))
+        stats = tree.stats()
+        assert stats.num_points == 300
+        assert stats.num_nodes >= 1
+        assert stats.height >= 1
+        assert stats.memory_bytes > 0

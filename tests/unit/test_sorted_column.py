@@ -1,0 +1,122 @@
+"""Unit tests for SortedColumn and the bidirectional explorers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.substrates.bidirectional import FarthestFirstExplorer, NearestFirstExplorer
+from repro.substrates.sorted_column import SortedColumn
+
+
+class TestSortedColumn:
+    def test_values_are_sorted_and_rows_tracked(self):
+        column = SortedColumn([3.0, 1.0, 2.0], row_ids=[10, 11, 12])
+        assert column.values.tolist() == [1.0, 2.0, 3.0]
+        assert column.row_ids.tolist() == [11, 12, 10]
+        assert column.entry(0) == (11, 1.0)
+
+    def test_iteration_yields_row_value_pairs(self):
+        column = SortedColumn([2.0, 1.0])
+        assert list(column) == [(1, 1.0), (0, 2.0)]
+
+    def test_rank_of(self):
+        column = SortedColumn([1.0, 2.0, 2.0, 3.0])
+        assert column.rank_of(0.5) == 0
+        assert column.rank_of(2.0) == 1
+        assert column.rank_of(10.0) == 4
+
+    def test_min_max_and_distances(self):
+        column = SortedColumn([1.0, 5.0, 9.0])
+        assert column.min() == 1.0
+        assert column.max() == 9.0
+        assert column.farthest_distance(2.0) == pytest.approx(7.0)
+        assert column.nearest_distance(2.0) == pytest.approx(1.0)
+        assert column.nearest_distance(5.0) == pytest.approx(0.0)
+
+    def test_empty_column_behaviour(self):
+        column = SortedColumn([])
+        assert len(column) == 0
+        assert column.farthest_distance(1.0) == 0.0
+        assert column.nearest_distance(1.0) == 0.0
+        with pytest.raises(ValueError):
+            column.min()
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            SortedColumn(np.zeros((3, 2)))
+
+    def test_rejects_misaligned_row_ids(self):
+        with pytest.raises(ValueError):
+            SortedColumn([1.0, 2.0], row_ids=[1])
+
+    def test_views_are_read_only(self):
+        column = SortedColumn([1.0, 2.0])
+        with pytest.raises(ValueError):
+            column.values[0] = 5.0
+
+    def test_memory_accounting(self):
+        column = SortedColumn([1.0, 2.0, 3.0])
+        assert column.memory_bytes() == 48
+
+
+class TestNearestFirstExplorer:
+    def test_orders_by_distance_to_query(self):
+        column = SortedColumn([0.0, 1.0, 2.0, 5.0, 9.0])
+        explorer = NearestFirstExplorer(column, query_value=2.2)
+        distances = [d for _, d in explorer]
+        assert distances == sorted(distances)
+        assert len(distances) == 5
+
+    def test_head_distance_matches_next(self):
+        column = SortedColumn([0.0, 4.0, 10.0])
+        explorer = NearestFirstExplorer(column, query_value=3.0)
+        while True:
+            head = explorer.head_distance()
+            if head is None:
+                break
+            _, distance = next(explorer)
+            assert distance == pytest.approx(head)
+
+    def test_exhaustion(self):
+        explorer = NearestFirstExplorer(SortedColumn([1.0]), query_value=0.0)
+        next(explorer)
+        with pytest.raises(StopIteration):
+            next(explorer)
+        assert explorer.head_distance() is None
+
+    def test_query_outside_range(self):
+        column = SortedColumn([1.0, 2.0, 3.0])
+        rows = [row for row, _ in NearestFirstExplorer(column, query_value=100.0)]
+        assert rows == [2, 1, 0]
+
+
+class TestFarthestFirstExplorer:
+    def test_orders_by_decreasing_distance(self):
+        column = SortedColumn([0.0, 1.0, 2.0, 5.0, 9.0])
+        explorer = FarthestFirstExplorer(column, query_value=2.2)
+        distances = [d for _, d in explorer]
+        assert distances == sorted(distances, reverse=True)
+        assert len(distances) == 5
+
+    def test_head_distance_matches_next(self):
+        column = SortedColumn([0.0, 4.0, 10.0, -3.0])
+        explorer = FarthestFirstExplorer(column, query_value=3.0)
+        while True:
+            head = explorer.head_distance()
+            if head is None:
+                break
+            _, distance = next(explorer)
+            assert distance == pytest.approx(head)
+
+    def test_single_element(self):
+        explorer = FarthestFirstExplorer(SortedColumn([5.0]), query_value=1.0)
+        assert next(explorer) == (0, 4.0)
+        with pytest.raises(StopIteration):
+            next(explorer)
+
+    def test_empty_column(self):
+        explorer = FarthestFirstExplorer(SortedColumn([]), query_value=1.0)
+        assert explorer.head_distance() is None
+        with pytest.raises(StopIteration):
+            next(explorer)

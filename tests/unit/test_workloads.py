@@ -1,0 +1,114 @@
+"""Unit tests for workload generation, the algorithm registry and the timing runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.workloads.registry import ALGORITHM_BUILDERS, DEFAULT_METHODS, build_algorithm
+from repro.workloads.reporting import format_series_table, format_table
+from repro.workloads.runner import ExperimentResult, MeasuredSeries, time_queries
+from repro.workloads.workload import make_workload
+
+
+class TestWorkloads:
+    def test_workload_size_and_roles(self):
+        workload = make_workload([0, 1], [2], num_queries=7, k=3)
+        assert len(workload) == 7
+        for query in workload:
+            assert query.k == 3
+            assert query.repulsive == (0, 1)
+            assert query.attractive == (2,)
+            assert query.num_dims == 3
+
+    def test_workload_is_deterministic(self):
+        a = make_workload([0], [1], num_queries=5, seed=3)
+        b = make_workload([0], [1], num_queries=5, seed=3)
+        assert [q.point for q in a] == [q.point for q in b]
+
+    def test_random_weights_within_range(self):
+        workload = make_workload([0], [1], num_queries=20, weight_range=(0.2, 0.9))
+        for query in workload:
+            assert 0.2 <= query.alpha[0] <= 0.9
+            assert 0.2 <= query.beta[0] <= 0.9
+
+    def test_unit_weights_option(self):
+        workload = make_workload([0], [1], num_queries=3, random_weights=False)
+        assert all(q.alpha == (1.0,) and q.beta == (1.0,) for q in workload)
+
+    def test_with_k(self):
+        workload = make_workload([0], [1], num_queries=3, k=2).with_k(9)
+        assert all(q.k == 9 for q in workload)
+
+    def test_explicit_num_dims(self):
+        workload = make_workload([0], [1], num_queries=2, num_dims=6)
+        assert all(q.num_dims == 6 for q in workload)
+
+
+class TestRegistry:
+    def test_default_methods_are_registered(self):
+        for name in DEFAULT_METHODS + ("PE",):
+            assert name in ALGORITHM_BUILDERS
+
+    def test_build_each_algorithm(self, rng):
+        data = rng.random((100, 4))
+        for name in ALGORITHM_BUILDERS:
+            algorithm = build_algorithm(name, data, [0, 1], [2, 3])
+            workload = make_workload([0, 1], [2, 3], num_queries=2, k=3)
+            for query in workload:
+                assert len(algorithm.query(query)) == 3
+
+    def test_unknown_algorithm_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_algorithm("Oracle", rng.random((10, 2)), [0], [1])
+
+    def test_sd_index_options_forwarded(self, rng):
+        data = rng.random((100, 4))
+        index = build_algorithm("SD-Index", data, [0, 1], [2, 3], angles=[0, 45, 90], branching=4)
+        assert index.stats().num_angles == 3
+
+
+class TestRunnerAndReporting:
+    def test_time_queries_summary(self, rng):
+        data = rng.random((200, 2))
+        scan = SequentialScan(data, [0], [1])
+        workload = make_workload([0], [1], num_queries=4, k=2)
+        summary = time_queries(scan, workload, repeat=2)
+        assert summary.num_queries == 8
+        assert summary.total_seconds >= 0
+        assert summary.mean_candidates == 200
+        assert summary.mean_milliseconds == pytest.approx(summary.mean_seconds * 1000)
+
+    def test_collect_results(self, rng):
+        data = rng.random((50, 2))
+        scan = SequentialScan(data, [0], [1])
+        workload = make_workload([0], [1], num_queries=3, k=2)
+        summary = time_queries(scan, workload, collect_results=True)
+        assert len(summary.results) == 3
+
+    def test_experiment_result_series(self):
+        result = ExperimentResult(name="demo", x_label="n", y_label="ms")
+        result.series_for("A").add(1, 10.0)
+        result.series_for("A").add(2, 20.0)
+        result.series_for("B").add(1, 5.0)
+        assert len(result.series) == 2
+        assert result.series_for("A").y_values == [10.0, 20.0]
+        as_dict = result.as_dict()
+        assert as_dict["name"] == "demo"
+        assert len(as_dict["series"]) == 2
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series_table_includes_every_method(self):
+        result = ExperimentResult(name="demo", x_label="n", y_label="ms")
+        result.series_for("A").add(1, 10.0)
+        result.series_for("B").add(2, 5.0)
+        text = format_series_table(result)
+        assert "A" in text and "B" in text
+        assert "-" in text  # missing measurements rendered as dashes
