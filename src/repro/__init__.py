@@ -14,9 +14,10 @@ The primary entry points are:
 """
 
 from repro.core.angles import AngleGrid
+from repro.core.batch import BatchQuerySpec, QuerySession
 from repro.core.geometry import Angle
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
-from repro.core.results import IndexStats, Match, TopKResult
+from repro.core.results import BatchResult, IndexStats, Match, TopKResult
 from repro.core.sdindex import SDIndex
 from repro.core.top1 import Top1Index
 from repro.core.topk import TopKIndex
@@ -33,6 +34,9 @@ __all__ = [
     "sd_scores",
     "Match",
     "TopKResult",
+    "BatchResult",
+    "BatchQuerySpec",
+    "QuerySession",
     "IndexStats",
     "SDIndex",
     "Top1Index",

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.baselines.base import TopKAlgorithm
 from repro.core.query import SDQuery, make_fast_scorer, sd_scores
-from repro.core.results import Match, TopKResult
+from repro.core.results import BatchResult, Match, TopKResult
 from repro.substrates.heaps import BoundedMaxHeap
 
 __all__ = ["SequentialScan", "PurePythonScan"]
@@ -28,6 +28,62 @@ class SequentialScan(TopKAlgorithm):
     """Score every point with the vectorized exact scorer and keep the best ``k``."""
 
     name = "SeqScan"
+
+    def batch_query(self, queries, k=None, alpha=None, beta=None) -> BatchResult:
+        """Vectorized batch scan: the correctness oracle for batched indexes.
+
+        Scores every point against every query in one term-ordered kernel (the
+        same floating-point order as :func:`repro.core.query.make_fast_scorer`,
+        so scores are bit-identical to the index paths) and selects each top-k
+        with the deterministic ``(-score, row_id)`` tie-break.  Accepts the
+        same inputs as :meth:`repro.core.sdindex.SDIndex.batch_query`.
+        """
+        from repro.core.batch import BatchQuerySpec, select_topk
+
+        spec = BatchQuerySpec.coerce(
+            self.repulsive,
+            self.attractive,
+            self.data.shape[1],
+            queries,
+            k=k,
+            alpha=alpha,
+            beta=beta,
+        )
+        m = len(spec)
+        n = len(self.data)
+        results = [None] * m
+        # One kernel per term-order signature (normally a single group), so
+        # queries that declared their roles in a non-index order still score
+        # in their own floating-point term order.
+        for (rep_order, att_order), members in spec.order_groups().items():
+            scores = np.zeros((len(members), n))
+            for dim in rep_order:
+                weight = spec.alpha[members, spec.repulsive.index(dim)]
+                scores += weight[:, None] * np.abs(
+                    self.data[:, dim][None, :] - spec.points[members, dim][:, None]
+                )
+            for dim in att_order:
+                weight = spec.beta[members, spec.attractive.index(dim)]
+                scores -= weight[:, None] * np.abs(
+                    self.data[:, dim][None, :] - spec.points[members, dim][:, None]
+                )
+            for row, j in enumerate(members):
+                top = select_topk(scores[row], self.row_ids, int(min(spec.ks[j], n)))
+                matches = [
+                    Match(
+                        row_id=int(self.row_ids[position]),
+                        score=float(scores[row, position]),
+                        point=tuple(self.data[position]),
+                    )
+                    for position in top
+                ]
+                results[j] = TopKResult(
+                    matches=matches,
+                    candidates_examined=n,
+                    full_evaluations=n,
+                    algorithm=f"{self.name}/batch",
+                )
+        return BatchResult(results=results, algorithm=f"{self.name}/batch")
 
     def query(self, query: SDQuery) -> TopKResult:
         self.check_query(query)

@@ -136,10 +136,16 @@ class SubproblemAggregator:
             dim: SortedColumn(matrix[:, dim], row_ids=rows) for dim in self._column_dims
         }
         self._columns_dirty = False
+        self._mutations = 0
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
         return len(self._base_rows) + len(self._extra_points) - len(self._deleted)
+
+    @property
+    def mutations(self) -> int:
+        """Monotone update counter; batch query sessions use it to detect staleness."""
+        return self._mutations
 
     def point(self, row_id: int) -> np.ndarray:
         """Random access to a live point's full coordinate vector."""
@@ -177,6 +183,7 @@ class SubproblemAggregator:
             index.insert(vector[att_dim], vector[rep_dim], row_id)
         if self._column_dims:
             self._columns_dirty = True
+        self._mutations += 1
         return row_id
 
     def delete(self, row_id: int) -> None:
@@ -191,6 +198,7 @@ class SubproblemAggregator:
             index.delete(row_id)
         if self._column_dims:
             self._columns_dirty = True
+        self._mutations += 1
 
     def _refresh_columns(self) -> None:
         rows = list(self._live_rows())
@@ -283,6 +291,31 @@ class SubproblemAggregator:
             nodes_visited=0,
             algorithm="sd-index",
         )
+
+    # ------------------------------------------------------------- batch querying
+    def session(self, seed_pool: Optional[int] = None):
+        """Open a shared-traversal batch query session over the current point set.
+
+        The session snapshots the live points, flattens every 2D projection
+        tree once and can answer any number of batches until the next update
+        (see :class:`repro.core.batch.QuerySession`).
+        """
+        from repro.core.batch import QuerySession
+
+        if seed_pool is None:
+            return QuerySession(self)
+        return QuerySession(self, seed_pool=seed_pool)
+
+    def batch_query(self, queries, k=None, alpha=None, beta=None):
+        """Answer a batch of SD-Queries with the vectorized execution engine.
+
+        Accepts an ``(m, num_dims)`` array of query points plus ``k`` (scalar
+        or per-query vector) and weights (scalar, per-dimension vector, or
+        per-query ``(m, dims)`` matrix), a sequence of :class:`SDQuery`
+        objects whose roles match this aggregator, or a batch workload.
+        Returns a :class:`repro.core.results.BatchResult` in query order.
+        """
+        return self.session().run(queries, k=k, alpha=alpha, beta=beta)
 
     # ------------------------------------------------------------------ stats
     def stats(self):

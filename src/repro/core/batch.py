@@ -1,0 +1,1077 @@
+"""Vectorized batch query execution with shared-traversal query sessions.
+
+Answering SD-Queries one at a time pays the full Python dispatch cost of the
+threshold aggregation per query: every projection-stream pull is an interpreter
+heap operation and every candidate row is scored individually.  When a service
+answers many queries at once (the batch-serving workload), most of that work is
+redundant — queries share the index structures, the angle grid and, for queries
+with similar weight vectors, even the useful part of the tree traversal.  This
+module amortizes it:
+
+* **Shared traversal.**  Each 2D projection tree is flattened once per
+  :class:`QuerySession` into leaf-aligned numpy arrays (live rows, coordinates
+  and the per-angle intercept bounds the tree nodes store).  Queries whose
+  projection angle falls in the same bracket of the angle grid form an *angular
+  partition*; the bound resolution onto the bracketing indexed angles (the
+  linear interpolation of :class:`repro.core.projection_tree._BoundResolver`)
+  is evaluated for a whole partition in one kernel.
+* **Vectorized kernels.**  Query angles, per-leaf score bounds, sorted-column
+  probes (nearest/farthest distances and candidate ranges via
+  ``np.searchsorted``) and exact candidate scoring each run as single numpy
+  operations over all queries, or all candidates of one query, instead of
+  per-row Python.
+* **Filter-and-verify exactness.**  A seeded sample of the dataset gives every
+  query ``j`` a lower bound ``L_j`` on its k-th best score.  A point can only
+  enter the answer of query ``j`` if the admissible upper bound of its leaf in
+  the enumeration subproblem, plus the maximum possible contribution of every
+  other subproblem, reaches ``L_j`` — all other leaves are pruned without being
+  read.  Survivors are scored with the exact Equation 3 kernel (same
+  floating-point term order as :func:`repro.core.query.make_fast_scorer`, so
+  scores are bit-identical to the sequential path) and the top ``k`` are
+  selected with the deterministic ``(-score, row_id)`` tie-break.
+
+Exactness note: the single-query threshold algorithm resolves an exact score
+tie *at the k-th boundary* in favor of whichever row its traversal surfaced
+first; the batch engine resolves the same tie by the smaller row id.  For every
+query whose k-th and (k+1)-th best scores differ — in particular any workload
+on continuous random data — the two paths return identical row ids and
+bit-identical scores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.geometry import Angle
+from repro.core.query import SDQuery
+from repro.core.results import BatchResult, Match, TopKResult
+
+__all__ = ["BatchQuerySpec", "QuerySession"]
+
+# Bounds are stored per angle as (max w_a, min w_a, max w_b, min w_b); keep the
+# same order as repro.core.projection_tree.
+_MAX_A, _MIN_A, _MAX_B, _MIN_B = range(4)
+
+#: Matches the exact-angle tolerance of ``_BoundResolver``.
+_ANGLE_TOLERANCE = 1e-12
+
+#: Matches the component snap tolerance of :class:`repro.core.geometry.Angle`.
+_SNAP_TOLERANCE = 1e-12
+
+#: Default number of sampled rows used to seed the per-query pruning bound.
+_SEED_POOL = 1024
+
+#: Relative slack subtracted from the pruning bound so float rounding in the
+#: bound interpolation can never drop a boundary candidate.  Pruning with a
+#: slightly lower bound only admits extra candidates; exactness is unaffected.
+_PRUNE_SLACK = 1e-9
+
+#: Additional slack per unit of ``weight * coordinate magnitude``.  The bound
+#: arithmetic subtracts intercepts of that magnitude, so its rounding error is
+#: a few ulps of it — e.g. ~2e-6 absolute at coordinates around 1e10 — which a
+#: purely score-relative slack would miss.  A few hundred ulps of headroom
+#: keeps pruning admissible at any magnitude while staying far too small to
+#: hurt pruning power.
+_MAGNITUDE_SLACK = 1e-12
+
+
+def _prune_bound(
+    kth_lower_bound: np.ndarray,
+    weight_scale: np.ndarray,
+    magnitude: float,
+) -> np.ndarray:
+    """The pruning threshold: the seeded k-th best score minus float slack.
+
+    ``weight_scale`` is each query's total weight mass and ``magnitude`` the
+    largest absolute coordinate involved; their product bounds the scale of
+    the intercept arithmetic whose rounding the slack must absorb.
+    """
+    finite = np.where(np.isfinite(kth_lower_bound), kth_lower_bound, 0.0)
+    slack = _PRUNE_SLACK * (1.0 + np.abs(finite))
+    slack = slack + _MAGNITUDE_SLACK * weight_scale * magnitude
+    return kth_lower_bound - slack
+
+
+def _seeded_threshold(
+    score_sample,
+    ks_eff: np.ndarray,
+    n_live: int,
+    seed_pool: int,
+    weight_scale: np.ndarray,
+    magnitude: float,
+) -> np.ndarray:
+    """Per-query pruning thresholds from an evenly spaced seed sample.
+
+    ``score_sample(positions)`` must return the ``(m, pool)`` exact scores of
+    the sampled positions.  Each query's k-th best seed score is a lower bound
+    on its true k-th best, loosened by :func:`_prune_bound`'s float slack so
+    pruning stays admissible.  Shared by :meth:`QuerySession.run` and
+    :func:`batch_topk_2d` so the two engines can never drift apart here.
+    """
+    sample = np.unique(
+        np.linspace(0, n_live - 1, min(n_live, seed_pool)).astype(np.int64)
+    )
+    seed_scores = score_sample(sample)
+    pool = len(sample)
+    kth_lower = np.full(len(ks_eff), -math.inf)
+    for j in range(len(ks_eff)):
+        k_j = int(ks_eff[j])
+        if pool >= k_j:
+            kth_lower[j] = np.partition(seed_scores[j], pool - k_j)[pool - k_j]
+    return _prune_bound(kth_lower, weight_scale, magnitude)
+
+
+def select_topk(scores: np.ndarray, rows: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` best entries by ``(-score, row_id)``.
+
+    Keeps every tie of the k-th score in play before the final deterministic
+    sort, so the selection never depends on ``argpartition``'s arbitrary
+    ordering of equal keys.
+    """
+    count = len(scores)
+    k = min(k, count)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    negated = -scores
+    if count > k:
+        kth_value = np.partition(negated, k - 1)[k - 1]
+        keep = np.flatnonzero(negated <= kth_value)
+        order = np.lexsort((rows[keep], negated[keep]))
+        return keep[order[:k]]
+    order = np.lexsort((rows, negated))
+    return order[:k]
+
+
+def _coerce_ks(k, num_queries: int) -> np.ndarray:
+    """Normalize ``k`` to a validated per-query ``(m,)`` vector of ints >= 1."""
+    ks = np.asarray(k, dtype=np.int64)
+    if ks.ndim == 0:
+        ks = np.full(num_queries, int(ks), dtype=np.int64)
+    elif ks.shape != (num_queries,):
+        raise ValueError(f"k must be a scalar or an (m,) vector, got shape {ks.shape}")
+    if np.any(ks < 1):
+        raise ValueError("every k must be >= 1")
+    return ks
+
+
+def coerce_point_batch(qx, qy, k) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize ``(qx, qy, k)`` for the 2D batch entry points.
+
+    Shared by :func:`batch_topk_2d` and ``Top1Index.batch_query`` so the two
+    front doors validate identically.  Returns 1-d ``qx``/``qy`` arrays and a
+    per-query ``ks`` vector (``k`` scalars broadcast; every k must be >= 1).
+    """
+    qx = np.atleast_1d(np.asarray(qx, dtype=float))
+    qy = np.atleast_1d(np.asarray(qy, dtype=float))
+    if qx.shape != qy.shape or qx.ndim != 1:
+        raise ValueError("qx and qy must be 1-d arrays of equal length")
+    return qx, qy, _coerce_ks(k, len(qx))
+
+
+def _normalized_components(
+    alpha: np.ndarray, beta: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized ``Angle.from_weights``: ``(cos, sin, scale)`` with snapping."""
+    scale = np.hypot(alpha, beta)
+    cos = alpha / scale
+    sin = beta / scale
+    snap_cos = np.abs(cos) < _SNAP_TOLERANCE
+    snap_sin = np.abs(sin) < _SNAP_TOLERANCE
+    cos = np.where(snap_cos, 0.0, np.where(snap_sin, 1.0, cos))
+    sin = np.where(snap_cos, 1.0, np.where(snap_sin, 0.0, sin))
+    return cos, sin, scale
+
+
+# --------------------------------------------------------------------- queries
+def _weight_matrix(
+    values, num_queries: int, width: int, name: str
+) -> np.ndarray:
+    """Normalize a weight argument to a positive ``(m, width)`` float matrix."""
+    if values is None:
+        return np.ones((num_queries, width), dtype=float)
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 0:
+        array = np.full((num_queries, width), float(array))
+    elif array.ndim == 1:
+        if array.shape[0] != width:
+            raise ValueError(
+                f"{name} must have {width} entries per query, got {array.shape[0]}"
+            )
+        array = np.broadcast_to(array, (num_queries, width)).copy()
+    elif array.ndim == 2:
+        if array.shape != (num_queries, width):
+            raise ValueError(
+                f"{name} must have shape ({num_queries}, {width}), got {array.shape}"
+            )
+    else:
+        raise ValueError(f"{name} must be a scalar, vector or (m, {width}) matrix")
+    if not np.all(np.isfinite(array)) or np.any(array <= 0.0):
+        raise ValueError(f"{name} weights must be finite and > 0")
+    return array
+
+
+def _reorder_columns(
+    weights: np.ndarray, from_dims: Sequence[int], to_dims: Sequence[int]
+) -> np.ndarray:
+    """Reorder per-dimension weight columns from one dimension order to another."""
+    if tuple(from_dims) == tuple(to_dims):
+        return weights
+    column_of = {dim: i for i, dim in enumerate(from_dims)}
+    return weights[:, [column_of[dim] for dim in to_dims]]
+
+
+@dataclass
+class BatchQuerySpec:
+    """A normalized batch of SD-Queries sharing one set of dimension roles.
+
+    ``alpha``/``beta`` columns follow the order of ``repulsive``/``attractive``
+    exactly, which is also the floating-point term order of the scoring kernel.
+    """
+
+    points: np.ndarray  # (m, d)
+    ks: np.ndarray  # (m,)
+    alpha: np.ndarray  # (m, |repulsive|)
+    beta: np.ndarray  # (m, |attractive|)
+    repulsive: Tuple[int, ...]
+    attractive: Tuple[int, ...]
+    #: Per-query (repulsive, attractive) dimension orders when queries declared
+    #: their roles in a different order than the index; None means every query
+    #: uses the index order.  Exact scoring accumulates terms in each query's
+    #: own order so batch scores stay bit-identical to the sequential path.
+    orders: Optional[List[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def term_order(self, j: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """The (repulsive, attractive) term order of query ``j``."""
+        if self.orders is None:
+            return self.repulsive, self.attractive
+        return self.orders[j]
+
+    def order_groups(self) -> Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], np.ndarray]:
+        """Query indices grouped by term-order signature (usually one group)."""
+        if self.orders is None:
+            return {
+                (self.repulsive, self.attractive): np.arange(len(self), dtype=np.int64)
+            }
+        grouped: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], List[int]] = {}
+        for j, order in enumerate(self.orders):
+            grouped.setdefault(order, []).append(j)
+        return {
+            order: np.asarray(members, dtype=np.int64)
+            for order, members in grouped.items()
+        }
+
+    @classmethod
+    def coerce(
+        cls,
+        repulsive: Sequence[int],
+        attractive: Sequence[int],
+        num_dims: int,
+        queries,
+        k=None,
+        alpha=None,
+        beta=None,
+    ) -> "BatchQuerySpec":
+        """Build a spec from an ``(m, d)`` array, SDQuery sequence or batch workload.
+
+        * ``(m, d)`` array: ``k`` is required; ``alpha``/``beta`` may be scalars,
+          per-dimension vectors or ``(m, dims)`` matrices.
+        * sequence of :class:`SDQuery`: roles must match; per-query ``k`` and
+          weights are taken from the queries (``k``/``alpha``/``beta`` must be
+          omitted).
+        * an object with ``points``/``ks``/``alphas``/``betas`` attributes (a
+          :class:`repro.workloads.workload.BatchWorkload`).
+        """
+        repulsive = tuple(int(d) for d in repulsive)
+        attractive = tuple(int(d) for d in attractive)
+        if hasattr(queries, "points") and hasattr(queries, "ks"):
+            workload = queries
+            if k is not None or alpha is not None or beta is not None:
+                raise ValueError("pass either a batch workload or k/weights, not both")
+            if set(workload.repulsive) != set(repulsive) or set(
+                workload.attractive
+            ) != set(attractive):
+                raise ValueError(
+                    "workload dimension roles do not match the index roles"
+                )
+            points = np.asarray(workload.points, dtype=float)
+            if points.ndim != 2 or points.shape[1] != num_dims:
+                raise ValueError(
+                    f"workload points must have shape (m, {num_dims}), got {points.shape}"
+                )
+            if not np.all(np.isfinite(points)):
+                raise ValueError("query coordinates must be finite")
+            ks = np.asarray(workload.ks, dtype=np.int64)
+            if ks.shape != (len(points),):
+                raise ValueError(
+                    f"workload ks must have shape ({len(points)},), got {ks.shape}"
+                )
+            if np.any(ks < 1):
+                raise ValueError("every k must be >= 1")
+            raw_alphas = np.asarray(workload.alphas, dtype=float)
+            raw_betas = np.asarray(workload.betas, dtype=float)
+            for name, weights, width in (
+                ("alpha", raw_alphas, len(repulsive)),
+                ("beta", raw_betas, len(attractive)),
+            ):
+                if weights.shape != (len(points), width):
+                    raise ValueError(
+                        f"workload {name}s must have shape ({len(points)}, {width}), "
+                        f"got {weights.shape}"
+                    )
+                if not np.all(np.isfinite(weights)) or np.any(weights <= 0.0):
+                    raise ValueError(f"{name} weights must be finite and > 0")
+            alphas = _reorder_columns(raw_alphas, workload.repulsive, repulsive)
+            betas = _reorder_columns(raw_betas, workload.attractive, attractive)
+            workload_order = (
+                tuple(int(d) for d in workload.repulsive),
+                tuple(int(d) for d in workload.attractive),
+            )
+            orders = (
+                None
+                if workload_order == (repulsive, attractive)
+                else [workload_order] * len(points)
+            )
+            return cls(points, ks, alphas, betas, repulsive, attractive, orders=orders)
+
+        if not isinstance(queries, np.ndarray) and len(queries) == 0:
+            return cls(
+                points=np.empty((0, num_dims), dtype=float),
+                ks=np.empty(0, dtype=np.int64),
+                alpha=np.empty((0, len(repulsive)), dtype=float),
+                beta=np.empty((0, len(attractive)), dtype=float),
+                repulsive=repulsive,
+                attractive=attractive,
+            )
+        if len(queries) and isinstance(queries[0], SDQuery):
+            if k is not None or alpha is not None or beta is not None:
+                raise ValueError("pass either SDQuery objects or k/weights, not both")
+            points = np.empty((len(queries), num_dims), dtype=float)
+            ks = np.empty(len(queries), dtype=np.int64)
+            alphas = np.empty((len(queries), len(repulsive)), dtype=float)
+            betas = np.empty((len(queries), len(attractive)), dtype=float)
+            orders: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+            for j, query in enumerate(queries):
+                if set(query.repulsive) != set(repulsive) or set(
+                    query.attractive
+                ) != set(attractive):
+                    raise ValueError(
+                        "query dimension roles do not match the index roles"
+                    )
+                if query.num_dims != num_dims:
+                    raise ValueError(
+                        f"query {j} has {query.num_dims} dimensions, expected {num_dims}"
+                    )
+                points[j] = query.point
+                ks[j] = query.k
+                alpha_of = dict(zip(query.repulsive, query.alpha))
+                beta_of = dict(zip(query.attractive, query.beta))
+                alphas[j] = [alpha_of[dim] for dim in repulsive]
+                betas[j] = [beta_of[dim] for dim in attractive]
+                orders.append((query.repulsive, query.attractive))
+            if all(order == (repulsive, attractive) for order in orders):
+                return cls(points, ks, alphas, betas, repulsive, attractive)
+            return cls(points, ks, alphas, betas, repulsive, attractive, orders=orders)
+
+        points = np.atleast_2d(np.asarray(queries, dtype=float))
+        if points.ndim != 2 or points.shape[1] != num_dims:
+            raise ValueError(
+                f"query points must have shape (m, {num_dims}), got {points.shape}"
+            )
+        if not np.all(np.isfinite(points)):
+            raise ValueError("query coordinates must be finite")
+        m = len(points)
+        if k is None:
+            raise ValueError("k is required when querying with raw points")
+        ks = _coerce_ks(k, m)
+        alphas = _weight_matrix(alpha, m, len(repulsive), "alpha")
+        betas = _weight_matrix(beta, m, len(attractive), "beta")
+        return cls(points, ks, alphas, betas, repulsive, attractive)
+
+    def query(self, j: int) -> SDQuery:
+        """Single-query view of batch member ``j`` (for oracles and tests)."""
+        return SDQuery.simple(
+            point=self.points[j],
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            k=int(self.ks[j]),
+            alpha=self.alpha[j],
+            beta=self.beta[j],
+        )
+
+
+# ------------------------------------------------------------- tree flattening
+class _FlatTree:
+    """A projection tree flattened into leaf-aligned numpy arrays.
+
+    This is the shared-traversal state: the tree is walked exactly once (in x
+    order) and every batch query afterwards works on the arrays — live rows,
+    coordinates, per-leaf/per-angle intercept bounds and the position-to-leaf
+    map used to expand surviving leaves into candidate positions.
+    """
+
+    __slots__ = (
+        "angles",
+        "rows",
+        "x",
+        "y",
+        "leaf_bounds",
+        "leaf_min_x",
+        "leaf_max_x",
+        "leaf_of_pos",
+        "num_leaves",
+    )
+
+    def __init__(self, tree) -> None:
+        self.angles: Tuple[Angle, ...] = tree.angles
+        leaves = []
+        stack = [tree._root] if tree._root is not None else []
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if node.count > 0:
+                    leaves.append(node)
+            else:
+                stack.extend(reversed(node.children))
+
+        tombstones = tree._tombstones
+        pristine = not tombstones and tree._num_extras == 0 and all(
+            not leaf.extra_rows for leaf in leaves
+        )
+        if pristine:
+            # Bulk-loaded tree with no updates: the sorted arrays are already
+            # leaf-aligned, so the flat view is zero-copy.
+            self.rows = tree._rows
+            self.x = tree._x
+            self.y = tree._y
+            sizes = [leaf.stop - leaf.start for leaf in leaves]
+            bounds = [leaf.bounds for leaf in leaves]
+            spans = [(leaf.min_x, leaf.max_x) for leaf in leaves]
+        else:
+            tombstone_array = (
+                np.fromiter(tombstones, dtype=np.int64, count=len(tombstones))
+                if tombstones
+                else None
+            )
+            row_parts: List[np.ndarray] = []
+            x_parts: List[np.ndarray] = []
+            y_parts: List[np.ndarray] = []
+            sizes = []
+            bounds = []
+            spans = []
+            for leaf in leaves:
+                part_rows: List[np.ndarray] = []
+                part_x: List[np.ndarray] = []
+                part_y: List[np.ndarray] = []
+                if leaf.stop > leaf.start:
+                    slice_rows = tree._rows[leaf.start : leaf.stop]
+                    slice_x = tree._x[leaf.start : leaf.stop]
+                    slice_y = tree._y[leaf.start : leaf.stop]
+                    if tombstone_array is not None:
+                        live = ~np.isin(slice_rows, tombstone_array)
+                        slice_rows = slice_rows[live]
+                        slice_x = slice_x[live]
+                        slice_y = slice_y[live]
+                    part_rows.append(slice_rows)
+                    part_x.append(slice_x)
+                    part_y.append(slice_y)
+                if leaf.extra_rows:
+                    keep = [
+                        i
+                        for i, row in enumerate(leaf.extra_rows)
+                        if row not in tombstones
+                    ]
+                    if keep:
+                        part_rows.append(
+                            np.array([leaf.extra_rows[i] for i in keep], dtype=np.int64)
+                        )
+                        part_x.append(
+                            np.array([leaf.extra_x[i] for i in keep], dtype=float)
+                        )
+                        part_y.append(
+                            np.array([leaf.extra_y[i] for i in keep], dtype=float)
+                        )
+                size = sum(len(part) for part in part_rows)
+                if size == 0:
+                    continue
+                row_parts.extend(part_rows)
+                x_parts.extend(part_x)
+                y_parts.extend(part_y)
+                sizes.append(size)
+                bounds.append(leaf.bounds)
+                spans.append((leaf.min_x, leaf.max_x))
+            self.rows = (
+                np.concatenate(row_parts) if row_parts else np.empty(0, dtype=np.int64)
+            )
+            self.x = np.concatenate(x_parts) if x_parts else np.empty(0, dtype=float)
+            self.y = np.concatenate(y_parts) if y_parts else np.empty(0, dtype=float)
+
+        self.num_leaves = len(sizes)
+        self.leaf_bounds = (
+            np.asarray(bounds, dtype=float)
+            if bounds
+            else np.empty((0, len(self.angles), 4), dtype=float)
+        )
+        span_array = (
+            np.asarray(spans, dtype=float) if spans else np.empty((0, 2), dtype=float)
+        )
+        self.leaf_min_x = span_array[:, 0]
+        self.leaf_max_x = span_array[:, 1]
+        self.leaf_of_pos = np.repeat(
+            np.arange(self.num_leaves, dtype=np.int64), sizes
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def leaf_score_bounds(
+    flat: _FlatTree,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    qx: np.ndarray,
+    qy: np.ndarray,
+) -> np.ndarray:
+    """Admissible per-leaf upper bounds on the weighted 2D partial score.
+
+    Returns an ``(m, num_leaves)`` array: entry ``(j, l)`` bounds
+    ``alpha_j*|y - qy_j| - beta_j*|x - qx_j|`` over every live point of leaf
+    ``l``.  Queries are grouped by angular partition (the bracketing indexed
+    angles of the grid) and each partition resolves the stored per-angle bounds
+    in one kernel — the batched equivalent of ``_BoundResolver``.
+
+    The weighted intercepts ``W_a = a*y + b*x`` and ``W_b = a*y - b*x`` are
+    linear in ``(a, b)``, so writing ``(a, b)`` as a non-negative combination
+    of the bracketing indexed angle vectors turns the stored normalized bounds
+    into admissible weighted bounds.  The partial score of any point is then
+    bounded by the best of the four projection-stream expressions, each applied
+    only to leaves that can hold points on its side of the query axis (the
+    vectorized form of ``ProjectionStream._eligible_node``).
+    """
+    m = len(alpha)
+    bounds = flat.leaf_bounds
+    ub = np.full((m, flat.num_leaves), math.inf)
+    if flat.num_leaves == 0:
+        return ub
+    grid_cos = np.array([angle.cos for angle in flat.angles])
+    grid_sin = np.array([angle.sin for angle in flat.angles])
+    grid_rad = np.array([angle.radians for angle in flat.angles])
+    num_angles = len(grid_rad)
+
+    cos, sin, _scale = _normalized_components(alpha, beta)
+    theta = np.arctan2(sin, cos)
+    positions = np.searchsorted(grid_rad, theta)
+
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for j in range(m):
+        i = int(positions[j])
+        if i < num_angles and abs(grid_rad[i] - theta[j]) <= _ANGLE_TOLERANCE:
+            key = (i, i)
+        elif i > 0 and abs(grid_rad[i - 1] - theta[j]) <= _ANGLE_TOLERANCE:
+            key = (i - 1, i - 1)
+        else:
+            lower = min(max(i - 1, 0), num_angles - 2)
+            key = (lower, lower + 1)
+        groups.setdefault(key, []).append(j)
+
+    for (lower, upper), members in groups.items():
+        js = np.asarray(members, dtype=np.int64)
+        a = alpha[js]
+        b = beta[js]
+        if lower == upper:
+            lam = np.hypot(a, b)[:, None]
+            wa_max = lam * bounds[:, lower, _MAX_A][None, :]
+            wa_min = lam * bounds[:, lower, _MIN_A][None, :]
+            wb_max = lam * bounds[:, lower, _MAX_B][None, :]
+            wb_min = lam * bounds[:, lower, _MIN_B][None, :]
+        else:
+            det = grid_cos[lower] * grid_sin[upper] - grid_sin[lower] * grid_cos[upper]
+            lam_l = np.maximum((a * grid_sin[upper] - b * grid_cos[upper]) / det, 0.0)[
+                :, None
+            ]
+            lam_u = np.maximum((grid_cos[lower] * b - grid_sin[lower] * a) / det, 0.0)[
+                :, None
+            ]
+            wa_max = (
+                lam_l * bounds[:, lower, _MAX_A][None, :]
+                + lam_u * bounds[:, upper, _MAX_A][None, :]
+            )
+            wa_min = (
+                lam_l * bounds[:, lower, _MIN_A][None, :]
+                + lam_u * bounds[:, upper, _MIN_A][None, :]
+            )
+            wb_max = (
+                lam_l * bounds[:, lower, _MAX_B][None, :]
+                + lam_u * bounds[:, upper, _MAX_B][None, :]
+            )
+            wb_min = (
+                lam_l * bounds[:, lower, _MIN_B][None, :]
+                + lam_u * bounds[:, upper, _MIN_B][None, :]
+            )
+        aqy = (a * qy[js])[:, None]
+        bqx = (b * qx[js])[:, None]
+        # Left formulas (W_a for lower, W_b for upper) only bound points with
+        # x <= qx; right formulas the mirror image.  Mask each expression to
+        # the leaves that can hold eligible points.
+        left = flat.leaf_min_x[None, :] <= qx[js][:, None]
+        right = flat.leaf_max_x[None, :] >= qx[js][:, None]
+        left_lower = np.where(left, wa_max - bqx - aqy, -math.inf)
+        right_lower = np.where(right, wb_max + bqx - aqy, -math.inf)
+        right_upper = np.where(right, aqy + bqx - wa_min, -math.inf)
+        left_upper = np.where(left, aqy - bqx - wb_min, -math.inf)
+        ub[js] = np.maximum(
+            np.maximum(left_lower, right_lower),
+            np.maximum(right_upper, left_upper),
+        )
+    return ub
+
+
+# ------------------------------------------------------------------- sessions
+class QuerySession:
+    """Shared-traversal batch execution over one :class:`SubproblemAggregator`.
+
+    A session snapshots the aggregator's live point set and flattens every 2D
+    projection tree once; any number of batches can then be answered against
+    the shared state with :meth:`run`.  Updating the index invalidates the
+    session (``run`` raises), mirroring how a serving tier would rebuild its
+    read snapshot after a write.
+    """
+
+    def __init__(self, aggregator, seed_pool: int = _SEED_POOL) -> None:
+        self._aggregator = aggregator
+        self._seed_pool = int(seed_pool)
+        if aggregator._columns_dirty:
+            aggregator._refresh_columns()
+        self._generation = aggregator.mutations
+
+        deleted = aggregator._deleted
+        extras = aggregator._extra_points
+        if not deleted and not extras:
+            self._rows = np.fromiter(
+                aggregator._base_rows.keys(), dtype=np.int64, count=len(aggregator._base_rows)
+            )
+            self._matrix = aggregator._base_matrix
+        else:
+            base_rows = [row for row in aggregator._base_rows if row not in deleted]
+            extra_rows = [row for row in extras if row not in deleted]
+            self._rows = np.asarray(base_rows + extra_rows, dtype=np.int64)
+            parts = []
+            if base_rows:
+                parts.append(
+                    aggregator._base_matrix[
+                        [aggregator._base_rows[row] for row in base_rows]
+                    ]
+                )
+            if extra_rows:
+                parts.append(np.asarray([extras[row] for row in extra_rows], dtype=float))
+            self._matrix = (
+                np.vstack(parts)
+                if parts
+                else np.empty((0, aggregator._num_dims), dtype=float)
+            )
+
+        order = np.argsort(self._rows)
+        self._row_order = order
+        self._sorted_rows = self._rows[order]
+        scored_dims = set(aggregator.repulsive) | set(aggregator.attractive)
+        self._columns_by_dim = {
+            dim: np.ascontiguousarray(self._matrix[:, dim]) for dim in scored_dims
+        }
+
+        self._pairs: List[Tuple[int, int, _FlatTree, np.ndarray]] = []
+        self._pair_leaf_of_position: List[np.ndarray] = []
+        for index, (rep_dim, att_dim) in zip(
+            aggregator._pair_indexes, aggregator.pairing.pairs
+        ):
+            flat = _FlatTree(index.tree)
+            positions = self._positions_of(flat.rows)
+            self._pairs.append((rep_dim, att_dim, flat, positions))
+            # Inverse map: which leaf of this tree holds each snapshot position.
+            leaf_of_position = np.empty(len(self._rows), dtype=np.int64)
+            leaf_of_position[positions] = flat.leaf_of_pos
+            self._pair_leaf_of_position.append(leaf_of_position)
+
+        self._sorted_columns = {
+            dim: aggregator._columns[dim] for dim in aggregator._column_dims
+        }
+
+    # ------------------------------------------------------------------ helpers
+    def _positions_of(self, row_ids: np.ndarray) -> np.ndarray:
+        """Snapshot positions of live row ids (vectorized id -> position map)."""
+        if len(row_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._row_order[np.searchsorted(self._sorted_rows, row_ids)]
+
+    def _weight_column(self, spec: BatchQuerySpec, dim: int) -> np.ndarray:
+        """The per-query weight column of a scored dimension."""
+        aggregator = self._aggregator
+        if dim in aggregator.repulsive:
+            return spec.alpha[:, aggregator.repulsive.index(dim)]
+        return spec.beta[:, aggregator.attractive.index(dim)]
+
+    def _score_block(self, positions: np.ndarray, spec: BatchQuerySpec) -> np.ndarray:
+        """Scores of the sampled positions for every query: ``(m, p)``.
+
+        Always accumulates in index term order — the result only seeds the
+        pruning bound, and ``_PRUNE_SLACK`` absorbs any ulp-level difference
+        from a query's own term order.
+        """
+        aggregator = self._aggregator
+        scores = np.zeros((len(spec), len(positions)))
+        for i, dim in enumerate(aggregator.repulsive):
+            values = self._columns_by_dim[dim][positions]
+            scores += spec.alpha[:, i][:, None] * np.abs(
+                values[None, :] - spec.points[:, dim][:, None]
+            )
+        for i, dim in enumerate(aggregator.attractive):
+            values = self._columns_by_dim[dim][positions]
+            scores -= spec.beta[:, i][:, None] * np.abs(
+                values[None, :] - spec.points[:, dim][:, None]
+            )
+        return scores
+
+    def _score_one(
+        self, positions: np.ndarray, spec: BatchQuerySpec, j: int
+    ) -> np.ndarray:
+        """Exact scores of candidate positions for query ``j``.
+
+        Accumulates the weighted terms in the query's own role order — the
+        exact floating-point order of
+        :func:`repro.core.query.make_fast_scorer` — so each score is
+        bit-identical to the sequential path's.
+        """
+        aggregator = self._aggregator
+        rep_order, att_order = spec.term_order(j)
+        scores = np.zeros(len(positions))
+        for dim in rep_order:
+            weight = spec.alpha[j, aggregator.repulsive.index(dim)]
+            scores += weight * np.abs(
+                self._columns_by_dim[dim][positions] - spec.points[j, dim]
+            )
+        for dim in att_order:
+            weight = spec.beta[j, aggregator.attractive.index(dim)]
+            scores -= weight * np.abs(
+                self._columns_by_dim[dim][positions] - spec.points[j, dim]
+            )
+        return scores
+
+    def _column_max_contribution(
+        self, dim: int, spec: BatchQuerySpec
+    ) -> np.ndarray:
+        """Per-query maximum contribution of one leftover 1D subproblem.
+
+        Repulsive columns contribute at most ``alpha * farthest_distance``;
+        attractive columns at most ``-beta * nearest_distance``.  Both probes
+        run over all queries in one ``searchsorted``-style kernel.
+        """
+        column = self._sorted_columns[dim]
+        values = column.values
+        targets = spec.points[:, dim]
+        weight = self._weight_column(spec, dim)
+        if len(values) == 0:
+            return np.zeros(len(spec))
+        if dim in self._aggregator.repulsive:
+            farthest = np.maximum(
+                np.abs(values[0] - targets), np.abs(values[-1] - targets)
+            )
+            return weight * farthest
+        positions = np.searchsorted(values, targets)
+        nearest = np.full(len(targets), np.inf)
+        right = positions < len(values)
+        nearest[right] = np.abs(values[np.minimum(positions[right], len(values) - 1)] - targets[right])
+        left = positions > 0
+        nearest[left] = np.minimum(
+            nearest[left], np.abs(values[positions[left] - 1] - targets[left])
+        )
+        return -weight * nearest
+
+    # ---------------------------------------------------------------- execution
+    def run(
+        self,
+        queries,
+        k=None,
+        alpha=None,
+        beta=None,
+    ) -> BatchResult:
+        """Answer a batch of queries against the session snapshot."""
+        aggregator = self._aggregator
+        if aggregator.mutations != self._generation:
+            raise RuntimeError(
+                "the index was updated after this QuerySession was created; "
+                "create a new session (or call SDIndex.batch_query, which does)"
+            )
+        spec = BatchQuerySpec.coerce(
+            aggregator.repulsive,
+            aggregator.attractive,
+            aggregator._num_dims,
+            queries,
+            k=k,
+            alpha=alpha,
+            beta=beta,
+        )
+        m = len(spec)
+        n_live = len(self._rows)
+        if m == 0:
+            return BatchResult(results=[], algorithm="sd-index/batch")
+        if n_live == 0:
+            return BatchResult(
+                results=[
+                    TopKResult(matches=[], algorithm="sd-index/batch")
+                    for _ in range(m)
+                ],
+                algorithm="sd-index/batch",
+            )
+        ks_eff = np.minimum(spec.ks, n_live)
+
+        # Per-pair leaf bounds (shared traversal + per-partition resolution).
+        pair_ubs: List[np.ndarray] = []
+        for rep_dim, att_dim, flat, _positions in self._pairs:
+            pair_ubs.append(
+                leaf_score_bounds(
+                    flat,
+                    self._weight_column(spec, rep_dim),
+                    self._weight_column(spec, att_dim),
+                    spec.points[:, att_dim],
+                    spec.points[:, rep_dim],
+                )
+            )
+
+        column_max = {
+            dim: self._column_max_contribution(dim, spec)
+            for dim in self._sorted_columns
+        }
+
+        # Seeded lower bound on each query's k-th best score.
+        magnitude = 0.0
+        for dim, column in self._columns_by_dim.items():
+            if len(column):
+                magnitude = max(magnitude, float(np.abs(column).max()))
+            magnitude = max(magnitude, float(np.abs(spec.points[:, dim]).max()))
+        threshold = _seeded_threshold(
+            lambda sample: self._score_block(sample, spec),
+            ks_eff,
+            n_live,
+            self._seed_pool,
+            spec.alpha.sum(axis=1) + spec.beta.sum(axis=1),
+            magnitude,
+        )
+
+        candidate_positions = self._enumerate_candidates(
+            spec, pair_ubs, column_max, threshold
+        )
+
+        results: List[TopKResult] = []
+        for j in range(m):
+            positions = candidate_positions[j]
+            scores = self._score_one(positions, spec, j)
+            top = select_topk(scores, self._rows[positions], int(ks_eff[j]))
+            matches = [
+                Match(
+                    row_id=int(self._rows[positions[i]]),
+                    score=float(scores[i]),
+                    point=tuple(self._matrix[positions[i]]),
+                )
+                for i in top
+            ]
+            results.append(
+                TopKResult(
+                    matches=matches,
+                    candidates_examined=len(positions),
+                    full_evaluations=len(positions),
+                    algorithm="sd-index/batch",
+                )
+            )
+        return BatchResult(results=results, algorithm="sd-index/batch")
+
+    def _enumerate_candidates(
+        self,
+        spec: BatchQuerySpec,
+        pair_ubs: List[np.ndarray],
+        column_max: Dict[int, np.ndarray],
+        threshold: np.ndarray,
+    ) -> List[np.ndarray]:
+        """Per-query candidate positions, pruned by admissible per-point bounds.
+
+        With 2D pairs, every snapshot position sits in exactly one leaf of each
+        pair tree, so ``sum_p leaf_bound_p(point) + sum_cols col_max`` is an
+        admissible upper bound on the point's total score; positions whose
+        bound misses the query's pruning threshold are dropped without being
+        scored.  Without pairs, the first sorted column enumerates candidates
+        through vectorized range probes.  With no usable bound the candidate
+        set degenerates to the full snapshot (the vectorized-scan worst case).
+        """
+        m = len(spec)
+        n_live = len(self._rows)
+        if self._pairs:
+            column_total = np.zeros(m)
+            for contribution in column_max.values():
+                column_total = column_total + contribution
+            all_positions = np.arange(n_live, dtype=np.int64)
+            candidates = []
+            for j in range(m):
+                if not np.isfinite(threshold[j]):
+                    candidates.append(all_positions)
+                    continue
+                bound = np.full(n_live, column_total[j])
+                for p, leaf_of_position in enumerate(self._pair_leaf_of_position):
+                    bound += pair_ubs[p][j][leaf_of_position]
+                candidates.append(np.flatnonzero(bound >= threshold[j]))
+            return candidates
+
+        # No 2D pairs: enumerate through the first sorted column instead
+        # (vectorized range probes on the sorted values).
+        pairing = self._aggregator.pairing
+        if pairing.leftover_repulsive:
+            dim = pairing.leftover_repulsive[0]
+            repulsive = True
+        else:
+            dim = pairing.leftover_attractive[0]
+            repulsive = False
+        column = self._sorted_columns[dim]
+        values = column.values
+        column_positions = self._positions_of(column.row_ids)
+        weight = self._weight_column(spec, dim)
+        targets = spec.points[:, dim]
+        other_max = np.zeros(m)
+        for other_dim, contribution in column_max.items():
+            if other_dim != dim:
+                other_max = other_max + contribution
+        need = threshold - other_max
+        candidates = []
+        if repulsive:
+            # Keep rows with weight*|v - q| >= need: two tails of the sorted order.
+            cut = need / weight
+            low_stop = np.searchsorted(values, targets - cut, side="right")
+            high_start = np.searchsorted(values, targets + cut, side="left")
+            for j in range(m):
+                if not np.isfinite(need[j]) or need[j] <= 0.0:
+                    candidates.append(column_positions)
+                else:
+                    candidates.append(
+                        np.concatenate(
+                            [
+                                column_positions[: low_stop[j]],
+                                column_positions[high_start[j] :],
+                            ]
+                        )
+                    )
+        else:
+            # Keep rows with -weight*|v - q| >= need: a window around the query.
+            window = np.where(need <= 0.0, -need / weight, 0.0)
+            starts = np.searchsorted(values, targets - window, side="left")
+            stops = np.searchsorted(values, targets + window, side="right")
+            for j in range(m):
+                if not np.isfinite(need[j]):
+                    candidates.append(column_positions)
+                elif need[j] > 0.0:
+                    # Unreachable bound (the seeded k-th best already exceeds
+                    # what this subproblem allows); fall back to everything to
+                    # stay trivially safe.
+                    candidates.append(column_positions)
+                else:
+                    candidates.append(column_positions[starts[j] : stops[j]])
+        return candidates
+
+
+# ------------------------------------------------------------------ 2D batches
+def batch_topk_2d(
+    index,
+    qx,
+    qy,
+    k,
+    alpha=1.0,
+    beta=1.0,
+    seed_pool: int = _SEED_POOL,
+) -> BatchResult:
+    """Vectorized batch execution for a single 2D :class:`TopKIndex`.
+
+    Same filter-and-verify scheme as :class:`QuerySession`, specialized to one
+    projection tree: flatten once, bound every leaf for every query in shared
+    per-partition kernels, prune with a seeded k-th best bound, then score the
+    survivors with the exact normalized-then-scaled formula of
+    ``TopKIndex.iter_best`` (bit-identical scores).
+    """
+    qx, qy, ks = coerce_point_batch(qx, qy, k)
+    m = len(qx)
+    alphas = np.array(np.broadcast_to(np.asarray(alpha, dtype=float), (m,)))
+    betas = np.array(np.broadcast_to(np.asarray(beta, dtype=float), (m,)))
+    for name, weights in (("alpha", alphas), ("beta", betas)):
+        if not np.all(np.isfinite(weights)) or np.any(weights <= 0.0):
+            raise ValueError(f"{name} weights must be finite and > 0")
+
+    flat = _FlatTree(index.tree)
+    n_live = len(flat)
+    if n_live == 0 or m == 0:
+        return BatchResult(
+            results=[TopKResult(matches=[], algorithm="sd-topk/batch") for _ in range(m)],
+            algorithm="sd-topk/batch",
+        )
+    ks_eff = np.minimum(ks, n_live)
+    # Normalize per query through Angle / math.hypot — np.hypot rounds a small
+    # fraction of inputs differently, which would break bit-identity with the
+    # sequential path's ``iter_best`` (Angle.from_weights + math.hypot).
+    cos = np.empty(m)
+    sin = np.empty(m)
+    scale = np.empty(m)
+    for j in range(m):
+        angle = Angle.from_weights(float(alphas[j]), float(betas[j]))
+        cos[j] = angle.cos
+        sin[j] = angle.sin
+        scale[j] = math.hypot(float(alphas[j]), float(betas[j]))
+
+    def exact_scores(positions: np.ndarray, j: int) -> np.ndarray:
+        normalized = cos[j] * np.abs(flat.y[positions] - qy[j]) - sin[j] * np.abs(
+            flat.x[positions] - qx[j]
+        )
+        return normalized * scale[j]
+
+    magnitude = max(
+        float(np.abs(flat.x).max()),
+        float(np.abs(flat.y).max()),
+        float(np.abs(qx).max()),
+        float(np.abs(qy).max()),
+    )
+    threshold = _seeded_threshold(
+        lambda sample: np.vstack([exact_scores(sample, j) for j in range(m)]),
+        ks_eff,
+        n_live,
+        seed_pool,
+        alphas + betas,
+        magnitude,
+    )
+
+    ub = leaf_score_bounds(flat, alphas, betas, qx, qy)
+    alive = ub >= threshold[:, None]
+    results: List[TopKResult] = []
+    all_positions = np.arange(n_live, dtype=np.int64)
+    for j in range(m):
+        if alive[j].all():
+            positions = all_positions
+        else:
+            positions = np.flatnonzero(alive[j][flat.leaf_of_pos])
+        scores = exact_scores(positions, j)
+        rows = flat.rows[positions]
+        top = select_topk(scores, rows, int(ks_eff[j]))
+        matches = [
+            Match(
+                row_id=int(rows[i]),
+                score=float(scores[i]),
+                point=(float(flat.x[positions[i]]), float(flat.y[positions[i]])),
+            )
+            for i in top
+        ]
+        results.append(
+            TopKResult(
+                matches=matches,
+                candidates_examined=len(positions),
+                full_evaluations=len(positions),
+                algorithm="sd-topk/batch",
+            )
+        )
+    return BatchResult(results=results, algorithm="sd-topk/batch")

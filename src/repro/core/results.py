@@ -7,7 +7,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Match", "TopKResult", "IndexStats"]
+__all__ = ["Match", "TopKResult", "BatchResult", "IndexStats"]
 
 
 @dataclass(frozen=True, order=True)
@@ -99,6 +99,76 @@ class TopKResult:
         ]
         matches.sort()
         return cls(matches=matches[:k], algorithm=algorithm)
+
+
+@dataclass
+class BatchResult:
+    """The answer sets of a batch of top-k queries, one :class:`TopKResult` each.
+
+    Produced by the vectorized batch execution paths
+    (:meth:`repro.core.sdindex.SDIndex.batch_query` and friends).  The container
+    preserves query order: ``batch[j]`` is the answer of the ``j``-th query of
+    the batch.  Aggregate counters sum the per-query counters so batched and
+    sequential executions can be compared like-for-like.
+    """
+
+    results: List[TopKResult]
+    algorithm: str = ""
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[TopKResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> TopKResult:
+        return self.results[index]
+
+    @property
+    def row_ids(self) -> List[List[int]]:
+        """Per-query row identifiers, best first."""
+        return [result.row_ids for result in self.results]
+
+    @property
+    def scores(self) -> List[List[float]]:
+        """Per-query scores, best first."""
+        return [result.scores for result in self.results]
+
+    @property
+    def candidates_examined(self) -> int:
+        """Total candidates examined across the batch."""
+        return sum(result.candidates_examined for result in self.results)
+
+    @property
+    def full_evaluations(self) -> int:
+        """Total full score evaluations across the batch."""
+        return sum(result.full_evaluations for result in self.results)
+
+    def score_matrix(self, fill: float = float("nan")) -> np.ndarray:
+        """Scores as an ``(m, max_k)`` array, padded with ``fill``.
+
+        Queries may ask for different ``k`` (or hit a dataset smaller than
+        ``k``), so rows are padded to the widest answer set.
+        """
+        width = max((len(result) for result in self.results), default=0)
+        matrix = np.full((len(self.results), width), fill, dtype=float)
+        for j, result in enumerate(self.results):
+            matrix[j, : len(result)] = result.scores
+        return matrix
+
+    def same_scores(self, other: "BatchResult", tol: float = 1e-9) -> bool:
+        """True if every query's result has the same score multiset as ``other``.
+
+        ``other`` may be a :class:`BatchResult` or any sequence of
+        :class:`TopKResult` (e.g. a Python loop over the single-query path).
+        """
+        theirs = list(other)
+        if len(self.results) != len(theirs):
+            return False
+        return all(
+            mine.same_scores(result, tol=tol)
+            for mine, result in zip(self.results, theirs)
+        )
 
 
 @dataclass

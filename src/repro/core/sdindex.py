@@ -33,7 +33,26 @@ __all__ = ["SDIndex"]
 
 
 class SDIndex:
-    """Top-k SD-Query index for datasets of arbitrary dimensionality."""
+    """Top-k SD-Query index for datasets of arbitrary dimensionality.
+
+    Queries can be answered one at a time (:meth:`query`) or in vectorized
+    batches (:meth:`batch_query`).  Batch semantics:
+
+    * The batch is an ``(m, num_dims)`` array of query points plus per-query
+      ``k`` and weights, a sequence of :class:`SDQuery` objects, or a
+      :class:`repro.workloads.workload.BatchWorkload`.  ``k`` is a scalar or an
+      ``(m,)`` vector; ``alpha``/``beta`` are a scalar (all queries, all
+      dimensions), a per-dimension vector shared by every query, or an
+      ``(m, dims)`` matrix giving each query its own weights.
+    * The result is a :class:`repro.core.results.BatchResult` whose ``j``-th
+      entry is the :class:`TopKResult` of query ``j`` — ``len(batch[j])`` is
+      ``min(k_j, len(index))`` and matches are ordered best-first with the
+      deterministic ``(-score, row_id)`` tie-break.
+    * Scores are bit-identical to :meth:`query` (same floating-point term
+      order); row ids agree whenever the k-th and (k+1)-th best scores differ
+      (an exact tie at the boundary is resolved by row id in the batch path
+      and by traversal order in the single-query path).
+    """
 
     def __init__(
         self,
@@ -125,6 +144,26 @@ class SDIndex:
             beta=beta,
         )
         return self._aggregator.query(built)
+
+    def batch_query(
+        self,
+        queries,
+        k=None,
+        alpha=None,
+        beta=None,
+    ):
+        """Answer many SD-Queries at once with the vectorized batch engine.
+
+        See the class docstring for the accepted inputs and the exact result
+        semantics.  For several batches against an unchanged index, hold on to
+        a :meth:`query_session` instead so the shared traversal state is built
+        only once.
+        """
+        return self._aggregator.batch_query(queries, k=k, alpha=alpha, beta=beta)
+
+    def query_session(self):
+        """A reusable shared-traversal batch session (invalidated by updates)."""
+        return self._aggregator.session()
 
     # ------------------------------------------------------------------ updates
     def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:

@@ -248,6 +248,80 @@ class Top1Index:
             algorithm="sd-top1",
         )
 
+    def batch_query(self, qx, qy, k=None):
+        """Answer many queries at once with vectorized region lookups.
+
+        ``qx``/``qy`` are ``(m,)`` arrays; ``k`` is a scalar or ``(m,)`` vector
+        bounded by the apriori ``k``.  The region binary searches of
+        :meth:`query` run as single ``np.searchsorted`` kernels over all
+        queries (vectorized isoline-envelope lookups) and candidate scoring is
+        one numpy expression per query, so every result is identical —
+        including tie-breaks — to calling :meth:`query` in a loop.  Returns a
+        :class:`repro.core.results.BatchResult`.
+        """
+        from repro.core.batch import coerce_point_batch
+        from repro.core.results import BatchResult
+
+        qx, qy, ks = coerce_point_batch(qx, qy, self.k if k is None else k)
+        m = len(qx)
+        if np.any(ks > self.k):
+            raise ValueError(f"k must be in [1, {self.k}] for this index")
+
+        # Region lookups for all queries in one searchsorted kernel per structure.
+        per_query_candidates: List[List[int]] = [[] for _ in range(m)]
+        if self.k == 1:
+            for envelope in self._lower_layers + self._upper_layers:
+                if not envelope.owners:
+                    continue
+                breakpoints = np.asarray(envelope.breakpoints, dtype=float)
+                owners = np.asarray(envelope.owners, dtype=np.int64)
+                positions = np.searchsorted(breakpoints, qx, side="left")
+                env_owners = owners[positions]
+                for j in range(m):
+                    per_query_candidates[j].append(int(env_owners[j]))
+        else:
+            for name, structure in self._klists.items():
+                breakpoints = np.asarray(structure.breakpoints, dtype=float)
+                sweep = qx if name.endswith("left") else -qx
+                positions = np.searchsorted(breakpoints, sweep, side="right")
+                for j in range(m):
+                    per_query_candidates[j].extend(
+                        structure.candidate_sets[int(positions[j])]
+                    )
+        pending_rows = list(self._pending)
+
+        results = []
+        cos, sin, scale = self.angle.cos, self.angle.sin, self.score_scale
+        for j in range(m):
+            rows = list(dict.fromkeys(per_query_candidates[j]))
+            examined = len(rows) + len(pending_rows)
+            indexed = set(rows)
+            rows.extend(row for row in pending_rows if row not in indexed)
+            if rows:
+                coords = np.asarray([self._coords(row) for row in rows], dtype=float)
+                px, py = coords[:, 0], coords[:, 1]
+                scores = scale * (cos * np.abs(py - qy[j]) - sin * np.abs(px - qx[j]))
+                order = np.lexsort((np.asarray(rows), -scores))[: int(ks[j])]
+                matches = [
+                    Match(
+                        row_id=int(rows[i]),
+                        score=float(scores[i]),
+                        point=(float(px[i]), float(py[i])),
+                    )
+                    for i in order
+                ]
+            else:
+                matches = []
+            results.append(
+                TopKResult(
+                    matches=matches,
+                    candidates_examined=examined,
+                    full_evaluations=examined,
+                    algorithm="sd-top1",
+                )
+            )
+        return BatchResult(results=results, algorithm="sd-top1/batch")
+
     def _coords(self, row: int) -> Tuple[float, float]:
         return self._pending.get(row, self._points.get(row))
 

@@ -83,6 +83,26 @@ class TopKIndex:
             return self._query_claim6(qx, qy, k, alpha, beta)
         raise ValueError(f"unknown strategy {strategy!r}; use 'streams' or 'claim6'")
 
+    def batch_query(
+        self,
+        qx,
+        qy,
+        k,
+        alpha=1.0,
+        beta=1.0,
+    ):
+        """Answer many 2D top-k queries at once with the vectorized batch engine.
+
+        ``qx``/``qy`` are ``(m,)`` arrays of query coordinates; ``k``/``alpha``/
+        ``beta`` are scalars or ``(m,)`` vectors.  Returns a
+        :class:`repro.core.results.BatchResult`; scores are bit-identical to
+        :meth:`query` and row ids agree whenever the k-th best score is not
+        exactly tied with the (k+1)-th (see :mod:`repro.core.batch`).
+        """
+        from repro.core.batch import batch_topk_2d
+
+        return batch_topk_2d(self, qx, qy, k, alpha=alpha, beta=beta)
+
     def iter_best(
         self,
         qx: float,

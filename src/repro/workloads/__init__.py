@@ -1,15 +1,29 @@
 """Workload generation, method registry and the timing harness used by all experiments."""
 
-from repro.workloads.registry import ALGORITHM_BUILDERS, build_algorithm
+from repro.workloads.registry import (
+    ALGORITHM_BUILDERS,
+    WORKLOAD_BUILDERS,
+    build_algorithm,
+    build_workload,
+)
 from repro.workloads.reporting import format_series_table, format_table
 from repro.workloads.runner import ExperimentResult, MeasuredSeries, time_queries
-from repro.workloads.workload import QueryWorkload, make_workload
+from repro.workloads.workload import (
+    BatchWorkload,
+    QueryWorkload,
+    make_batch_workload,
+    make_workload,
+)
 
 __all__ = [
     "QueryWorkload",
+    "BatchWorkload",
     "make_workload",
+    "make_batch_workload",
     "ALGORITHM_BUILDERS",
+    "WORKLOAD_BUILDERS",
     "build_algorithm",
+    "build_workload",
     "time_queries",
     "MeasuredSeries",
     "ExperimentResult",

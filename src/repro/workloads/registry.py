@@ -21,8 +21,20 @@ from repro.baselines import (
     ThresholdAlgorithm,
 )
 from repro.core.sdindex import SDIndex
+from repro.workloads.workload import (
+    BatchWorkload,
+    QueryWorkload,
+    make_batch_workload,
+    make_workload,
+)
 
-__all__ = ["ALGORITHM_BUILDERS", "build_algorithm", "DEFAULT_METHODS"]
+__all__ = [
+    "ALGORITHM_BUILDERS",
+    "build_algorithm",
+    "DEFAULT_METHODS",
+    "WORKLOAD_BUILDERS",
+    "build_workload",
+]
 
 
 def _build_sd_index(data: np.ndarray, repulsive, attractive, **kwargs) -> SDIndex:
@@ -63,6 +75,39 @@ ALGORITHM_BUILDERS: Dict[str, Callable] = {
 
 #: The comparison set most figures use (PE is added only where the paper includes it).
 DEFAULT_METHODS = ("SeqScan", "SD-Index", "TA", "BRS")
+
+
+def _build_uniform_workload(repulsive, attractive, **options) -> QueryWorkload:
+    return make_workload(repulsive, attractive, **options)
+
+
+def _build_batch_serving(repulsive, attractive, **options) -> BatchWorkload:
+    """The batch-serving workload: one array of concurrent queries with mixed k.
+
+    Defaults mirror the paper's query setup (100 uniform query points, random
+    weights) but draw each query's ``k`` from a small menu, the shape of
+    answer-limited serving traffic (cf. NeedleTail, PAPERS.md).
+    """
+    options.setdefault("k", (1, 5, 10, 25))
+    return make_batch_workload(repulsive, attractive, **options)
+
+
+#: Workload name -> builder(repulsive, attractive, **options).
+WORKLOAD_BUILDERS: Dict[str, Callable] = {
+    "uniform": _build_uniform_workload,
+    "batch_serving": _build_batch_serving,
+}
+
+
+def build_workload(name: str, repulsive: Sequence[int], attractive: Sequence[int], **options):
+    """Instantiate a registered query workload."""
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOAD_BUILDERS)}"
+        ) from None
+    return builder(tuple(repulsive), tuple(attractive), **options)
 
 
 def build_algorithm(

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.query import QueryWeights, SDQuery
 
-__all__ = ["QueryWorkload", "make_workload"]
+__all__ = ["QueryWorkload", "BatchWorkload", "make_workload", "make_batch_workload"]
 
 
 @dataclass
@@ -42,6 +42,73 @@ class QueryWorkload:
             queries=[query.with_k(k) for query in self.queries],
             description=f"{self.description} (k={k})",
             seed=self.seed,
+        )
+
+
+@dataclass
+class BatchWorkload:
+    """A batch of SD-Queries in columnar (array) form for batched execution.
+
+    ``points`` is the ``(m, d)`` query matrix; ``ks``, ``alphas`` and ``betas``
+    hold the per-query ``k`` and weights (weight columns follow the order of
+    ``repulsive``/``attractive``).  The batched engines consume this object
+    directly; :meth:`queries` materializes the equivalent per-query
+    :class:`SDQuery` list for the one-at-a-time paths and oracles.
+    """
+
+    points: np.ndarray
+    ks: np.ndarray
+    alphas: np.ndarray
+    betas: np.ndarray
+    repulsive: Tuple[int, ...]
+    attractive: Tuple[int, ...]
+    description: str = ""
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def queries(self) -> List[SDQuery]:
+        """Per-query view of the batch (for loops over single-query engines)."""
+        return [
+            SDQuery(
+                point=tuple(self.points[j]),
+                repulsive=self.repulsive,
+                attractive=self.attractive,
+                k=int(self.ks[j]),
+                weights=QueryWeights(
+                    alpha=tuple(self.alphas[j]), beta=tuple(self.betas[j])
+                ),
+            )
+            for j in range(len(self.points))
+        ]
+
+    @classmethod
+    def from_workload(cls, workload: QueryWorkload) -> "BatchWorkload":
+        """Columnar form of an existing per-query workload (roles must agree)."""
+        if not workload.queries:
+            raise ValueError("cannot batch an empty workload")
+        first = workload.queries[0]
+        points = np.empty((len(workload), first.num_dims), dtype=float)
+        ks = np.empty(len(workload), dtype=np.int64)
+        alphas = np.empty((len(workload), len(first.repulsive)), dtype=float)
+        betas = np.empty((len(workload), len(first.attractive)), dtype=float)
+        for j, query in enumerate(workload):
+            if query.repulsive != first.repulsive or query.attractive != first.attractive:
+                raise ValueError("all queries in a batch must share dimension roles")
+            points[j] = query.point
+            ks[j] = query.k
+            alphas[j] = query.alpha
+            betas[j] = query.beta
+        return cls(
+            points=points,
+            ks=ks,
+            alphas=alphas,
+            betas=betas,
+            repulsive=first.repulsive,
+            attractive=first.attractive,
+            description=workload.description,
+            seed=workload.seed,
         )
 
 
@@ -105,3 +172,57 @@ def make_workload(
         f"{'random' if random_weights else 'unit'} weights"
     )
     return QueryWorkload(queries=queries, description=description, seed=seed)
+
+
+def make_batch_workload(
+    repulsive: Sequence[int],
+    attractive: Sequence[int],
+    num_queries: int = 100,
+    k=5,
+    num_dims: Optional[int] = None,
+    seed: int = 0,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+    random_weights: bool = True,
+    weight_range: Tuple[float, float] = (0.05, 1.0),
+) -> BatchWorkload:
+    """Generate a seeded batch-serving workload in columnar form.
+
+    Like :func:`make_workload` but ``k`` may also be a sequence of values, in
+    which case each query draws its ``k`` uniformly from the sequence (seeded)
+    — the mixed-``k`` traffic a serving tier sees.
+    """
+    repulsive = tuple(int(d) for d in repulsive)
+    attractive = tuple(int(d) for d in attractive)
+    if num_dims is None:
+        num_dims = max(repulsive + attractive) + 1
+    rng = np.random.default_rng(seed)
+    low, high = value_range
+    weight_low, weight_high = weight_range
+    if random_weights and weight_low <= 0:
+        raise ValueError("weight_range must be strictly positive")
+    points = rng.uniform(low, high, size=(num_queries, num_dims))
+    if np.isscalar(k):
+        ks = np.full(num_queries, int(k), dtype=np.int64)
+    else:
+        choices = np.asarray(list(k), dtype=np.int64)
+        ks = rng.choice(choices, size=num_queries)
+    if random_weights:
+        alphas = rng.uniform(weight_low, weight_high, size=(num_queries, len(repulsive)))
+        betas = rng.uniform(weight_low, weight_high, size=(num_queries, len(attractive)))
+    else:
+        alphas = np.ones((num_queries, len(repulsive)))
+        betas = np.ones((num_queries, len(attractive)))
+    description = (
+        f"{num_queries} batched uniform queries, k={k!r}, |D|={len(repulsive)}, "
+        f"|S|={len(attractive)}, {'random' if random_weights else 'unit'} weights"
+    )
+    return BatchWorkload(
+        points=points,
+        ks=ks,
+        alphas=alphas,
+        betas=betas,
+        repulsive=repulsive,
+        attractive=attractive,
+        description=description,
+        seed=seed,
+    )

@@ -1,0 +1,173 @@
+"""Golden regression tests: frozen top-k answers for three seeded datasets.
+
+The fixtures under ``tests/fixtures/`` snapshot the exact row ids and scores of
+the sequential-scan oracle for seeded workloads over the uniform, clustered and
+anti-correlated generators.  The tier-1 test re-runs the single-query SD-Index
+path, the batched SD-Index path and the oracle against those snapshots, so any
+scoring drift — a changed term order, a broken bound, a generator change — in
+either execution path fails loudly.
+
+Regenerate (only after an *intentional* semantic change) with::
+
+    PYTHONPATH=src python tests/golden/test_golden_regression.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.core.query import SDQuery
+from repro.core.sdindex import SDIndex
+from repro.data.generators import generate_dataset
+from repro.workloads.workload import make_batch_workload
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
+
+#: Score drift tolerance: answers are float64-deterministic, so anything above
+#: exact-roundtrip noise is a real regression.
+SCORE_TOLERANCE = 1e-12
+
+#: The frozen scenarios: distribution, dataset seed, dimension roles.  The
+#: roles deliberately cover all three execution shapes of the batch engine
+#: (two 2D pairs, pair + repulsive columns, pair + attractive columns).
+SCENARIOS = {
+    "uniform": {
+        "distribution": "uniform",
+        "num_points": 500,
+        "num_dims": 4,
+        "data_seed": 201,
+        "repulsive": (0, 1),
+        "attractive": (2, 3),
+        "workload_seed": 301,
+    },
+    "clustered": {
+        "distribution": "clustered",
+        "num_points": 500,
+        "num_dims": 4,
+        "data_seed": 202,
+        "repulsive": (0, 1, 2),
+        "attractive": (3,),
+        "workload_seed": 302,
+    },
+    "anticorrelated": {
+        "distribution": "anticorrelated",
+        "num_points": 500,
+        "num_dims": 4,
+        "data_seed": 203,
+        "repulsive": (0,),
+        "attractive": (1, 2, 3),
+        "workload_seed": 303,
+    },
+}
+
+NUM_QUERIES = 10
+K_CHOICES = (1, 3, 5, 8)
+
+
+def _scenario_inputs(config):
+    data = generate_dataset(
+        config["distribution"],
+        config["num_points"],
+        config["num_dims"],
+        seed=config["data_seed"],
+    ).matrix
+    workload = make_batch_workload(
+        config["repulsive"],
+        config["attractive"],
+        num_queries=NUM_QUERIES,
+        k=K_CHOICES,
+        num_dims=config["num_dims"],
+        seed=config["workload_seed"],
+    )
+    return data, workload
+
+
+def _fixture_path(name: str) -> Path:
+    return FIXTURES / f"golden_topk_{name}.json"
+
+
+def _compute_expected(config):
+    data, workload = _scenario_inputs(config)
+    oracle = SequentialScan(data, config["repulsive"], config["attractive"])
+    batch = oracle.batch_query(workload)
+    return [
+        {"row_ids": result.row_ids, "scores": result.scores} for result in batch
+    ]
+
+
+def regenerate() -> None:
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    for name, config in SCENARIOS.items():
+        payload = {
+            "scenario": {key: list(value) if isinstance(value, tuple) else value
+                         for key, value in config.items()},
+            "num_queries": NUM_QUERIES,
+            "k_choices": list(K_CHOICES),
+            "expected": _compute_expected(config),
+        }
+        path = _fixture_path(name)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+
+
+def _assert_matches_fixture(result, expected, context: str) -> None:
+    assert result.row_ids == expected["row_ids"], (
+        f"{context}: row ids drifted: {result.row_ids} != {expected['row_ids']}"
+    )
+    assert len(result.scores) == len(expected["scores"])
+    for mine, frozen in zip(result.scores, expected["scores"]):
+        assert math.isfinite(mine)
+        assert abs(mine - frozen) <= SCORE_TOLERANCE, (
+            f"{context}: score drifted: {mine!r} != {frozen!r}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestGoldenTopK:
+    def _load(self, name):
+        path = _fixture_path(name)
+        payload = json.loads(path.read_text())
+        config = SCENARIOS[name]
+        data, workload = _scenario_inputs(config)
+        return config, data, workload, payload["expected"]
+
+    def test_oracle_matches_fixture(self, name):
+        config, data, workload, expected = self._load(name)
+        batch = SequentialScan(
+            data, config["repulsive"], config["attractive"]
+        ).batch_query(workload)
+        for j, result in enumerate(batch):
+            _assert_matches_fixture(result, expected[j], f"{name}/oracle q{j}")
+
+    def test_single_query_path_matches_fixture(self, name):
+        config, data, workload, expected = self._load(name)
+        index = SDIndex.build(
+            data, repulsive=config["repulsive"], attractive=config["attractive"]
+        )
+        for j, query in enumerate(workload.queries()):
+            result = index.query(query)
+            _assert_matches_fixture(result, expected[j], f"{name}/single q{j}")
+
+    def test_batch_path_matches_fixture(self, name):
+        config, data, workload, expected = self._load(name)
+        index = SDIndex.build(
+            data, repulsive=config["repulsive"], attractive=config["attractive"]
+        )
+        batch = index.batch_query(workload)
+        for j, result in enumerate(batch):
+            _assert_matches_fixture(result, expected[j], f"{name}/batch q{j}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,310 @@
+"""Property tests: batched execution is exactly equivalent to per-query execution.
+
+For every index the batch path must return the same row ids and bit-identical
+scores as (a) a Python loop over the single-query path and (b) the vectorized
+sequential-scan oracle.  Row-id equality with the single-query path is only
+well defined when the k-th and (k+1)-th best scores differ (the single-query
+threshold algorithm resolves an exact boundary tie by traversal order, the
+batch engine by row id); the hypothesis tests therefore guard that comparison,
+while the seeded continuous-data tests — where exact ties do not occur —
+assert unconditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SequentialScan
+from repro.core.query import SDQuery, sd_scores
+from repro.core.sdindex import SDIndex
+from repro.core.top1 import Top1Index
+from repro.core.topk import TopKIndex
+from repro.data.generators import generate_dataset
+from repro.workloads.workload import make_batch_workload
+
+coordinate = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+weight = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+point4d = st.tuples(coordinate, coordinate, coordinate, coordinate)
+
+
+def _boundary_is_unambiguous(data: np.ndarray, query: SDQuery) -> bool:
+    """True when the query's k-th and (k+1)-th best full scores clearly differ.
+
+    The small tolerance keeps the check conservative: scores a few ulps apart
+    under one formula can tie exactly under an algebraically equal one, and a
+    tie at the boundary makes the retained row set legitimately path-dependent.
+    """
+    scores = np.sort(sd_scores(data, query))[::-1]
+    k = query.k
+    if k >= len(scores):
+        return True
+    gap = scores[k - 1] - scores[k]
+    return gap > 1e-9 * max(1.0, abs(scores[k - 1]))
+
+
+def _assert_batch_equals_loop(batch, singles, data, queries) -> None:
+    """Exact equivalence, guarding row ids behind the boundary-tie check."""
+    assert len(batch) == len(singles)
+    for result, single, query in zip(batch, singles, queries):
+        assert result.scores == single.scores, (result.scores, single.scores)
+        if _boundary_is_unambiguous(data, query):
+            assert result.row_ids == single.row_ids, (result.row_ids, single.row_ids)
+
+
+class TestSDIndexBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=st.lists(point4d, min_size=2, max_size=40),
+        query_points=st.lists(point4d, min_size=1, max_size=6),
+        ks=st.lists(st.integers(min_value=1, max_value=7), min_size=6, max_size=6),
+        weights=st.tuples(weight, weight, weight, weight),
+    )
+    def test_batch_matches_loop_and_oracle(self, points, query_points, ks, weights):
+        data = np.array(points, dtype=float)
+        index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3],
+                              branching=3, leaf_capacity=4)
+        queries = [
+            SDQuery.simple(list(point), repulsive=[0, 1], attractive=[2, 3],
+                           k=ks[j], alpha=weights[:2], beta=weights[2:])
+            for j, point in enumerate(query_points)
+        ]
+        batch = index.batch_query(queries)
+        singles = [index.query(query) for query in queries]
+        _assert_batch_equals_loop(batch, singles, data, queries)
+        oracle = SequentialScan(data, [0, 1], [2, 3]).batch_query(queries)
+        for result, expected, query in zip(batch, oracle, queries):
+            assert result.scores == expected.scores
+            if _boundary_is_unambiguous(data, query):
+                assert result.row_ids == expected.row_ids
+
+    @pytest.mark.parametrize("distribution", ["uniform", "clustered", "anticorrelated"])
+    @pytest.mark.parametrize("roles", [((0, 1), (2, 3)), ((0, 1, 2), (3,)), ((0,), (1, 2, 3))])
+    def test_seeded_batches_are_identical(self, distribution, roles):
+        repulsive, attractive = roles
+        data = generate_dataset(distribution, 600, 4, seed=7).matrix
+        index = SDIndex.build(data, repulsive=repulsive, attractive=attractive)
+        workload = make_batch_workload(
+            repulsive, attractive, num_queries=12, k=(1, 3, 5, 9),
+            num_dims=4, seed=13,
+        )
+        batch = index.batch_query(workload)
+        oracle = SequentialScan(data, repulsive, attractive).batch_query(workload)
+        for j, query in enumerate(workload.queries()):
+            single = index.query(query)
+            assert batch[j].row_ids == oracle[j].row_ids
+            assert batch[j].scores == single.scores == oracle[j].scores
+            if _boundary_is_unambiguous(data, query):
+                assert batch[j].row_ids == single.row_ids
+
+    def test_mixed_k_and_per_query_weights(self):
+        rng = np.random.default_rng(42)
+        data = rng.random((500, 5))
+        repulsive, attractive = (0, 2), (1, 3, 4)
+        index = SDIndex.build(data, repulsive=repulsive, attractive=attractive)
+        points = rng.random((15, 5))
+        ks = rng.integers(1, 12, size=15)
+        alpha = rng.uniform(0.1, 3.0, size=(15, 2))
+        beta = rng.uniform(0.1, 3.0, size=(15, 3))
+        batch = index.batch_query(points, k=ks, alpha=alpha, beta=beta)
+        for j in range(15):
+            query = SDQuery.simple(points[j], repulsive, attractive, k=int(ks[j]),
+                                   alpha=alpha[j], beta=beta[j])
+            single = index.query(query)
+            assert batch[j].row_ids == single.row_ids
+            assert batch[j].scores == single.scores
+
+    def test_scrambled_role_order_stays_bit_identical(self):
+        """Queries may list role dimensions in any order; the batch path must
+        accumulate score terms in each query's own order (float addition is
+        order-sensitive) to stay bit-identical with the sequential path."""
+        rng = np.random.default_rng(11)
+        data = rng.random((400, 4))
+        index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3])
+        queries = [
+            SDQuery.simple(rng.random(4), [1, 0], [3, 2], k=5,
+                           alpha=rng.uniform(0.1, 2, 2), beta=rng.uniform(0.1, 2, 2))
+            for _ in range(10)
+        ]
+        batch = index.batch_query(queries)
+        oracle = SequentialScan(data, [0, 1], [2, 3]).batch_query(queries)
+        for j, query in enumerate(queries):
+            single = index.query(query)
+            assert batch[j].scores == single.scores == oracle[j].scores
+            assert batch[j].row_ids == single.row_ids == oracle[j].row_ids
+
+    def test_permuted_batch_workload_roles_stay_bit_identical(self):
+        """A BatchWorkload may declare roles in a different order than the
+        index; scoring must still follow the workload's term order."""
+        from repro.workloads.workload import BatchWorkload
+
+        rng = np.random.default_rng(17)
+        data = rng.random((300, 4))
+        index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3])
+        workload = BatchWorkload(
+            points=rng.random((8, 4)), ks=np.full(8, 4),
+            alphas=rng.uniform(0.1, 2, (8, 2)), betas=rng.uniform(0.1, 2, (8, 2)),
+            repulsive=(1, 0), attractive=(3, 2),
+        )
+        batch = index.batch_query(workload)
+        for j, query in enumerate(workload.queries()):
+            single = index.query(query)
+            assert batch[j].scores == single.scores
+            assert batch[j].row_ids == single.row_ids
+
+    def test_large_coordinate_magnitudes_stay_exact(self):
+        """Intercept arithmetic at huge coordinates (epoch-timestamp scale)
+        cancels catastrophically; the magnitude-aware pruning slack must keep
+        every true answer in the candidate set."""
+        rng = np.random.default_rng(0)
+        data = 1e10 + rng.random((400, 4))
+        index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3])
+        points = 1e10 + rng.random((10, 4))
+        batch = index.batch_query(points, k=5)
+        tk = TopKIndex(data[:, 0], data[:, 1])
+        tk_batch = tk.batch_query(points[:, 0], points[:, 1], k=5)
+        for j in range(10):
+            single = index.query(points[j], k=5)
+            assert batch[j].row_ids == single.row_ids
+            assert batch[j].scores == single.scores
+            tk_single = tk.query(points[j, 0], points[j, 1], k=5)
+            assert tk_batch[j].row_ids == tk_single.row_ids
+            assert tk_batch[j].scores == tk_single.scores
+
+    def test_k_larger_than_dataset(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((8, 4))
+        index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3])
+        batch = index.batch_query(rng.random((3, 4)), k=50)
+        for result in batch:
+            assert len(result) == len(data)
+
+    def test_session_is_invalidated_by_updates(self):
+        rng = np.random.default_rng(4)
+        data = rng.random((50, 4))
+        index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3])
+        session = index.query_session()
+        session.run(rng.random((2, 4)), k=3)
+        index.insert(rng.random(4))
+        with pytest.raises(RuntimeError):
+            session.run(rng.random((2, 4)), k=3)
+        # A fresh session sees the update.
+        fresh = index.batch_query(rng.random((2, 4)), k=3)
+        assert len(fresh) == 2
+
+
+class TestTopKIndexBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=40),
+        query_points=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=5),
+        k=st.integers(min_value=1, max_value=6),
+        alpha=weight,
+        beta=weight,
+    )
+    def test_batch_matches_loop(self, points, query_points, k, alpha, beta):
+        data = np.array(points, dtype=float)
+        index = TopKIndex(data[:, 0], data[:, 1], branching=3, leaf_capacity=4)
+        qx = np.array([q[0] for q in query_points])
+        qy = np.array([q[1] for q in query_points])
+        batch = index.batch_query(qx, qy, k=k, alpha=alpha, beta=beta)
+        queries = [
+            SDQuery.simple([q[0], q[1]], repulsive=[1], attractive=[0], k=k,
+                           alpha=alpha, beta=beta)
+            for q in query_points
+        ]
+        singles = [index.query(q[0], q[1], k=k, alpha=alpha, beta=beta)
+                   for q in query_points]
+        _assert_batch_equals_loop(batch, singles, data, queries)
+
+    def test_hypot_rounding_weight_pair_stays_bit_identical(self):
+        """np.hypot and math.hypot round a small fraction of inputs differently;
+        the batch path must normalize through the same Angle/math.hypot code as
+        the sequential path.  This weight pair is one of the divergent inputs."""
+        rng = np.random.default_rng(6)
+        data = rng.random((300, 2))
+        index = TopKIndex(data[:, 0], data[:, 1])
+        alpha, beta = 5.545364116710945, 5.124870802201387
+        qx, qy = rng.random(5), rng.random(5)
+        batch = index.batch_query(qx, qy, k=5, alpha=alpha, beta=beta)
+        for j in range(5):
+            single = index.query(qx[j], qy[j], k=5, alpha=alpha, beta=beta)
+            assert batch[j].scores == single.scores
+            assert batch[j].row_ids == single.row_ids
+
+    def test_seeded_batch_identical(self):
+        rng = np.random.default_rng(11)
+        data = rng.random((800, 2))
+        index = TopKIndex(data[:, 0], data[:, 1])
+        qx, qy = rng.random(25), rng.random(25)
+        alpha, beta = rng.uniform(0.1, 2, 25), rng.uniform(0.1, 2, 25)
+        ks = rng.integers(1, 10, size=25)
+        batch = index.batch_query(qx, qy, k=ks, alpha=alpha, beta=beta)
+        for j in range(25):
+            single = index.query(qx[j], qy[j], k=int(ks[j]),
+                                 alpha=float(alpha[j]), beta=float(beta[j]))
+            assert batch[j].row_ids == single.row_ids
+            assert batch[j].scores == single.scores
+
+
+class TestTop1IndexBatchEquivalence:
+    """Top-1 batch results are identical to loops in every case, ties included:
+    both paths select with the deterministic ``(-score, row_id)`` order."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=30),
+        query_points=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=5),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_batch_matches_loop(self, points, query_points, k):
+        data = np.array(points, dtype=float)
+        index = Top1Index(data[:, 0], data[:, 1], k=k)
+        qx = np.array([q[0] for q in query_points])
+        qy = np.array([q[1] for q in query_points])
+        batch = index.batch_query(qx, qy)
+        for j, (x, y) in enumerate(query_points):
+            single = index.query(x, y)
+            assert batch[j].row_ids == single.row_ids
+            assert batch[j].scores == single.scores
+
+    def test_batch_with_pending_inserts(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((100, 2))
+        index = Top1Index(data[:, 0], data[:, 1], k=3)
+        for point in rng.random((10, 2)):
+            index.insert(point[0], point[1])
+        qx, qy = rng.random(8), rng.random(8)
+        batch = index.batch_query(qx, qy, k=2)
+        for j in range(8):
+            single = index.query(qx[j], qy[j], k=2)
+            assert batch[j].row_ids == single.row_ids
+            assert batch[j].scores == single.scores
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("distribution", ["uniform", "clustered", "anticorrelated", "correlated"])
+def test_exhaustive_seeded_batch_equivalence(distribution, seed):
+    """Nightly lane: many seeds and shapes; fast lane runs the suites above."""
+    rng = np.random.default_rng(100 + seed)
+    num_dims = int(rng.integers(2, 7))
+    dims = list(rng.permutation(num_dims))
+    split = int(rng.integers(1, num_dims)) if num_dims > 1 else 1
+    repulsive, attractive = tuple(dims[:split]), tuple(dims[split:])
+    data = generate_dataset(distribution, int(rng.integers(50, 1200)), num_dims,
+                            seed=seed).matrix
+    index = SDIndex.build(data, repulsive=repulsive, attractive=attractive)
+    workload = make_batch_workload(repulsive, attractive, num_queries=10,
+                                   k=(1, 2, 5, 8), num_dims=num_dims, seed=seed)
+    batch = index.batch_query(workload)
+    oracle = SequentialScan(data, repulsive, attractive).batch_query(workload)
+    for j, query in enumerate(workload.queries()):
+        single = index.query(query)
+        # Both batch paths break boundary ties identically, so they always agree.
+        assert batch[j].row_ids == oracle[j].row_ids
+        assert batch[j].scores == single.scores == oracle[j].scores
+        if _boundary_is_unambiguous(data, query):
+            assert batch[j].row_ids == single.row_ids
