@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Batch-serving benchmark: SDIndex.batch_query vs a loop of SDIndex.query.
+"""Batch-serving benchmark: SDIndex.batch_query vs a loop of legacy queries.
 
 Builds the SD-Index over a 50k-point uniform dataset (paper-style roles: two
 repulsive, two attractive dimensions), answers the registered ``batch_serving``
-workload of 100 queries both ways, verifies the answers are bit-identical, and
-writes a trajectory point to ``BENCH_batch.json``.
+workload of 100 queries both ways — batched through the shared session vs a
+Python loop over ``query(..., engine="legacy")``, the threshold-traversal
+oracle — verifies the answers are bit-identical, and writes a trajectory point
+to ``BENCH_batch.json``.  (``bench_single.py`` covers the single-query fast
+path against the same oracle.)
 
 Run with::
 
@@ -54,14 +57,14 @@ def main() -> int:
     queries = workload.queries()
 
     # Warm both paths once (first-touch allocations, branch caches).
-    index.query(queries[0])
+    index.query(queries[0], engine="legacy")
     index.batch_query(workload)
 
     sequential_seconds = float("inf")
     singles = None
     for _ in range(max(1, REPEAT)):
         started = time.perf_counter()
-        answers = [index.query(query) for query in queries]
+        answers = [index.query(query, engine="legacy") for query in queries]
         sequential_seconds = min(sequential_seconds, time.perf_counter() - started)
         singles = answers
 

@@ -110,6 +110,35 @@ def main() -> None:
     print("...and deleting it restores the original answer:",
           index.query(query)[0].row_id == result[0].row_id)
 
+    # --- the cached query session survives updates ------------------------------
+    # Every query above ran on the same *cached session*: the projection trees
+    # flattened into numpy arrays, built lazily on the first query.  Updates do
+    # not invalidate it — inserts are appended to the covering leaf (loosening
+    # only that leaf's bounds), deletes are tombstoned in a validity mask — so
+    # serving keeps its speed across churn.  bulk_insert/bulk_delete apply one
+    # vectorized patch for a whole burst.
+    session = index.query_session()
+    burst = rng.random((500, 4))
+    burst_rows = index.bulk_insert(burst)
+    index.bulk_delete(burst_rows[:250])
+    stats = session.maintenance_stats()
+    print(f"\nSession after a 500-insert / 250-delete burst: "
+          f"{stats['patched_inserts']} inserts and {stats['patched_deletes']} deletes "
+          f"patched in place, {stats['reflattens']} reflattens")
+
+    # The session reflattens itself only once garbage + appended rows exceed a
+    # quarter of the live points (the projection tree's own rebuild policy) —
+    # lazily, on the next query.  Force it eagerly from a maintenance window:
+    index.refresh_session()
+    print("After refresh_session():", session.maintenance_stats())
+
+    # Cleanup, and the answers still match the legacy traversal bit for bit.
+    index.bulk_delete(burst_rows[250:])
+    fast = index.query(query)
+    legacy = index.query(query, engine="legacy")
+    print("Fast path == legacy oracle after all the churn:",
+          fast.scores == legacy.scores and fast.row_ids == legacy.row_ids)
+
 
 if __name__ == "__main__":
     main()

@@ -91,8 +91,11 @@ class SequentialScan(TopKAlgorithm):
         k = min(query.k, len(scores))
         if k == 0:
             return TopKResult(matches=[], algorithm=self.name)
-        # argpartition gives the k best in O(n); sort only those k.
-        top_positions = np.argpartition(-scores, k - 1)[:k]
+        # select_topk keeps the deterministic (-score, row_id) tie-break, so the
+        # single-query oracle agrees with the batch oracle even on exact ties.
+        from repro.core.batch import select_topk
+
+        top_positions = select_topk(scores, self.row_ids, k)
         matches = [
             Match(
                 row_id=int(self.row_ids[position]),

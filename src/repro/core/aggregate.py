@@ -20,6 +20,7 @@ where the paper's speed-up over TA comes from.
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -137,6 +138,11 @@ class SubproblemAggregator:
         }
         self._columns_dirty = False
         self._mutations = 0
+        #: Live query sessions patched in place on every update (weak refs so
+        #: abandoned sessions disappear), plus the lazily built serving session
+        #: backing the single-query fast path and ``batch_query``.
+        self._sessions: List[weakref.ref] = []
+        self._serving_session = None
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -165,29 +171,107 @@ class SubproblemAggregator:
                 yield row
 
     # ------------------------------------------------------------------ updates
-    def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
-        """Insert a point into every subproblem structure."""
+    def _register_session(self, session) -> None:
+        """Track a session so updates can patch it in place."""
+        self._sessions = [ref for ref in self._sessions if ref() is not None]
+        self._sessions.append(weakref.ref(session))
+
+    def _patch_sessions(self, method: str, *args) -> None:
+        """Push one update to every live session (dead weak refs are dropped)."""
+        alive: List[weakref.ref] = []
+        for ref in self._sessions:
+            session = ref()
+            if session is None:
+                continue
+            getattr(session, method)(*args)
+            alive.append(ref)
+        self._sessions = alive
+
+    def _validate_new_point(self, point) -> np.ndarray:
         vector = np.asarray(point, dtype=float)
         if vector.shape != (self._num_dims,):
             raise ValueError(f"point must have {self._num_dims} dimensions")
+        return vector
+
+    def _claim_row_id(self, row_id: Optional[int], used: set) -> int:
         if row_id is None:
-            used = set(self._base_rows) | set(self._extra_points) | self._deleted
-            row_id = (max(used) + 1) if used else 0
+            row_id = (max(used | self._deleted) + 1) if (used or self._deleted) else 0
         row_id = int(row_id)
-        if (row_id in self._base_rows or row_id in self._extra_points) and row_id not in self._deleted:
+        if row_id in used:
             raise ValueError(f"row id {row_id} already present")
         if row_id in self._deleted:
             raise ValueError(f"row id {row_id} was deleted and cannot be reused")
+        return row_id
+
+    def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
+        """Insert a point into every subproblem structure.
+
+        Live query sessions are patched in place (an appended row per session)
+        rather than invalidated — see :meth:`session`.
+        """
+        vector = self._validate_new_point(point)
+        used = (set(self._base_rows) | set(self._extra_points)) - self._deleted
+        row_id = self._claim_row_id(row_id, used)
         self._extra_points[row_id] = vector
         for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
             index.insert(vector[att_dim], vector[rep_dim], row_id)
         if self._column_dims:
             self._columns_dirty = True
         self._mutations += 1
+        self._patch_sessions("apply_insert", row_id, vector)
         return row_id
 
+    def bulk_insert(
+        self, points, row_ids: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Insert many points at once; returns their row ids.
+
+        Semantically identical to calling :meth:`insert` in a loop, but the
+        whole batch is validated up front, counts as a single mutation, and
+        live query sessions are patched with one vectorized splice instead of
+        one patch per point.
+        """
+        matrix = np.asarray(points, dtype=float)
+        if matrix.size == 0:
+            matrix = matrix.reshape(0, self._num_dims)
+        if matrix.ndim != 2 or matrix.shape[1] != self._num_dims:
+            raise ValueError(
+                f"points must have shape (m, {self._num_dims}), got {matrix.shape}"
+            )
+        used = (set(self._base_rows) | set(self._extra_points)) - self._deleted
+        if row_ids is None:
+            ids: List[int] = []
+            for _ in range(len(matrix)):
+                claimed = self._claim_row_id(None, used)
+                ids.append(claimed)
+                used.add(claimed)
+        else:
+            ids = [int(r) for r in row_ids]
+            if len(ids) != len(matrix):
+                raise ValueError("row_ids must align with the points")
+            if len(set(ids)) != len(ids):
+                raise ValueError("row ids must be unique")
+            ids = [self._claim_row_id(r, used) for r in ids]
+        if not len(matrix):
+            return []
+        for row_id, vector in zip(ids, matrix):
+            self._extra_points[row_id] = vector
+            for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
+                index.insert(vector[att_dim], vector[rep_dim], row_id)
+        if self._column_dims:
+            self._columns_dirty = True
+        self._mutations += 1
+        self._patch_sessions(
+            "apply_bulk_insert", np.asarray(ids, dtype=np.int64), matrix
+        )
+        return ids
+
     def delete(self, row_id: int) -> None:
-        """Delete a point from every subproblem structure."""
+        """Delete a point from every subproblem structure.
+
+        Live query sessions tombstone the row through their validity mask
+        instead of being invalidated.
+        """
         row_id = int(row_id)
         if row_id in self._deleted or (
             row_id not in self._base_rows and row_id not in self._extra_points
@@ -199,6 +283,28 @@ class SubproblemAggregator:
         if self._column_dims:
             self._columns_dirty = True
         self._mutations += 1
+        self._patch_sessions("apply_delete", row_id)
+
+    def bulk_delete(self, row_ids: Sequence[int]) -> None:
+        """Delete many rows at once (validated up front, one session patch)."""
+        ids = [int(r) for r in row_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("row ids must be unique")
+        for row_id in ids:
+            if row_id in self._deleted or (
+                row_id not in self._base_rows and row_id not in self._extra_points
+            ):
+                raise KeyError(f"row id {row_id} not present")
+        if not ids:
+            return
+        self._deleted.update(ids)
+        for row_id in ids:
+            for index in self._pair_indexes:
+                index.delete(row_id)
+        if self._column_dims:
+            self._columns_dirty = True
+        self._mutations += 1
+        self._patch_sessions("apply_bulk_delete", np.asarray(ids, dtype=np.int64))
 
     def _refresh_columns(self) -> None:
         rows = list(self._live_rows())
@@ -292,16 +398,40 @@ class SubproblemAggregator:
             algorithm="sd-index",
         )
 
-    # ------------------------------------------------------------- batch querying
-    def session(self, seed_pool: Optional[int] = None):
-        """Open a shared-traversal batch query session over the current point set.
+    def query_fast(self, query: SDQuery) -> TopKResult:
+        """Answer one SD-Query through the flattened-array fast path.
 
-        The session snapshots the live points, flattens every 2D projection
-        tree once and can answer any number of batches until the next update
-        (see :class:`repro.core.batch.QuerySession`).
+        Runs the vectorized filter-and-verify kernels over the (lazily built,
+        incrementally maintained) serving session.  Scores are bit-identical to
+        :meth:`query`; an exact tie at the k-th boundary resolves by row id
+        instead of traversal order.
+        """
+        return self.serving_session().run_one(query)
+
+    # ------------------------------------------------------------- batch querying
+    def serving_session(self):
+        """The cached query session backing ``query_fast`` and ``batch_query``.
+
+        Built on first use and then kept valid across updates by in-place
+        patching; it only reflattens once its garbage threshold trips.
+        """
+        if self._serving_session is None:
+            self._serving_session = self.session(cached=False)
+        return self._serving_session
+
+    def session(self, seed_pool: Optional[int] = None, cached: bool = True):
+        """A shared-traversal batch query session over the current point set.
+
+        The session snapshots the live points and flattens every 2D projection
+        tree once; it stays valid across updates because the aggregator patches
+        it in place (see :class:`repro.core.batch.QuerySession`).  By default
+        this returns the shared serving session; pass ``cached=False`` (or a
+        custom ``seed_pool``) for a private one.
         """
         from repro.core.batch import QuerySession
 
+        if cached and seed_pool is None:
+            return self.serving_session()
         if seed_pool is None:
             return QuerySession(self)
         return QuerySession(self, seed_pool=seed_pool)
@@ -315,7 +445,7 @@ class SubproblemAggregator:
         objects whose roles match this aggregator, or a batch workload.
         Returns a :class:`repro.core.results.BatchResult` in query order.
         """
-        return self.session().run(queries, k=k, alpha=alpha, beta=beta)
+        return self.serving_session().run(queries, k=k, alpha=alpha, beta=beta)
 
     # ------------------------------------------------------------------ stats
     def stats(self):

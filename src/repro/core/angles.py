@@ -36,6 +36,11 @@ class AngleGrid:
             raise ValueError("angles must be strictly increasing")
         if radians[0] > 1e-9 or radians[-1] < math.pi / 2 - 1e-9:
             raise ValueError("the grid must span the full [0, 90] degree range")
+        # Per-grid caches: ``bracket`` runs on every Claim-6 / Top1 build, so
+        # keep the radians and memoize lookups per query angle (the grid is
+        # frozen, hence the object.__setattr__ escape hatch).
+        object.__setattr__(self, "_radians", tuple(radians))
+        object.__setattr__(self, "_bracket_cache", {})
 
     def __len__(self) -> int:
         return len(self.angles)
@@ -97,15 +102,22 @@ class AngleGrid:
 
         Returns ``(angle, angle)`` when the query angle coincides with an indexed
         one.  Raises ``ValueError`` if the query angle falls outside the grid
-        (impossible for grids spanning the full quadrant).
+        (impossible for grids spanning the full quadrant).  Lookups are memoized
+        per ``(cos, sin)`` so repeated queries at the same angle cost one dict
+        probe instead of a trig scan.
         """
+        key = (query_angle.cos, query_angle.sin)
+        cached = self._bracket_cache.get(key)
+        if cached is not None:
+            return cached
         target = query_angle.radians
         lower: Optional[Angle] = None
         upper: Optional[Angle] = None
-        for angle in self.angles:
-            if abs(angle.radians - target) <= 1e-12:
-                return angle, angle
-            if angle.radians < target:
+        for angle, radians in zip(self.angles, self._radians):
+            if abs(radians - target) <= 1e-12:
+                lower = upper = angle
+                break
+            if radians < target:
                 lower = angle
             elif upper is None:
                 upper = angle
@@ -113,6 +125,9 @@ class AngleGrid:
             raise ValueError(
                 f"query angle {query_angle.degrees:.3f} deg is not covered by the grid"
             )
+        if len(self._bracket_cache) >= 1024:
+            self._bracket_cache.clear()
+        self._bracket_cache[key] = (lower, upper)
         return lower, upper
 
     def degrees(self) -> Tuple[float, ...]:

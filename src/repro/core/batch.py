@@ -30,6 +30,24 @@ module amortizes it:
   scores are bit-identical to the sequential path) and the top ``k`` are
   selected with the deterministic ``(-score, row_id)`` tie-break.
 
+* **Two-stage verification.**  The seeded bound alone over-fetches (leaf bounds
+  are coarse); before exact scoring, the engine scores only the best few
+  candidates *by bound*, tightens the pruning threshold to their exact k-th
+  best, and re-prunes — typically an order of magnitude fewer verified
+  candidates at the cost of one extra ``argpartition``.
+* **Incremental maintenance.**  A :class:`QuerySession` is no longer a
+  throw-away snapshot: the owning aggregator patches every live session in
+  place on ``insert``/``delete``/``bulk_insert``/``bulk_delete`` — appending
+  leaf-assigned rows, loosening the affected per-leaf bounds, tombstoning
+  deletions through a validity mask — and the session reflattens itself lazily
+  only once accumulated garbage/imbalance crosses a threshold, mirroring the
+  projection tree's own rebuild policy (see DESIGN.md).
+
+This makes the flattened arrays the primary execution substrate: the ``m = 1``
+fast path of ``SDIndex.query`` runs through the same kernels and stays
+bit-identical in score to the legacy threshold traversal, which remains
+available as the oracle (``engine="legacy"``).
+
 Exactness note: the single-query threshold algorithm resolves an exact score
 tie *at the k-th boundary* in favor of whichever row its traversal surfaced
 first; the batch engine resolves the same tie by the smaller row id.  For every
@@ -77,6 +95,48 @@ _PRUNE_SLACK = 1e-9
 #: keeps pruning admissible at any magnitude while staying far too small to
 #: hurt pruning power.
 _MAGNITUDE_SLACK = 1e-12
+
+#: Verification stage: when more candidates than ``max(_VERIFY_POOL, 4k)``
+#: survive the seeded filter, exact-score only that many best-by-bound first,
+#: tighten the threshold to their exact k-th best and re-prune before the full
+#: verify pass.  Cuts the over-fetch of the coarse leaf bounds by ~10x.
+_VERIFY_POOL = 64
+
+#: Fraction of live rows worth of accumulated garbage (tombstones) plus
+#: imbalance (bound-loosening appends) a session tolerates before it
+#: reflattens, mirroring ``ProjectionTree.rebuild_threshold``.
+_REFLATTEN_THRESHOLD = 0.25
+
+
+def _refine_candidates(
+    positions: np.ndarray,
+    bounds: np.ndarray,
+    k_eff: int,
+    score_fn,
+    weight_scale: float,
+    magnitude: float,
+) -> Tuple[np.ndarray, Optional[float], int]:
+    """Second-stage filter: tighten the pruning bound with a few exact scores.
+
+    ``bounds`` must be admissible per-candidate upper bounds aligned with
+    ``positions``.  Exact-scores the best ``max(_VERIFY_POOL, 4k)`` candidates
+    by bound; their k-th best exact score is a valid lower bound on the true
+    k-th best, so re-pruning against it (minus the usual float slack) keeps
+    every possible answer — including exact ties at the boundary — while
+    dropping most of the seeded stage's over-fetch.  Returns the surviving
+    positions, the tightened threshold (None when the candidate set was small
+    enough to skip refinement) and the number of head candidates scored.
+    """
+    limit = max(_VERIFY_POOL, 4 * k_eff)
+    if len(positions) <= limit:
+        return positions, None, 0
+    head = np.argpartition(-bounds, limit - 1)[:limit]
+    head_scores = score_fn(positions[head])
+    kth = np.partition(head_scores, limit - k_eff)[limit - k_eff]
+    refined = _prune_bound(
+        np.asarray([kth]), np.asarray([weight_scale]), magnitude
+    )[0]
+    return positions[bounds >= refined], float(refined), limit
 
 
 def _prune_bound(
@@ -414,6 +474,13 @@ class _FlatTree:
     order) and every batch query afterwards works on the arrays — live rows,
     coordinates, per-leaf/per-angle intercept bounds and the position-to-leaf
     map used to expand surviving leaves into candidate positions.
+
+    The flat view is *maintained*, not disposable: :meth:`append_points` adds
+    new rows by assigning them to the covering leaf and loosening that leaf's
+    per-angle bounds (admissible, merely looser), and :meth:`tombstone_rows`
+    marks deletions in the ``live`` validity mask.  Both accumulate garbage
+    that :meth:`garbage_fraction` reports so owners can reflatten past a
+    threshold (see DESIGN.md).
     """
 
     __slots__ = (
@@ -421,11 +488,18 @@ class _FlatTree:
         "rows",
         "x",
         "y",
+        "live",
         "leaf_bounds",
         "leaf_min_x",
         "leaf_max_x",
         "leaf_of_pos",
         "num_leaves",
+        "appended",
+        "dead",
+        "grid_cos",
+        "grid_sin",
+        "grid_rad",
+        "_pos_of_row",
     )
 
     def __init__(self, tree) -> None:
@@ -526,9 +600,74 @@ class _FlatTree:
         self.leaf_of_pos = np.repeat(
             np.arange(self.num_leaves, dtype=np.int64), sizes
         )
+        self.live = np.ones(len(self.rows), dtype=bool)
+        self.appended = 0
+        self.dead = 0
+        self.grid_cos = np.array([angle.cos for angle in self.angles])
+        self.grid_sin = np.array([angle.sin for angle in self.angles])
+        self.grid_rad = np.array([angle.radians for angle in self.angles])
+        self._pos_of_row: Optional[Dict[int, int]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    @property
+    def live_count(self) -> int:
+        return len(self.rows) - self.dead
+
+    # ------------------------------------------------------------ maintenance
+    def append_points(self, row_ids, xs, ys) -> np.ndarray:
+        """Patch new points in: assign leaves, loosen bounds, extend the arrays.
+
+        Each point lands in the leaf whose x-range covers it (the leaves are in
+        x order, so a ``searchsorted`` on the leaf upper bounds finds it); the
+        leaf's x-span and per-angle intercept bounds are loosened to admit the
+        point, which keeps every stored bound admissible.  Returns the leaf id
+        assigned to each appended point.  Callers must not append into an
+        empty flat view (``num_leaves == 0``) — reflatten instead.
+        """
+        if self.num_leaves == 0:
+            raise RuntimeError("cannot append into an empty flat view; reflatten")
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        leaves = np.clip(
+            np.searchsorted(self.leaf_max_x, xs, side="left"), 0, self.num_leaves - 1
+        )
+        np.minimum.at(self.leaf_min_x, leaves, xs)
+        np.maximum.at(self.leaf_max_x, leaves, xs)
+        for ai in range(len(self.angles)):
+            wa = self.grid_cos[ai] * ys + self.grid_sin[ai] * xs
+            wb = self.grid_cos[ai] * ys - self.grid_sin[ai] * xs
+            np.maximum.at(self.leaf_bounds[:, ai, _MAX_A], leaves, wa)
+            np.minimum.at(self.leaf_bounds[:, ai, _MIN_A], leaves, wa)
+            np.maximum.at(self.leaf_bounds[:, ai, _MAX_B], leaves, wb)
+            np.minimum.at(self.leaf_bounds[:, ai, _MIN_B], leaves, wb)
+        if self._pos_of_row is not None:
+            start = len(self.rows)
+            for offset, row in enumerate(row_ids):
+                self._pos_of_row[int(row)] = start + offset
+        self.rows = np.concatenate([self.rows, row_ids])
+        self.x = np.concatenate([self.x, xs])
+        self.y = np.concatenate([self.y, ys])
+        self.leaf_of_pos = np.concatenate([self.leaf_of_pos, leaves])
+        self.live = np.concatenate([self.live, np.ones(len(row_ids), dtype=bool)])
+        self.appended += len(row_ids)
+        return leaves
+
+    def tombstone_rows(self, row_ids) -> None:
+        """Mark rows dead in the validity mask (bounds stay admissible)."""
+        if self._pos_of_row is None:
+            self._pos_of_row = {int(row): i for i, row in enumerate(self.rows)}
+        for row in row_ids:
+            position = self._pos_of_row[int(row)]
+            if self.live[position]:
+                self.live[position] = False
+                self.dead += 1
+
+    def garbage_fraction(self) -> float:
+        """Accumulated garbage + imbalance relative to the live population."""
+        return (self.appended + self.dead) / max(self.live_count, 1)
 
 
 def leaf_score_bounds(
@@ -559,9 +698,9 @@ def leaf_score_bounds(
     ub = np.full((m, flat.num_leaves), math.inf)
     if flat.num_leaves == 0:
         return ub
-    grid_cos = np.array([angle.cos for angle in flat.angles])
-    grid_sin = np.array([angle.sin for angle in flat.angles])
-    grid_rad = np.array([angle.radians for angle in flat.angles])
+    grid_cos = flat.grid_cos
+    grid_sin = flat.grid_sin
+    grid_rad = flat.grid_rad
     num_angles = len(grid_rad)
 
     cos, sin, _scale = _normalized_components(alpha, beta)
@@ -637,18 +776,47 @@ class QuerySession:
     """Shared-traversal batch execution over one :class:`SubproblemAggregator`.
 
     A session snapshots the aggregator's live point set and flattens every 2D
-    projection tree once; any number of batches can then be answered against
-    the shared state with :meth:`run`.  Updating the index invalidates the
-    session (``run`` raises), mirroring how a serving tier would rebuild its
-    read snapshot after a write.
+    projection tree once; any number of batches (or single queries, via
+    :meth:`run_one`) can then be answered against the shared state with
+    :meth:`run`.
+
+    Sessions survive index mutation: the owning aggregator registers every
+    session it creates and patches the flattened arrays in place on each
+    ``insert``/``delete``/``bulk_insert``/``bulk_delete`` — appended rows are
+    leaf-assigned and loosen only the covering leaf's bounds, deletions are
+    tombstoned through a validity mask, and the 1D sorted-column state is
+    spliced incrementally.  Once accumulated garbage plus imbalance exceeds
+    ``reflatten_threshold`` (a fraction of the live population, mirroring the
+    projection tree's rebuild policy) the session marks itself dirty and
+    reflattens lazily on the next :meth:`run` — call :meth:`reflatten` to force
+    it eagerly.  See DESIGN.md for the maintenance policy discussion.
     """
 
-    def __init__(self, aggregator, seed_pool: int = _SEED_POOL) -> None:
+    def __init__(
+        self,
+        aggregator,
+        seed_pool: int = _SEED_POOL,
+        reflatten_threshold: float = _REFLATTEN_THRESHOLD,
+    ) -> None:
         self._aggregator = aggregator
         self._seed_pool = int(seed_pool)
+        self.reflatten_threshold = float(reflatten_threshold)
+        #: Lifetime maintenance counters (survive reflattening).
+        self.reflattens = 0
+        self.patched_inserts = 0
+        self.patched_deletes = 0
+        self._build()
+        aggregator._register_session(self)
+
+    def _build(self) -> None:
+        """(Re)build the flattened execution state from the aggregator."""
+        aggregator = self._aggregator
         if aggregator._columns_dirty:
             aggregator._refresh_columns()
         self._generation = aggregator.mutations
+        self._dirty = False
+        self._appended = 0
+        self._tombstoned = 0
 
         deleted = aggregator._deleted
         extras = aggregator._extra_points
@@ -676,6 +844,8 @@ class QuerySession:
                 else np.empty((0, aggregator._num_dims), dtype=float)
             )
 
+        self._live = np.ones(len(self._rows), dtype=bool)
+        self._num_live = len(self._rows)
         order = np.argsort(self._rows)
         self._row_order = order
         self._sorted_rows = self._rows[order]
@@ -684,21 +854,137 @@ class QuerySession:
             dim: np.ascontiguousarray(self._matrix[:, dim]) for dim in scored_dims
         }
 
-        self._pairs: List[Tuple[int, int, _FlatTree, np.ndarray]] = []
+        self._pairs: List[Tuple[int, int, _FlatTree]] = []
         self._pair_leaf_of_position: List[np.ndarray] = []
         for index, (rep_dim, att_dim) in zip(
             aggregator._pair_indexes, aggregator.pairing.pairs
         ):
             flat = _FlatTree(index.tree)
             positions = self._positions_of(flat.rows)
-            self._pairs.append((rep_dim, att_dim, flat, positions))
+            self._pairs.append((rep_dim, att_dim, flat))
             # Inverse map: which leaf of this tree holds each snapshot position.
             leaf_of_position = np.empty(len(self._rows), dtype=np.int64)
             leaf_of_position[positions] = flat.leaf_of_pos
             self._pair_leaf_of_position.append(leaf_of_position)
 
-        self._sorted_columns = {
-            dim: aggregator._columns[dim] for dim in aggregator._column_dims
+        # Session-owned sorted-column state (values stay aligned with the
+        # snapshot positions); patched incrementally, never rebuilt per update.
+        self._col_values: Dict[int, np.ndarray] = {}
+        self._col_positions: Dict[int, np.ndarray] = {}
+        for dim in aggregator._column_dims:
+            column = aggregator._columns[dim]
+            self._col_values[dim] = np.array(column.values)
+            self._col_positions[dim] = self._positions_of(np.asarray(column.row_ids))
+
+    # -------------------------------------------------------------- maintenance
+    @property
+    def needs_reflatten(self) -> bool:
+        """True once the next :meth:`run` will rebuild the flattened state."""
+        return self._dirty or self._generation != self._aggregator.mutations
+
+    def reflatten(self) -> None:
+        """Force an eager rebuild of the flattened state (counts in ``reflattens``)."""
+        self.reflattens += 1
+        self._build()
+
+    def _check_garbage(self) -> None:
+        if (self._appended + self._tombstoned) > self.reflatten_threshold * max(
+            self._num_live, 1
+        ):
+            self._dirty = True
+
+    def apply_insert(self, row_id: int, vector: np.ndarray) -> None:
+        """Patch one inserted point into the session (called by the aggregator)."""
+        self.apply_bulk_insert(
+            np.asarray([row_id], dtype=np.int64), np.asarray(vector, dtype=float)[None, :]
+        )
+
+    def apply_bulk_insert(self, row_ids, matrix) -> None:
+        """Patch a batch of inserted points into the flattened arrays in place."""
+        self._generation = self._aggregator.mutations
+        if self._dirty:
+            return
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        matrix = np.asarray(matrix, dtype=float)
+        count = len(row_ids)
+        if count == 0:
+            return
+        if any(flat.num_leaves == 0 for _, _, flat in self._pairs):
+            # The flat view was built over an empty tree; nothing to patch into.
+            self._dirty = True
+            return
+        start = len(self._rows)
+        new_positions = np.arange(start, start + count, dtype=np.int64)
+        self._rows = np.concatenate([self._rows, row_ids])
+        self._matrix = (
+            np.vstack([self._matrix, matrix]) if len(self._matrix) else matrix.copy()
+        )
+        self._live = np.concatenate([self._live, np.ones(count, dtype=bool)])
+        self._num_live += count
+        for dim in self._columns_by_dim:
+            self._columns_by_dim[dim] = np.concatenate(
+                [self._columns_by_dim[dim], np.ascontiguousarray(matrix[:, dim])]
+            )
+        # Maintain the sorted row-id -> position map.
+        id_order = np.argsort(row_ids, kind="stable")
+        sorted_new = row_ids[id_order]
+        insert_at = np.searchsorted(self._sorted_rows, sorted_new)
+        self._sorted_rows = np.insert(self._sorted_rows, insert_at, sorted_new)
+        self._row_order = np.insert(self._row_order, insert_at, new_positions[id_order])
+        # Patch every pair tree and its position-to-leaf inverse map.
+        for p, (rep_dim, att_dim, flat) in enumerate(self._pairs):
+            leaves = flat.append_points(row_ids, matrix[:, att_dim], matrix[:, rep_dim])
+            self._pair_leaf_of_position[p] = np.concatenate(
+                [self._pair_leaf_of_position[p], leaves]
+            )
+        # Splice the new values into the session-owned sorted columns.  The
+        # batch must be presorted per column: np.insert keeps same-gap values
+        # in the given order, so unsorted input would break the sorted-column
+        # invariant every searchsorted probe relies on.
+        for dim in self._col_values:
+            values = np.ascontiguousarray(matrix[:, dim])
+            value_order = np.argsort(values, kind="stable")
+            sorted_values = values[value_order]
+            at = np.searchsorted(self._col_values[dim], sorted_values)
+            self._col_values[dim] = np.insert(
+                self._col_values[dim], at, sorted_values
+            )
+            self._col_positions[dim] = np.insert(
+                self._col_positions[dim], at, new_positions[value_order]
+            )
+        self._appended += count
+        self.patched_inserts += count
+        self._check_garbage()
+
+    def apply_delete(self, row_id: int) -> None:
+        """Tombstone one deleted row (called by the aggregator)."""
+        self.apply_bulk_delete(np.asarray([row_id], dtype=np.int64))
+
+    def apply_bulk_delete(self, row_ids) -> None:
+        """Tombstone a batch of deleted rows through the validity mask."""
+        self._generation = self._aggregator.mutations
+        if self._dirty:
+            return
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0:
+            return
+        positions = self._positions_of(row_ids)
+        self._live[positions] = False
+        self._num_live -= len(row_ids)
+        self._tombstoned += len(row_ids)
+        self.patched_deletes += len(row_ids)
+        self._check_garbage()
+
+    def maintenance_stats(self) -> Dict[str, int]:
+        """Counters describing how the session has been kept alive."""
+        return {
+            "patched_inserts": self.patched_inserts,
+            "patched_deletes": self.patched_deletes,
+            "reflattens": self.reflattens,
+            "appended_since_flatten": self._appended,
+            "tombstoned_since_flatten": self._tombstoned,
+            "live_rows": self._num_live,
+            "needs_reflatten": int(self.needs_reflatten),
         }
 
     # ------------------------------------------------------------------ helpers
@@ -768,10 +1054,11 @@ class QuerySession:
 
         Repulsive columns contribute at most ``alpha * farthest_distance``;
         attractive columns at most ``-beta * nearest_distance``.  Both probes
-        run over all queries in one ``searchsorted``-style kernel.
+        run over all queries in one ``searchsorted``-style kernel.  The values
+        may include tombstoned rows — a dead row can only move the farthest
+        value out or the nearest value in, which loosens the bound admissibly.
         """
-        column = self._sorted_columns[dim]
-        values = column.values
+        values = self._col_values[dim]
         targets = spec.points[:, dim]
         weight = self._weight_column(spec, dim)
         if len(values) == 0:
@@ -792,20 +1079,30 @@ class QuerySession:
         return -weight * nearest
 
     # ---------------------------------------------------------------- execution
+    def run_one(self, query) -> TopKResult:
+        """The ``m = 1`` fast path: one SD-Query through the batch kernels.
+
+        This is what ``SDIndex.query`` runs by default; scores are bit-identical
+        to the legacy threshold traversal (same floating-point term order) and
+        ties at the k-th boundary resolve by the deterministic row-id order.
+        """
+        result = self.run([query], _label="sd-index/fast").results[0]
+        return result
+
     def run(
         self,
         queries,
         k=None,
         alpha=None,
         beta=None,
+        _label: str = "sd-index/batch",
     ) -> BatchResult:
-        """Answer a batch of queries against the session snapshot."""
+        """Answer a batch of queries against the maintained session state."""
         aggregator = self._aggregator
-        if aggregator.mutations != self._generation:
-            raise RuntimeError(
-                "the index was updated after this QuerySession was created; "
-                "create a new session (or call SDIndex.batch_query, which does)"
-            )
+        if self._dirty or aggregator.mutations != self._generation:
+            # Garbage crossed the threshold (or an unpatched mutation slipped
+            # by): rebuild the flattened state before answering.
+            self.reflatten()
         spec = BatchQuerySpec.coerce(
             aggregator.repulsive,
             aggregator.attractive,
@@ -816,22 +1113,23 @@ class QuerySession:
             beta=beta,
         )
         m = len(spec)
-        n_live = len(self._rows)
+        n_live = self._num_live
         if m == 0:
-            return BatchResult(results=[], algorithm="sd-index/batch")
+            return BatchResult(results=[], algorithm=_label)
         if n_live == 0:
             return BatchResult(
                 results=[
-                    TopKResult(matches=[], algorithm="sd-index/batch")
+                    TopKResult(matches=[], algorithm=_label)
                     for _ in range(m)
                 ],
-                algorithm="sd-index/batch",
+                algorithm=_label,
             )
         ks_eff = np.minimum(spec.ks, n_live)
+        live_positions = np.flatnonzero(self._live)
 
         # Per-pair leaf bounds (shared traversal + per-partition resolution).
         pair_ubs: List[np.ndarray] = []
-        for rep_dim, att_dim, flat, _positions in self._pairs:
+        for rep_dim, att_dim, flat in self._pairs:
             pair_ubs.append(
                 leaf_score_bounds(
                     flat,
@@ -844,7 +1142,7 @@ class QuerySession:
 
         column_max = {
             dim: self._column_max_contribution(dim, spec)
-            for dim in self._sorted_columns
+            for dim in self._col_values
         }
 
         # Seeded lower bound on each query's k-th best score.
@@ -853,24 +1151,66 @@ class QuerySession:
             if len(column):
                 magnitude = max(magnitude, float(np.abs(column).max()))
             magnitude = max(magnitude, float(np.abs(spec.points[:, dim]).max()))
+        weight_scale = spec.alpha.sum(axis=1) + spec.beta.sum(axis=1)
         threshold = _seeded_threshold(
-            lambda sample: self._score_block(sample, spec),
+            lambda sample: self._score_block(live_positions[sample], spec),
             ks_eff,
             n_live,
             self._seed_pool,
-            spec.alpha.sum(axis=1) + spec.beta.sum(axis=1),
+            weight_scale,
             magnitude,
         )
 
-        candidate_positions = self._enumerate_candidates(
-            spec, pair_ubs, column_max, threshold
+        column_total = np.zeros(m)
+        for contribution in column_max.values():
+            column_total = column_total + contribution
+
+        candidates = self._enumerate_candidates(
+            spec, pair_ubs, column_total, column_max, threshold, live_positions
         )
 
         results: List[TopKResult] = []
         for j in range(m):
-            positions = candidate_positions[j]
+            positions, cand_bounds = candidates[j]
+            k_eff = int(ks_eff[j])
+            # Stage 2: tighten the threshold to the exact k-th best of the
+            # best candidates by bound, then re-prune the rest against it.
+            positions, refined, head_count = _refine_candidates(
+                positions,
+                cand_bounds,
+                k_eff,
+                lambda sample: self._score_one(sample, spec, j),
+                float(weight_scale[j]),
+                magnitude,
+            )
+            if refined is not None and self._pairs and (
+                len(self._pairs) + len(self._col_values) >= 2
+            ) and len(positions) > max(_VERIFY_POOL, 4 * k_eff):
+                # Stage 3: the leaf-level bound of the first pair is the
+                # coarsest term — replace it with that pair's *exact*
+                # partial score (still admissible, far tighter) and
+                # re-prune once more before full verification.
+                rep_dim, att_dim, _flat = self._pairs[0]
+                rep_w = self._weight_column(spec, rep_dim)[j]
+                att_w = self._weight_column(spec, att_dim)[j]
+                tight = rep_w * np.abs(
+                    self._columns_by_dim[rep_dim][positions]
+                    - spec.points[j, rep_dim]
+                ) - att_w * np.abs(
+                    self._columns_by_dim[att_dim][positions]
+                    - spec.points[j, att_dim]
+                )
+                tight += column_total[j]
+                for p in range(1, len(self._pairs)):
+                    tight += pair_ubs[p][j][
+                        self._pair_leaf_of_position[p][positions]
+                    ]
+                positions = positions[tight >= refined]
+            # Exact scorings performed: the refine head plus the final verify
+            # pass (head survivors are rescored — bounded by max(64, 4k)).
+            examined = head_count + len(positions)
             scores = self._score_one(positions, spec, j)
-            top = select_topk(scores, self._rows[positions], int(ks_eff[j]))
+            top = select_topk(scores, self._rows[positions], k_eff)
             matches = [
                 Match(
                     row_id=int(self._rows[positions[i]]),
@@ -882,46 +1222,47 @@ class QuerySession:
             results.append(
                 TopKResult(
                     matches=matches,
-                    candidates_examined=len(positions),
-                    full_evaluations=len(positions),
-                    algorithm="sd-index/batch",
+                    candidates_examined=examined,
+                    full_evaluations=examined,
+                    algorithm=_label,
                 )
             )
-        return BatchResult(results=results, algorithm="sd-index/batch")
+        return BatchResult(results=results, algorithm=_label)
 
     def _enumerate_candidates(
         self,
         spec: BatchQuerySpec,
         pair_ubs: List[np.ndarray],
+        column_total: np.ndarray,
         column_max: Dict[int, np.ndarray],
         threshold: np.ndarray,
-    ) -> List[np.ndarray]:
-        """Per-query candidate positions, pruned by admissible per-point bounds.
+        live_positions: np.ndarray,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-query ``(positions, bounds)``, pruned by admissible point bounds.
 
         With 2D pairs, every snapshot position sits in exactly one leaf of each
         pair tree, so ``sum_p leaf_bound_p(point) + sum_cols col_max`` is an
         admissible upper bound on the point's total score; positions whose
-        bound misses the query's pruning threshold are dropped without being
-        scored.  Without pairs, the first sorted column enumerates candidates
-        through vectorized range probes.  With no usable bound the candidate
-        set degenerates to the full snapshot (the vectorized-scan worst case).
+        bound misses the query's pruning threshold — or that are tombstoned —
+        are dropped without being scored.  Without pairs, the first sorted
+        column enumerates candidates through vectorized range probes.  With no
+        usable bound the candidate set degenerates to the live snapshot (the
+        vectorized-scan worst case).  The returned bounds stay aligned with the
+        positions so the verification stage can re-prune after tightening.
         """
         m = len(spec)
-        n_live = len(self._rows)
+        n_total = len(self._rows)
         if self._pairs:
-            column_total = np.zeros(m)
-            for contribution in column_max.values():
-                column_total = column_total + contribution
-            all_positions = np.arange(n_live, dtype=np.int64)
             candidates = []
             for j in range(m):
-                if not np.isfinite(threshold[j]):
-                    candidates.append(all_positions)
-                    continue
-                bound = np.full(n_live, column_total[j])
+                bound = np.full(n_total, column_total[j])
                 for p, leaf_of_position in enumerate(self._pair_leaf_of_position):
                     bound += pair_ubs[p][j][leaf_of_position]
-                candidates.append(np.flatnonzero(bound >= threshold[j]))
+                if not np.isfinite(threshold[j]):
+                    positions = live_positions
+                else:
+                    positions = np.flatnonzero((bound >= threshold[j]) & self._live)
+                candidates.append((positions, bound[positions]))
             return candidates
 
         # No 2D pairs: enumerate through the first sorted column instead
@@ -933,9 +1274,8 @@ class QuerySession:
         else:
             dim = pairing.leftover_attractive[0]
             repulsive = False
-        column = self._sorted_columns[dim]
-        values = column.values
-        column_positions = self._positions_of(column.row_ids)
+        values = self._col_values[dim]
+        column_positions = self._col_positions[dim]
         weight = self._weight_column(spec, dim)
         targets = spec.points[:, dim]
         other_max = np.zeros(m)
@@ -943,6 +1283,16 @@ class QuerySession:
             if other_dim != dim:
                 other_max = other_max + contribution
         need = threshold - other_max
+        sign = 1.0 if repulsive else -1.0
+
+        def with_bounds(positions_j, values_j, j):
+            live = self._live[positions_j]
+            positions_j = positions_j[live]
+            bounds_j = other_max[j] + sign * weight[j] * np.abs(
+                values_j[live] - targets[j]
+            )
+            return positions_j, bounds_j
+
         candidates = []
         if repulsive:
             # Keep rows with weight*|v - q| >= need: two tails of the sorted order.
@@ -951,14 +1301,20 @@ class QuerySession:
             high_start = np.searchsorted(values, targets + cut, side="left")
             for j in range(m):
                 if not np.isfinite(need[j]) or need[j] <= 0.0:
-                    candidates.append(column_positions)
+                    candidates.append(with_bounds(column_positions, values, j))
                 else:
                     candidates.append(
-                        np.concatenate(
-                            [
-                                column_positions[: low_stop[j]],
-                                column_positions[high_start[j] :],
-                            ]
+                        with_bounds(
+                            np.concatenate(
+                                [
+                                    column_positions[: low_stop[j]],
+                                    column_positions[high_start[j] :],
+                                ]
+                            ),
+                            np.concatenate(
+                                [values[: low_stop[j]], values[high_start[j] :]]
+                            ),
+                            j,
                         )
                     )
         else:
@@ -967,15 +1323,20 @@ class QuerySession:
             starts = np.searchsorted(values, targets - window, side="left")
             stops = np.searchsorted(values, targets + window, side="right")
             for j in range(m):
-                if not np.isfinite(need[j]):
-                    candidates.append(column_positions)
-                elif need[j] > 0.0:
-                    # Unreachable bound (the seeded k-th best already exceeds
-                    # what this subproblem allows); fall back to everything to
-                    # stay trivially safe.
-                    candidates.append(column_positions)
+                if not np.isfinite(need[j]) or need[j] > 0.0:
+                    # Non-finite: no usable seed.  Positive: unreachable bound
+                    # (the seeded k-th best already exceeds what this
+                    # subproblem allows); fall back to everything to stay
+                    # trivially safe.
+                    candidates.append(with_bounds(column_positions, values, j))
                 else:
-                    candidates.append(column_positions[starts[j] : stops[j]])
+                    candidates.append(
+                        with_bounds(
+                            column_positions[starts[j] : stops[j]],
+                            values[starts[j] : stops[j]],
+                            j,
+                        )
+                    )
         return candidates
 
 
@@ -988,6 +1349,8 @@ def batch_topk_2d(
     alpha=1.0,
     beta=1.0,
     seed_pool: int = _SEED_POOL,
+    flat: Optional[_FlatTree] = None,
+    label: str = "sd-topk/batch",
 ) -> BatchResult:
     """Vectorized batch execution for a single 2D :class:`TopKIndex`.
 
@@ -995,7 +1358,10 @@ def batch_topk_2d(
     projection tree: flatten once, bound every leaf for every query in shared
     per-partition kernels, prune with a seeded k-th best bound, then score the
     survivors with the exact normalized-then-scaled formula of
-    ``TopKIndex.iter_best`` (bit-identical scores).
+    ``TopKIndex.iter_best`` (bit-identical scores).  ``flat`` may be the
+    index's maintained flat session (``TopKIndex.flat_session``), in which case
+    tombstoned rows are filtered through its validity mask; by default the
+    tree is flattened fresh.
     """
     qx, qy, ks = coerce_point_batch(qx, qy, k)
     m = len(qx)
@@ -1005,14 +1371,16 @@ def batch_topk_2d(
         if not np.all(np.isfinite(weights)) or np.any(weights <= 0.0):
             raise ValueError(f"{name} weights must be finite and > 0")
 
-    flat = _FlatTree(index.tree)
-    n_live = len(flat)
+    if flat is None:
+        flat = _FlatTree(index.tree)
+    n_live = flat.live_count
     if n_live == 0 or m == 0:
         return BatchResult(
-            results=[TopKResult(matches=[], algorithm="sd-topk/batch") for _ in range(m)],
-            algorithm="sd-topk/batch",
+            results=[TopKResult(matches=[], algorithm=label) for _ in range(m)],
+            algorithm=label,
         )
     ks_eff = np.minimum(ks, n_live)
+    live_positions = np.flatnonzero(flat.live)
     # Normalize per query through Angle / math.hypot — np.hypot rounds a small
     # fraction of inputs differently, which would break bit-identity with the
     # sequential path's ``iter_best`` (Angle.from_weights + math.hypot).
@@ -1038,7 +1406,9 @@ def batch_topk_2d(
         float(np.abs(qy).max()),
     )
     threshold = _seeded_threshold(
-        lambda sample: np.vstack([exact_scores(sample, j) for j in range(m)]),
+        lambda sample: np.vstack(
+            [exact_scores(live_positions[sample], j) for j in range(m)]
+        ),
         ks_eff,
         n_live,
         seed_pool,
@@ -1049,12 +1419,20 @@ def batch_topk_2d(
     ub = leaf_score_bounds(flat, alphas, betas, qx, qy)
     alive = ub >= threshold[:, None]
     results: List[TopKResult] = []
-    all_positions = np.arange(n_live, dtype=np.int64)
     for j in range(m):
         if alive[j].all():
-            positions = all_positions
+            positions = live_positions
         else:
-            positions = np.flatnonzero(alive[j][flat.leaf_of_pos])
+            positions = np.flatnonzero(alive[j][flat.leaf_of_pos] & flat.live)
+        positions, _refined, head_count = _refine_candidates(
+            positions,
+            ub[j][flat.leaf_of_pos[positions]],
+            int(ks_eff[j]),
+            lambda sample: exact_scores(sample, j),
+            float(alphas[j] + betas[j]),
+            magnitude,
+        )
+        examined = head_count + len(positions)
         scores = exact_scores(positions, j)
         rows = flat.rows[positions]
         top = select_topk(scores, rows, int(ks_eff[j]))
@@ -1069,9 +1447,9 @@ def batch_topk_2d(
         results.append(
             TopKResult(
                 matches=matches,
-                candidates_examined=len(positions),
-                full_evaluations=len(positions),
-                algorithm="sd-topk/batch",
+                candidates_examined=examined,
+                full_evaluations=examined,
+                algorithm=label,
             )
         )
-    return BatchResult(results=results, algorithm="sd-topk/batch")
+    return BatchResult(results=results, algorithm=label)

@@ -95,6 +95,10 @@ class Angle:
             cos, sin = 1.0, 0.0
         object.__setattr__(self, "cos", cos)
         object.__setattr__(self, "sin", sin)
+        # Cache the trig-derived view: every bound resolution and angle-grid
+        # lookup reads ``radians``, and atan2 per access dominates repeated
+        # queries (see the AngleGrid / ProjectionTree resolver caches).
+        object.__setattr__(self, "_radians", math.atan2(sin, cos))
 
     # ------------------------------------------------------------- constructors
     @classmethod
@@ -120,7 +124,7 @@ class Angle:
     # ------------------------------------------------------------------ views
     @property
     def radians(self) -> float:
-        return math.atan2(self.sin, self.cos)
+        return self._radians
 
     @property
     def degrees(self) -> float:

@@ -229,14 +229,20 @@ class _BoundResolver:
 
     _ANGLE_TOLERANCE = 1e-12
 
-    def __init__(self, indexed_angles: Sequence[Angle], query_angle: Angle) -> None:
+    def __init__(
+        self,
+        indexed_angles: Sequence[Angle],
+        query_angle: Angle,
+        radians: Optional[Sequence[float]] = None,
+    ) -> None:
         self.query_angle = query_angle
         self._exact_index: Optional[int] = None
         self._lower_index = 0
         self._upper_index = 0
         self._mu_lower = 1.0
         self._mu_upper = 0.0
-        radians = [angle.radians for angle in indexed_angles]
+        if radians is None:
+            radians = [angle.radians for angle in indexed_angles]
         target = query_angle.radians
         for i, value in enumerate(radians):
             if abs(value - target) <= self._ANGLE_TOLERANCE:
@@ -296,6 +302,11 @@ class ProjectionTree:
         self.leaf_capacity = int(leaf_capacity)
         self.angles: Tuple[Angle, ...] = tuple(angles)
         self.rebuild_threshold = float(rebuild_threshold)
+        #: Per-tree caches: the indexed angles never change, so their radians
+        #: and the (stateless once built) bound resolvers are computed once per
+        #: distinct query angle instead of once per query.
+        self._angle_radians: Tuple[float, ...] = tuple(a.radians for a in self.angles)
+        self._resolver_cache: Dict[Tuple[float, float], _BoundResolver] = {}
 
         xs = np.asarray(x, dtype=float)
         ys = np.asarray(y, dtype=float)
@@ -464,14 +475,31 @@ class ProjectionTree:
         return self.live_count
 
     # ------------------------------------------------------------------ streams
+    def bound_resolver(self, query_angle: Angle) -> _BoundResolver:
+        """The (cached) admissible bound resolver for a query angle.
+
+        Resolvers hold only the bracketing indices and interpolation
+        coefficients, which depend on nothing but the query angle, so repeated
+        queries at the same angle — the common case for serving workloads and
+        for the aggregator's per-pair streams — reuse one resolver instead of
+        recomputing trig and coefficients per query.
+        """
+        key = (query_angle.cos, query_angle.sin)
+        resolver = self._resolver_cache.get(key)
+        if resolver is None:
+            if len(self._resolver_cache) >= 1024:
+                self._resolver_cache.clear()
+            resolver = _BoundResolver(self.angles, query_angle, radians=self._angle_radians)
+            self._resolver_cache[key] = resolver
+        return resolver
+
     def open_stream(self, spec: str, query_x: float, query_angle: Angle) -> ProjectionStream:
         """Open one of the four projection streams for a query axis and angle."""
-        resolver = _BoundResolver(self.angles, query_angle)
-        return ProjectionStream(self, spec, query_x, resolver)
+        return ProjectionStream(self, spec, query_x, self.bound_resolver(query_angle))
 
     def open_streams(self, query_x: float, query_angle: Angle) -> Dict[str, ProjectionStream]:
         """All four projection streams for a query, sharing one bound resolver."""
-        resolver = _BoundResolver(self.angles, query_angle)
+        resolver = self.bound_resolver(query_angle)
         return {
             spec: ProjectionStream(self, spec, query_x, resolver)
             for spec in StreamSpec.ALL

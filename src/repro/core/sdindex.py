@@ -36,7 +36,31 @@ class SDIndex:
     """Top-k SD-Query index for datasets of arbitrary dimensionality.
 
     Queries can be answered one at a time (:meth:`query`) or in vectorized
-    batches (:meth:`batch_query`).  Batch semantics:
+    batches (:meth:`batch_query`).
+
+    **Cached session lifecycle.**  Both paths execute on a shared
+    *query session* — the projection trees flattened into leaf-aligned numpy
+    arrays (see :class:`repro.core.batch.QuerySession` and DESIGN.md):
+
+    * The session is built lazily on the first :meth:`query` /
+      :meth:`batch_query` call and then reused; :meth:`query_session` returns
+      it for direct batch use.
+    * :meth:`insert`, :meth:`delete`, :meth:`bulk_insert` and
+      :meth:`bulk_delete` do **not** invalidate it: the flattened arrays are
+      patched in place (appended leaf rows, a tombstone validity mask,
+      loosened leaf bounds), so serving continues at full speed across
+      updates.
+    * Once accumulated tombstones plus bound-loosening appends exceed a
+      quarter of the live rows, the session marks itself dirty and reflattens
+      on the next query — exactly the projection tree's own rebuild policy.
+      Call :meth:`refresh_session` to force the reflatten eagerly (e.g. from a
+      maintenance thread after a bulk load).
+
+    The single-query fast path returns scores bit-identical to the legacy
+    threshold traversal, which remains available as the verification oracle
+    via ``query(..., engine="legacy")``.
+
+    Batch semantics:
 
     * The batch is an ``(m, num_dims)`` array of query points plus per-query
       ``k`` and weights, a sequence of :class:`SDQuery` objects, or a
@@ -122,28 +146,41 @@ class SDIndex:
         k: Optional[int] = None,
         alpha: Optional[Sequence[float]] = None,
         beta: Optional[Sequence[float]] = None,
+        engine: str = "fast",
     ) -> TopKResult:
         """Answer an SD-Query.
 
         Either pass a fully specified :class:`SDQuery` (whose dimension roles must
         match the index) or pass the query point together with ``k`` and optional
         weights, and the index fills in its own dimension roles.
+
+        ``engine`` selects the execution path: ``"fast"`` (default) runs the
+        vectorized filter-and-verify kernels over the cached query session;
+        ``"legacy"`` runs the original per-stream threshold aggregation.  Both
+        return bit-identical scores; an exact score tie at the k-th boundary
+        resolves by row id on the fast path and by traversal order on the
+        legacy path.
         """
+        if engine not in ("fast", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'legacy'")
         if isinstance(query, SDQuery):
             if k is not None or alpha is not None or beta is not None:
                 raise ValueError("pass either an SDQuery or point/k/weights, not both")
-            return self._aggregator.query(query)
-        if k is None:
-            raise ValueError("k is required when querying with a raw point")
-        built = SDQuery.simple(
-            point=query,
-            repulsive=self.repulsive,
-            attractive=self.attractive,
-            k=k,
-            alpha=alpha,
-            beta=beta,
-        )
-        return self._aggregator.query(built)
+            built = query
+        else:
+            if k is None:
+                raise ValueError("k is required when querying with a raw point")
+            built = SDQuery.simple(
+                point=query,
+                repulsive=self.repulsive,
+                attractive=self.attractive,
+                k=k,
+                alpha=alpha,
+                beta=beta,
+            )
+        if engine == "legacy":
+            return self._aggregator.query(built)
+        return self._aggregator.query_fast(built)
 
     def batch_query(
         self,
@@ -161,18 +198,42 @@ class SDIndex:
         """
         return self._aggregator.batch_query(queries, k=k, alpha=alpha, beta=beta)
 
-    def query_session(self):
-        """A reusable shared-traversal batch session (invalidated by updates)."""
-        return self._aggregator.session()
+    def query_session(self, seed_pool: Optional[int] = None):
+        """The shared query session (kept valid across updates by patching).
+
+        With the default ``seed_pool`` this is the same session the
+        single-query fast path and :meth:`batch_query` use; its
+        ``maintenance_stats()`` expose how many updates were patched in place
+        and how often it reflattened.  Pass a custom ``seed_pool`` for a
+        private session (also maintained).
+        """
+        return self._aggregator.session(seed_pool=seed_pool)
+
+    def refresh_session(self) -> None:
+        """Force the cached session to reflatten now (instead of lazily)."""
+        session = self._aggregator._serving_session
+        if session is not None:
+            session.reflatten()
 
     # ------------------------------------------------------------------ updates
     def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
-        """Insert a point into the index; returns its row id."""
+        """Insert a point into the index; returns its row id.
+
+        Cached query sessions are patched in place, not invalidated.
+        """
         return self._aggregator.insert(point, row_id)
 
+    def bulk_insert(self, points, row_ids: Optional[Sequence[int]] = None):
+        """Insert many points at once (one vectorized session patch); returns ids."""
+        return self._aggregator.bulk_insert(points, row_ids)
+
     def delete(self, row_id: int) -> None:
-        """Delete a point from the index by row id."""
+        """Delete a point from the index by row id (sessions tombstone it)."""
         self._aggregator.delete(row_id)
+
+    def bulk_delete(self, row_ids: Sequence[int]) -> None:
+        """Delete many rows at once (one vectorized session patch)."""
+        self._aggregator.bulk_delete(row_ids)
 
     def __len__(self) -> int:
         return len(self._aggregator)

@@ -150,6 +150,10 @@ class Top1Index:
         }
         self._pending: Dict[int, Tuple[float, float]] = {}
         self._build_seconds = 0.0
+        #: Lazily built numpy views of the region structures (breakpoints and
+        #: owners/candidate sets) shared by the single-query fast path and the
+        #: vectorized batch path; invalidated whenever a region changes.
+        self._region_cache = None
         self._rebuild()
 
     # ------------------------------------------------------------------ build
@@ -202,7 +206,37 @@ class Top1Index:
             }
             for structure in self._klists.values():
                 self._owner_rows.update(structure.indexed_rows())
+        self._region_cache = None
         self._build_seconds += time.perf_counter() - started
+
+    def _region_arrays(self):
+        """Cached numpy region lookups (rebuilt only when a region changed)."""
+        if self._region_cache is None:
+            if self.k == 1:
+                self._region_cache = (
+                    "envelopes",
+                    [
+                        (
+                            np.asarray(envelope.breakpoints, dtype=float),
+                            np.asarray(envelope.owners, dtype=np.int64),
+                        )
+                        for envelope in self._lower_layers + self._upper_layers
+                        if envelope.owners
+                    ],
+                )
+            else:
+                self._region_cache = (
+                    "klists",
+                    [
+                        (
+                            name.endswith("left"),
+                            np.asarray(structure.breakpoints, dtype=float),
+                            structure.candidate_sets,
+                        )
+                        for name, structure in self._klists.items()
+                    ],
+                )
+        return self._region_cache
 
     # ------------------------------------------------------------------ queries
     def __len__(self) -> int:
@@ -220,18 +254,21 @@ class Top1Index:
             raise ValueError(f"k must be in [1, {self.k}] for this index, got {k}")
         candidates: Dict[int, float] = {}
         examined = 0
-        if self.k == 1:
-            for envelope in self._lower_layers + self._upper_layers:
-                owner = envelope.owner_at(qx)
-                if owner is not None and owner not in candidates:
+        kind, structures = self._region_arrays()
+        qx = float(qx)
+        if kind == "envelopes":
+            for breakpoints, owners in structures:
+                owner = int(owners[np.searchsorted(breakpoints, qx, side="left")])
+                if owner not in candidates:
                     candidates[owner] = self._score(owner, qx, qy)
                     examined += 1
         else:
             # Left structures index points with x <= qx (sweep value qx), right
             # structures index points with x >= qx (sweep value -qx).
-            for name, structure in self._klists.items():
-                sweep_value = qx if name.endswith("left") else -qx
-                for row in structure.candidates_at(sweep_value):
+            for is_left, breakpoints, candidate_sets in structures:
+                sweep_value = qx if is_left else -qx
+                position = int(np.searchsorted(breakpoints, sweep_value, side="right"))
+                for row in candidate_sets[position]:
                     if row not in candidates:
                         candidates[row] = self._score(row, qx, qy)
                         examined += 1
@@ -267,26 +304,23 @@ class Top1Index:
         if np.any(ks > self.k):
             raise ValueError(f"k must be in [1, {self.k}] for this index")
 
-        # Region lookups for all queries in one searchsorted kernel per structure.
+        # Region lookups for all queries in one searchsorted kernel per
+        # structure, over the cached numpy views.
         per_query_candidates: List[List[int]] = [[] for _ in range(m)]
-        if self.k == 1:
-            for envelope in self._lower_layers + self._upper_layers:
-                if not envelope.owners:
-                    continue
-                breakpoints = np.asarray(envelope.breakpoints, dtype=float)
-                owners = np.asarray(envelope.owners, dtype=np.int64)
+        kind, structures = self._region_arrays()
+        if kind == "envelopes":
+            for breakpoints, owners in structures:
                 positions = np.searchsorted(breakpoints, qx, side="left")
                 env_owners = owners[positions]
                 for j in range(m):
                     per_query_candidates[j].append(int(env_owners[j]))
         else:
-            for name, structure in self._klists.items():
-                breakpoints = np.asarray(structure.breakpoints, dtype=float)
-                sweep = qx if name.endswith("left") else -qx
+            for is_left, breakpoints, candidate_sets in structures:
+                sweep = qx if is_left else -qx
                 positions = np.searchsorted(breakpoints, sweep, side="right")
                 for j in range(m):
                     per_query_candidates[j].extend(
-                        structure.candidate_sets[int(positions[j])]
+                        candidate_sets[int(positions[j])]
                     )
         pending_rows = list(self._pending)
 
@@ -370,6 +404,7 @@ class Top1Index:
                     Envelope(EnvelopeSide.UPPER_PROJECTIONS, [row_id], [])
                 ]
             self._owner_rows.add(row_id)
+            self._region_cache = None
             return row_id
 
         self._pending[row_id] = (px, py)

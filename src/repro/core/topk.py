@@ -1,23 +1,33 @@
 """Top-k SD-Queries over 2D points with runtime ``k`` and weights (Section 4).
 
 :class:`TopKIndex` wraps a :class:`repro.core.projection_tree.ProjectionTree`
-and implements two query strategies:
+and implements three query strategies:
 
-``"streams"`` (default)
+``"flat"`` (default)
+    Run the vectorized filter-and-verify kernels of :mod:`repro.core.batch`
+    over a cached flattened view of the tree (the ``m = 1`` case of the batch
+    engine).  The flat view is built lazily and *maintained*: inserts append
+    leaf-assigned rows and loosen only the covering leaf's bounds, deletes
+    tombstone through a validity mask, and the view reflattens only once
+    garbage crosses a threshold (see DESIGN.md).  Scores are bit-identical to
+    ``"streams"``.
+
+``"streams"``
     Open the four projection streams at the query angle and merge them with a
     TA-style threshold: the stream heads give an upper bound on the score of any
     point not yet seen, so the merge can stop as soon as the provisional k-th
     best score reaches that bound.  This is the refinement of Algorithm 2
     discussed in DESIGN.md; it is exact for every angle because per-node bounds
     at non-indexed angles are derived admissibly from the bracketing indexed
-    angles.
+    angles.  Kept as the oracle for the flat path and for the incremental
+    ``iter_best`` stream the Section 5 aggregation consumes.
 
 ``"claim6"``
     The paper's Algorithm 4: answer the query at the lower bracketing indexed
     angle, then enumerate results at the upper bracketing angle until they cover
     that answer set, and re-rank the union at the true query angle (Claim 6).
 
-Both strategies return identical score sets; the ``claim6`` strategy is kept for
+All strategies return identical score sets; the ``claim6`` strategy is kept for
 fidelity and for the angle-grid ablation experiments.
 """
 
@@ -60,11 +70,29 @@ class TopKIndex:
             row_ids=row_ids,
             rebuild_threshold=rebuild_threshold,
         )
+        #: Maintained flattened view backing the ``"flat"`` strategy and
+        #: ``batch_query``: built lazily, patched on updates, reflattened once
+        #: its garbage fraction exceeds ``rebuild_threshold``.
+        self._flat = None
+        self._flat_dirty = False
+        self._flat_threshold = float(rebuild_threshold)
+        self.session_reflattens = 0
 
     def __len__(self) -> int:
         return len(self.tree)
 
     # ------------------------------------------------------------------ queries
+    def flat_session(self):
+        """The cached flattened view of the tree (build or reflatten lazily)."""
+        from repro.core.batch import _FlatTree
+
+        if self._flat is None or self._flat_dirty:
+            if self._flat is not None:
+                self.session_reflattens += 1
+            self._flat = _FlatTree(self.tree)
+            self._flat_dirty = False
+        return self._flat
+
     def query(
         self,
         qx: float,
@@ -72,16 +100,39 @@ class TopKIndex:
         k: int,
         alpha: float = 1.0,
         beta: float = 1.0,
-        strategy: str = "streams",
+        strategy: str = "flat",
     ) -> TopKResult:
         """Return the top-``k`` points for query ``(qx, qy)`` and weights ``alpha, beta``."""
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if strategy == "flat":
+            return self._query_flat(qx, qy, k, alpha, beta)
         if strategy == "streams":
             return self._query_streams(qx, qy, k, alpha, beta)
         if strategy == "claim6":
             return self._query_claim6(qx, qy, k, alpha, beta)
-        raise ValueError(f"unknown strategy {strategy!r}; use 'streams' or 'claim6'")
+        raise ValueError(
+            f"unknown strategy {strategy!r}; use 'flat', 'streams' or 'claim6'"
+        )
+
+    def _query_flat(self, qx: float, qy: float, k: int, alpha: float, beta: float) -> TopKResult:
+        """The ``m = 1`` fast path through the vectorized batch kernels."""
+        if alpha <= 0.0 or beta <= 0.0:
+            # Degenerate axis-aligned weights: the batch kernels require
+            # strictly positive weights, the stream merge does not.
+            return self._query_streams(qx, qy, k, alpha, beta)
+        from repro.core.batch import batch_topk_2d
+
+        return batch_topk_2d(
+            self,
+            [qx],
+            [qy],
+            k,
+            alpha=alpha,
+            beta=beta,
+            flat=self.flat_session(),
+            label="sd-topk/flat",
+        ).results[0]
 
     def batch_query(
         self,
@@ -101,7 +152,8 @@ class TopKIndex:
         """
         from repro.core.batch import batch_topk_2d
 
-        return batch_topk_2d(self, qx, qy, k, alpha=alpha, beta=beta)
+        return batch_topk_2d(self, qx, qy, k, alpha=alpha, beta=beta,
+                             flat=self.flat_session())
 
     def iter_best(
         self,
@@ -265,16 +317,40 @@ class TopKIndex:
 
     # ------------------------------------------------------------------ updates
     def insert(self, x: float, y: float, row_id: Optional[int] = None) -> int:
-        """Insert a point (see :meth:`ProjectionTree.insert`)."""
-        return self.tree.insert(x, y, row_id)
+        """Insert a point (see :meth:`ProjectionTree.insert`).
+
+        The cached flat view, if built, is patched in place rather than
+        discarded: the point is appended to its covering leaf and only that
+        leaf's bounds loosen.
+        """
+        row = self.tree.insert(x, y, row_id)
+        flat = self._flat
+        if flat is not None and not self._flat_dirty:
+            if flat.num_leaves == 0:
+                self._flat_dirty = True
+            else:
+                flat.append_points([row], [float(x)], [float(y)])
+                if flat.garbage_fraction() > self._flat_threshold:
+                    self._flat_dirty = True
+        return row
 
     def delete(self, row_id: int) -> None:
-        """Delete a point (see :meth:`ProjectionTree.delete`)."""
+        """Delete a point (see :meth:`ProjectionTree.delete`).
+
+        The cached flat view tombstones the row through its validity mask.
+        """
         self.tree.delete(row_id)
+        flat = self._flat
+        if flat is not None and not self._flat_dirty:
+            flat.tombstone_rows([row_id])
+            if flat.garbage_fraction() > self._flat_threshold:
+                self._flat_dirty = True
 
     def rebuild(self) -> None:
-        """Force a rebuild of the underlying tree."""
+        """Force a rebuild of the underlying tree (drops the flat view too)."""
         self.tree.rebuild()
+        self._flat = None
+        self._flat_dirty = False
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> IndexStats:

@@ -82,20 +82,26 @@ def time_queries(
     workload: QueryWorkload,
     repeat: int = 1,
     collect_results: bool = False,
+    query_options: Optional[Dict] = None,
 ) -> TimingSummary:
     """Run every query of the workload ``repeat`` times and summarize the timings.
 
     The per-query timing uses ``time.perf_counter`` around the ``query`` call
     only (index construction is measured separately by the construction
     experiments), mirroring how the paper reports querying time.
+
+    ``query_options`` is forwarded to every ``query`` call; benchmarks use it
+    to pin an execution engine (e.g. ``{"engine": "legacy"}`` on the SD-Index
+    to time the threshold-traversal oracle against the flattened fast path).
     """
     durations: List[float] = []
     candidate_counts: List[int] = []
     results: List[TopKResult] = []
+    options = query_options or {}
     for _ in range(max(1, repeat)):
         for query in workload:
             started = time.perf_counter()
-            result = algorithm.query(query)
+            result = algorithm.query(query, **options)
             durations.append(time.perf_counter() - started)
             candidate_counts.append(result.candidates_examined)
             if collect_results:

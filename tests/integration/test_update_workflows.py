@@ -115,7 +115,7 @@ class TestBatchQueryUpdateInterleaving:
             assert batch[j].row_ids == single.row_ids
             assert batch[j].scores == single.scores
 
-    def test_stale_session_refuses_and_fresh_session_recovers(self):
+    def test_session_is_patched_in_place_across_updates(self):
         rng = np.random.default_rng(33)
         base = rng.random((120, 4))
         index = SDIndex.build(base, repulsive=[0, 1], attractive=[2, 3])
@@ -123,14 +123,25 @@ class TestBatchQueryUpdateInterleaving:
         points = rng.random((4, 4))
         before = session.run(points, k=3)
         row = index.insert(rng.random(4))
-        with pytest.raises(RuntimeError):
-            session.run(points, k=3)
+        # The session stays valid: the insert was patched in, not invalidated.
+        with_insert = session.run(points, k=3)
+        fresh = SDIndex.build(
+            np.vstack([base, index.point(row)[None, :]]),
+            repulsive=[0, 1], attractive=[2, 3],
+        ).batch_query(points, k=3)
+        for j in range(4):
+            assert with_insert[j].row_ids == fresh[j].row_ids
+            assert with_insert[j].scores == fresh[j].scores
         index.delete(row)
-        after = index.batch_query(points, k=3)
+        after = session.run(points, k=3)
         # Insert followed by delete restores the original answer set.
         for j in range(4):
             assert before[j].row_ids == after[j].row_ids
             assert before[j].scores == after[j].scores
+        stats = session.maintenance_stats()
+        assert stats["patched_inserts"] == 1
+        assert stats["patched_deletes"] == 1
+        assert stats["reflattens"] == 0
 
 
 class TestTopKIndexRebuildPolicy:

@@ -181,18 +181,23 @@ class TestSDIndexBatchEquivalence:
         for result in batch:
             assert len(result) == len(data)
 
-    def test_session_is_invalidated_by_updates(self):
+    def test_session_is_maintained_across_updates(self):
         rng = np.random.default_rng(4)
         data = rng.random((50, 4))
         index = SDIndex.build(data, repulsive=[0, 1], attractive=[2, 3])
         session = index.query_session()
         session.run(rng.random((2, 4)), k=3)
-        index.insert(rng.random(4))
-        with pytest.raises(RuntimeError):
-            session.run(rng.random((2, 4)), k=3)
-        # A fresh session sees the update.
-        fresh = index.batch_query(rng.random((2, 4)), k=3)
-        assert len(fresh) == 2
+        row = index.insert(np.full(4, 10.0))
+        # The session sees the update without a rebuild: a far-away point
+        # dominates a pure-repulsive-leaning query immediately.
+        points = rng.random((2, 4))
+        patched = session.run(points, k=3)
+        oracle = SequentialScan(
+            np.vstack([data, index.point(row)[None, :]]), [0, 1], [2, 3]
+        ).batch_query(points, k=3)
+        for j in range(2):
+            assert patched[j].row_ids == oracle[j].row_ids
+            assert patched[j].scores == oracle[j].scores
 
 
 class TestTopKIndexBatchEquivalence:
