@@ -19,6 +19,7 @@ from repro.core.geometry import Angle
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
 from repro.core.results import BatchResult, IndexStats, Match, TopKResult
 from repro.core.sdindex import SDIndex
+from repro.core.sharding import ShardedIndex, ShardedXYIndex, ShardRouter
 from repro.core.top1 import Top1Index
 from repro.core.topk import TopKIndex
 
@@ -39,6 +40,9 @@ __all__ = [
     "QuerySession",
     "IndexStats",
     "SDIndex",
+    "ShardedIndex",
+    "ShardedXYIndex",
+    "ShardRouter",
     "Top1Index",
     "TopKIndex",
     "__version__",

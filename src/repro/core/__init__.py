@@ -7,6 +7,7 @@ re-exported from the top-level :mod:`repro` package.
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
 from repro.core.results import IndexStats, Match, TopKResult
 from repro.core.sdindex import SDIndex
+from repro.core.sharding import ShardedIndex, ShardedXYIndex, ShardRouter
 from repro.core.top1 import Top1Index
 from repro.core.topk import TopKIndex
 
@@ -20,6 +21,9 @@ __all__ = [
     "TopKResult",
     "IndexStats",
     "SDIndex",
+    "ShardedIndex",
+    "ShardedXYIndex",
+    "ShardRouter",
     "Top1Index",
     "TopKIndex",
 ]

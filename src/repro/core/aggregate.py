@@ -34,7 +34,25 @@ from repro.substrates.bidirectional import FarthestFirstExplorer, NearestFirstEx
 from repro.substrates.heaps import BoundedMaxHeap
 from repro.substrates.sorted_column import SortedColumn
 
-__all__ = ["SubproblemAggregator"]
+__all__ = ["SubproblemAggregator", "claim_row_id"]
+
+
+def claim_row_id(row_id, max_row_id: int, is_deleted, is_present) -> int:
+    """The row-id claim policy shared by the aggregator and the sharded router.
+
+    ``None`` auto-assigns one past the high-water mark ``max_row_id``; deleted
+    ids are never reusable (their physical copies may still sit in bulk
+    arrays) and live ids cannot be claimed twice.  Callers advance their own
+    high-water mark with the returned id.
+    """
+    if row_id is None:
+        row_id = max_row_id + 1
+    row_id = int(row_id)
+    if is_deleted(row_id):
+        raise ValueError(f"row id {row_id} was deleted and cannot be reused")
+    if is_present(row_id):
+        raise ValueError(f"row id {row_id} already present")
+    return row_id
 
 
 class _PairStream:
@@ -114,6 +132,9 @@ class SubproblemAggregator:
         self._base_matrix = matrix
         self._extra_points: Dict[int, np.ndarray] = {}
         self._deleted: set = set()
+        #: Largest row id ever present; auto-assigned ids are this plus one
+        #: (deleted ids stay unavailable, so the counter never moves back).
+        self._max_row_id = max(rows) if rows else -1
 
         self.pairing: DimensionPairing = pair_dimensions(
             self.repulsive, self.attractive, strategy=pairing, data=matrix
@@ -193,14 +214,14 @@ class SubproblemAggregator:
             raise ValueError(f"point must have {self._num_dims} dimensions")
         return vector
 
-    def _claim_row_id(self, row_id: Optional[int], used: set) -> int:
-        if row_id is None:
-            row_id = (max(used | self._deleted) + 1) if (used or self._deleted) else 0
-        row_id = int(row_id)
-        if row_id in used:
-            raise ValueError(f"row id {row_id} already present")
-        if row_id in self._deleted:
-            raise ValueError(f"row id {row_id} was deleted and cannot be reused")
+    def _claim_row_id(self, row_id: Optional[int]) -> int:
+        row_id = claim_row_id(
+            row_id,
+            self._max_row_id,
+            self._deleted.__contains__,
+            lambda r: r in self._base_rows or r in self._extra_points,
+        )
+        self._max_row_id = max(self._max_row_id, row_id)
         return row_id
 
     def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
@@ -210,8 +231,7 @@ class SubproblemAggregator:
         rather than invalidated — see :meth:`session`.
         """
         vector = self._validate_new_point(point)
-        used = (set(self._base_rows) | set(self._extra_points)) - self._deleted
-        row_id = self._claim_row_id(row_id, used)
+        row_id = self._claim_row_id(row_id)
         self._extra_points[row_id] = vector
         for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
             index.insert(vector[att_dim], vector[rep_dim], row_id)
@@ -238,20 +258,15 @@ class SubproblemAggregator:
             raise ValueError(
                 f"points must have shape (m, {self._num_dims}), got {matrix.shape}"
             )
-        used = (set(self._base_rows) | set(self._extra_points)) - self._deleted
         if row_ids is None:
-            ids: List[int] = []
-            for _ in range(len(matrix)):
-                claimed = self._claim_row_id(None, used)
-                ids.append(claimed)
-                used.add(claimed)
+            ids = [self._claim_row_id(None) for _ in range(len(matrix))]
         else:
             ids = [int(r) for r in row_ids]
             if len(ids) != len(matrix):
                 raise ValueError("row_ids must align with the points")
             if len(set(ids)) != len(ids):
                 raise ValueError("row ids must be unique")
-            ids = [self._claim_row_id(r, used) for r in ids]
+            ids = [self._claim_row_id(r) for r in ids]
         if not len(matrix):
             return []
         for row_id, vector in zip(ids, matrix):

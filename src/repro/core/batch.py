@@ -454,6 +454,25 @@ class BatchQuerySpec:
         betas = _weight_matrix(beta, m, len(attractive), "beta")
         return cls(points, ks, alphas, betas, repulsive, attractive)
 
+    def subset(self, js) -> "BatchQuerySpec":
+        """The spec restricted to the query indices ``js`` (order preserved).
+
+        The sharded serving engine uses this to hand each shard probe only the
+        queries that still need that shard, without re-validating the batch.
+        """
+        js = np.asarray(js, dtype=np.int64)
+        return BatchQuerySpec(
+            points=self.points[js],
+            ks=self.ks[js],
+            alpha=self.alpha[js],
+            beta=self.beta[js],
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            orders=None
+            if self.orders is None
+            else [self.orders[int(j)] for j in js],
+        )
+
     def query(self, j: int) -> SDQuery:
         """Single-query view of batch member ``j`` (for oracles and tests)."""
         return SDQuery.simple(
@@ -668,6 +687,51 @@ class _FlatTree:
     def garbage_fraction(self) -> float:
         """Accumulated garbage + imbalance relative to the live population."""
         return (self.appended + self.dead) / max(self.live_count, 1)
+
+    def collapsed(self) -> "_CollapsedTree":
+        """A one-pseudo-leaf view aggregating every leaf's stored bounds.
+
+        Feeding the view to :func:`leaf_score_bounds` yields an admissible
+        upper bound on the 2D partial score of *any* stored point, in O(1)
+        leaves per query — the whole-shard bound the sharded serving engine
+        prunes with.  Tombstoned rows may loosen the aggregate (never tighten
+        it), so the bound stays admissible across maintenance.
+        """
+        return _CollapsedTree(self)
+
+
+class _CollapsedTree:
+    """The aggregate of a :class:`_FlatTree`'s leaves as a single pseudo-leaf."""
+
+    __slots__ = (
+        "leaf_bounds",
+        "leaf_min_x",
+        "leaf_max_x",
+        "num_leaves",
+        "grid_cos",
+        "grid_sin",
+        "grid_rad",
+    )
+
+    def __init__(self, flat: _FlatTree) -> None:
+        self.grid_cos = flat.grid_cos
+        self.grid_sin = flat.grid_sin
+        self.grid_rad = flat.grid_rad
+        if flat.num_leaves == 0:
+            self.num_leaves = 0
+            self.leaf_bounds = np.empty((0, len(flat.angles), 4), dtype=float)
+            self.leaf_min_x = np.empty(0, dtype=float)
+            self.leaf_max_x = np.empty(0, dtype=float)
+            return
+        self.num_leaves = 1
+        bounds = np.empty((1, len(flat.angles), 4), dtype=float)
+        bounds[0, :, _MAX_A] = flat.leaf_bounds[:, :, _MAX_A].max(axis=0)
+        bounds[0, :, _MIN_A] = flat.leaf_bounds[:, :, _MIN_A].min(axis=0)
+        bounds[0, :, _MAX_B] = flat.leaf_bounds[:, :, _MAX_B].max(axis=0)
+        bounds[0, :, _MIN_B] = flat.leaf_bounds[:, :, _MIN_B].min(axis=0)
+        self.leaf_bounds = bounds
+        self.leaf_min_x = np.asarray([flat.leaf_min_x.min()])
+        self.leaf_max_x = np.asarray([flat.leaf_max_x.max()])
 
 
 def leaf_score_bounds(
@@ -1078,6 +1142,87 @@ class QuerySession:
         )
         return -weight * nearest
 
+    def sample_scores(self, queries, pool: int, k=None, alpha=None, beta=None) -> np.ndarray:
+        """Scores of an evenly spaced live sample against every query: ``(m, p)``.
+
+        Accumulated in index term order (like the seeding stage of
+        :meth:`run`), so each value is a real point's score up to ulp-level
+        term-order differences — :func:`_prune_bound`'s slack absorbs those.
+        The sharded engine pools these samples across shards to seed a *global*
+        k-th best lower bound before the first probe.
+        """
+        if self._dirty or self._aggregator.mutations != self._generation:
+            self.reflatten()
+        spec = self._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
+        if self._num_live == 0:
+            return np.empty((len(spec), 0))
+        live = np.flatnonzero(self._live)
+        sample = np.unique(
+            np.linspace(0, len(live) - 1, min(len(live), int(pool))).astype(np.int64)
+        )
+        return self._score_block(live[sample], spec)
+
+    def data_magnitude(self) -> float:
+        """Largest absolute scored coordinate in the snapshot (0.0 when empty)."""
+        magnitude = 0.0
+        for column in self._columns_by_dim.values():
+            if len(column):
+                magnitude = max(magnitude, float(np.abs(column).max()))
+        return magnitude
+
+    def upper_bounds(self, queries, k=None, alpha=None, beta=None) -> np.ndarray:
+        """Admissible per-query upper bounds on any live point's total score.
+
+        Each 2D pair contributes the bound of its *collapsed* flat tree (all
+        leaves aggregated into one pseudo-leaf, see
+        :meth:`_FlatTree.collapsed`), each leftover column its maximum possible
+        contribution — O(1) work per pair instead of O(num_leaves).  The
+        sharded serving engine orders and prunes whole shards with this bound:
+        a shard whose bound misses a query's running k-th best score cannot
+        hold any of that query's answers.  Returns ``-inf`` for every query
+        when no live rows remain.
+        """
+        if self._dirty or self._aggregator.mutations != self._generation:
+            self.reflatten()
+        spec = self._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
+        m = len(spec)
+        if self._num_live == 0:
+            return np.full(m, -math.inf)
+        ub = np.zeros(m)
+        for rep_dim, att_dim, flat in self._pairs:
+            collapsed = flat.collapsed()
+            if collapsed.num_leaves == 0:
+                return np.full(m, -math.inf)
+            ub += leaf_score_bounds(
+                collapsed,
+                self._weight_column(spec, rep_dim),
+                self._weight_column(spec, att_dim),
+                spec.points[:, att_dim],
+                spec.points[:, rep_dim],
+            )[:, 0]
+        for dim in self._col_values:
+            ub += self._column_max_contribution(dim, spec)
+        return ub
+
+    def _coerce_spec(self, queries, k=None, alpha=None, beta=None) -> BatchQuerySpec:
+        """Normalize ``queries`` to a spec (pre-built specs pass through)."""
+        if isinstance(queries, BatchQuerySpec):
+            if k is not None or alpha is not None or beta is not None:
+                raise ValueError(
+                    "pass either a BatchQuerySpec or k/weights, not both"
+                )
+            return queries
+        aggregator = self._aggregator
+        return BatchQuerySpec.coerce(
+            aggregator.repulsive,
+            aggregator.attractive,
+            aggregator._num_dims,
+            queries,
+            k=k,
+            alpha=alpha,
+            beta=beta,
+        )
+
     # ---------------------------------------------------------------- execution
     def run_one(self, query) -> TopKResult:
         """The ``m = 1`` fast path: one SD-Query through the batch kernels.
@@ -1095,23 +1240,29 @@ class QuerySession:
         k=None,
         alpha=None,
         beta=None,
+        lower_bounds=None,
         _label: str = "sd-index/batch",
     ) -> BatchResult:
-        """Answer a batch of queries against the maintained session state."""
+        """Answer a batch of queries against the maintained session state.
+
+        ``queries`` may also be a pre-built :class:`BatchQuerySpec` (the
+        sharded engine reuses one spec across shard probes).  ``lower_bounds``,
+        when given, is a per-query array of externally derived pruning
+        thresholds — lower bounds on each query's k-th best *global* score
+        that the caller has already lowered by an admissible float slack (via
+        :func:`_prune_bound` with a magnitude covering every data source the
+        bounds were computed from; the sharded router uses the maximum over
+        all shards, which this shard's local slack could understate).  Pruning
+        tightens to them, so matches scoring strictly below a bound may be
+        omitted from that query's result — exactly what a sharded merge wants,
+        since such rows cannot enter the global top k.
+        """
         aggregator = self._aggregator
         if self._dirty or aggregator.mutations != self._generation:
             # Garbage crossed the threshold (or an unpatched mutation slipped
             # by): rebuild the flattened state before answering.
             self.reflatten()
-        spec = BatchQuerySpec.coerce(
-            aggregator.repulsive,
-            aggregator.attractive,
-            aggregator._num_dims,
-            queries,
-            k=k,
-            alpha=alpha,
-            beta=beta,
-        )
+        spec = self._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
         m = len(spec)
         n_live = self._num_live
         if m == 0:
@@ -1160,6 +1311,8 @@ class QuerySession:
             weight_scale,
             magnitude,
         )
+        if lower_bounds is not None:
+            threshold = np.maximum(threshold, np.asarray(lower_bounds, dtype=float))
 
         column_total = np.zeros(m)
         for contribution in column_max.values():

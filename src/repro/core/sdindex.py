@@ -139,6 +139,35 @@ class SDIndex:
         """
         return cls(data, repulsive=repulsive, attractive=attractive, **kwargs)
 
+    @classmethod
+    def build_sharded(
+        cls,
+        data: np.ndarray,
+        repulsive: Sequence[int],
+        attractive: Sequence[int],
+        num_shards: int = 4,
+        **kwargs,
+    ):
+        """Build a horizontally sharded serving engine over ``data``.
+
+        Returns a :class:`repro.core.sharding.ShardedIndex`: the same
+        ``query``/``batch_query``/update surface as :class:`SDIndex`, with rows
+        hash- or range-partitioned across ``num_shards`` independent shards and
+        queries served by bound-ordered shard probes.  Results are
+        bit-identical to the unsharded engine.  Keyword arguments cover both
+        the sharding knobs (``partitioner``, ``range_dim``, ``parallel``,
+        ``rebalance_threshold``) and the per-shard index options.
+        """
+        from repro.core.sharding import ShardedIndex
+
+        return ShardedIndex(
+            data,
+            repulsive=repulsive,
+            attractive=attractive,
+            num_shards=num_shards,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------ querying
     def query(
         self,

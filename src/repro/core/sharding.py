@@ -1,0 +1,702 @@
+"""Horizontally sharded serving over hash- or range-partitioned row sets.
+
+PRs 1-2 made a *single* index fast: the vectorized batch engine shares one
+flattened traversal across queries and the maintained :class:`QuerySession`
+survives updates in place.  One monolithic flat view is still one flat view —
+every query's candidate enumeration touches arrays proportional to the whole
+dataset, and one insert storm reflattens everything at once.  This module adds
+the standard scale-out step for top-k serving (cf. NeedleTail's
+density/locality-aware any-k serving, arxiv 1611.04705, PAPERS.md):
+
+* **Partitioning.**  A :class:`ShardRouter` splits rows across ``K`` shards,
+  either by a multiplicative hash of the row id (uniform, locality-free) or by
+  range over one scored dimension (quantile boundaries fitted at build time —
+  the locality-aware layout that makes bound pruning bite).  Every row lives in
+  exactly one shard; the router remembers the assignment so deletes and
+  rebalances route exactly.
+* **Per-shard engines.**  Each shard owns a full
+  :class:`repro.core.aggregate.SubproblemAggregator` — its own projection
+  trees, sorted columns and maintained serving :class:`QuerySession` — so
+  updates patch K small flat views instead of one monolithic one, and a
+  garbage-triggered reflatten re-walks only the dirty shard.
+* **Bound-ordered pruned serving.**  Before touching any shard, the engine
+  collects one admissible upper bound per (query, shard) from the collapsed
+  flat leaf arrays (:meth:`QuerySession.upper_bounds` — O(1) pseudo-leaves, not
+  a traversal).  Each query then visits shards in descending bound order;
+  after every round the running global k-th best score tightens, and a shard
+  whose bound misses it (minus the engine's usual float slack) is skipped
+  outright.  Bounds for skipped shards are admissible, so results are
+  *bit-identical* to the unsharded flat engine: identical scores, identical
+  row ids, the same ``(-score, row_id)`` tie-break.
+* **Parallel shard probes.**  Independent probes of one round run on a shared
+  :class:`concurrent.futures.ThreadPoolExecutor` — the numpy kernels release
+  the GIL, so multi-core hosts overlap shard work; merging stays in submission
+  order so the answer never depends on scheduling.
+* **Rebalancing.**  Skewed inserts (a hot range, a monotone key) concentrate
+  rows in few shards.  :meth:`ShardedIndex.rebalance` refits the router on the
+  live data (fresh quantiles for range layouts) and rebuilds the shard
+  aggregators; :meth:`ShardedIndex.maybe_rebalance` does so only once the
+  max/mean shard-size skew crosses a threshold.  Rebalancing preserves the
+  full result set — it only moves rows.
+
+See DESIGN.md section 5 for the policy discussion and the quickstart example
+for construction.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.aggregate import SubproblemAggregator, claim_row_id
+from repro.core.batch import BatchQuerySpec, _prune_bound
+from repro.core.query import SDQuery
+from repro.core.results import BatchResult, IndexStats, TopKResult
+
+__all__ = ["ShardRouter", "ShardedIndex", "ShardedXYIndex"]
+
+#: splitmix64 stream increment and finalizer constants (Steele et al.).
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_SPLITMIX_MIX1 = 0xBF58476D1CE4E5B9
+_SPLITMIX_MIX2 = 0x94D049BB133111EB
+
+_UINT64_MASK = (1 << 64) - 1
+
+#: Default max/mean shard-size skew tolerated before ``maybe_rebalance`` acts.
+_DEFAULT_SKEW_THRESHOLD = 2.0
+
+
+def _hash_shards(row_ids: np.ndarray, num_shards: int, salt: int = 0) -> np.ndarray:
+    """Deterministic avalanche hash (splitmix64 finalizer) of each row id.
+
+    ``salt`` selects an independent layout: a rebalance of a hash-partitioned
+    index bumps it so skew accumulated by non-uniform deletes actually
+    disperses.  The finalizer's full avalanche matters there — layouts under
+    different salts must be uncorrelated, or the surviving (skewed) id
+    population would just rotate to a new shard instead of spreading out.
+    """
+    with np.errstate(over="ignore"):
+        z = row_ids.astype(np.uint64) + np.uint64(
+            (salt * _SPLITMIX_GAMMA) & _UINT64_MASK
+        )
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_SPLITMIX_MIX1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_SPLITMIX_MIX2)
+        z = z ^ (z >> np.uint64(31))
+        return (z % np.uint64(num_shards)).astype(np.int64)
+
+
+class ShardRouter:
+    """Assigns rows to shards and remembers where every live row lives.
+
+    Two partitioners:
+
+    ``"hash"``
+        Multiplicative hash of the row id — uniform regardless of data
+        distribution, no locality.
+    ``"range"``
+        Quantile boundaries over one scored dimension (``range_dim``), fitted
+        from the build data via :meth:`refit`.  Gives shards disjoint value
+        ranges, which is what lets the serving loop prune whole shards whose
+        range is provably too far from a query.
+
+    The explicit ``row_id -> shard`` map (rather than re-deriving the rule) is
+    what keeps deletes exact across :meth:`refit` calls: a row is always
+    removed from the shard it actually lives in, never from where the current
+    rule *would* put it.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        partitioner: str = "hash",
+        range_dim: Optional[int] = None,
+        boundaries: Optional[np.ndarray] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if partitioner not in ("hash", "range"):
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; use 'hash' or 'range'"
+            )
+        if partitioner == "range" and range_dim is None:
+            raise ValueError("range partitioning requires range_dim")
+        self.num_shards = int(num_shards)
+        self.partitioner = partitioner
+        self.range_dim = None if range_dim is None else int(range_dim)
+        self.boundaries = (
+            None if boundaries is None else np.asarray(boundaries, dtype=float)
+        )
+        #: Reshuffle counter mixed into the hash (bumped by rebalances).
+        self.salt = 0
+        self._shard_of: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def refit(self, matrix: np.ndarray, reshuffle: bool = False) -> None:
+        """Refit the partitioning rule to a data matrix.
+
+        Range layouts take fresh quantile boundaries from the matrix.  Hash
+        layouts are data-independent, so a refit only changes anything when
+        ``reshuffle`` is set (a rebalance): the salt is bumped, giving a new
+        uniform layout that disperses delete-induced skew.
+        """
+        if self.partitioner == "hash":
+            if reshuffle:
+                self.salt += 1
+            return
+        if len(matrix) == 0:
+            return
+        quantiles = np.arange(1, self.num_shards) / self.num_shards
+        self.boundaries = np.quantile(matrix[:, self.range_dim], quantiles)
+
+    def route(self, row_ids: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Shard of each (new) row under the current rule, without assigning."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if self.num_shards == 1:
+            return np.zeros(len(row_ids), dtype=np.int64)
+        if self.partitioner == "hash":
+            return _hash_shards(row_ids, self.num_shards, self.salt)
+        if self.boundaries is None:
+            # Built over empty data: no quantiles to fit yet.  Everything
+            # lands in shard 0 until a rebalance refits on live rows.
+            return np.zeros(len(row_ids), dtype=np.int64)
+        return np.searchsorted(
+            self.boundaries, matrix[:, self.range_dim], side="right"
+        ).astype(np.int64)
+
+    def assign(self, row_ids: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Route new rows and record their assignment; returns the shard ids."""
+        shards = self.route(row_ids, matrix)
+        for row, shard in zip(row_ids, shards):
+            self._shard_of[int(row)] = int(shard)
+        return shards
+
+    def shard_of(self, row_id: int) -> int:
+        """The shard a live row is assigned to."""
+        try:
+            return self._shard_of[int(row_id)]
+        except KeyError:
+            raise KeyError(f"row id {row_id} not present") from None
+
+    def release(self, row_id: int) -> int:
+        """Forget a deleted row's assignment; returns the shard it lived in."""
+        shard = self.shard_of(row_id)
+        del self._shard_of[int(row_id)]
+        return shard
+
+    def counts(self) -> np.ndarray:
+        """Live rows per shard."""
+        counts = np.zeros(self.num_shards, dtype=np.int64)
+        for shard in self._shard_of.values():
+            counts[shard] += 1
+        return counts
+
+    def assignments(self) -> Dict[int, int]:
+        """Snapshot of the full ``row_id -> shard`` map (for invariant tests)."""
+        return dict(self._shard_of)
+
+
+class ShardedIndex:
+    """K-shard SD-Query serving engine with bound-ordered pruned fan-out.
+
+    Construction mirrors :class:`repro.core.sdindex.SDIndex` (same dimension
+    roles, same index options forwarded to every shard) plus the sharding
+    knobs; :meth:`query` / :meth:`batch_query` accept the same inputs and
+    return results bit-identical to the unsharded flat engine.  Updates route
+    through the :class:`ShardRouter`; ``serve_stats`` records, per serving
+    call, how many shard probes ran versus were pruned by the bound order.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        repulsive: Sequence[int],
+        attractive: Sequence[int],
+        num_shards: int = 4,
+        partitioner: str = "hash",
+        range_dim: Optional[int] = None,
+        rebalance_threshold: float = _DEFAULT_SKEW_THRESHOLD,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+        row_ids: Optional[Sequence[int]] = None,
+        **index_options,
+    ) -> None:
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("data must be an (n, m) matrix of points")
+        self.repulsive = tuple(int(d) for d in repulsive)
+        self.attractive = tuple(int(d) for d in attractive)
+        self.num_dims = matrix.shape[1]
+        used = set(self.repulsive) | set(self.attractive)
+        if len(used) != len(self.repulsive) + len(self.attractive):
+            raise ValueError("repulsive and attractive dimensions must be disjoint")
+        if not used:
+            raise ValueError(
+                "at least one repulsive or attractive dimension is required"
+            )
+        if any(d < 0 or d >= self.num_dims for d in used):
+            raise ValueError("dimension indexes out of range")
+
+        rows = (
+            np.arange(len(matrix), dtype=np.int64)
+            if row_ids is None
+            else np.asarray([int(r) for r in row_ids], dtype=np.int64)
+        )
+        if len(rows) != len(matrix):
+            raise ValueError("row_ids must align with the data matrix")
+        if len(np.unique(rows)) != len(rows):
+            raise ValueError("row ids must be unique")
+
+        if partitioner == "range" and range_dim is None:
+            # Default to the first attractive dimension: attraction penalizes
+            # distance, so range-disjoint shards are the ones bound pruning
+            # can rule out.
+            range_dim = (self.attractive or self.repulsive)[0]
+        self.router = ShardRouter(num_shards, partitioner, range_dim)
+        self.router.refit(matrix)
+        self.rebalance_threshold = float(rebalance_threshold)
+        self.parallel = bool(parallel)
+        self._max_workers = max_workers
+        self._index_options = dict(index_options)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._deleted: set = set()
+        self._max_row_id = int(rows.max()) if len(rows) else -1
+        self.rebalances = 0
+        #: Counters of the most recent serving call: ``probes`` and ``pruned``
+        #: count (query, shard) pairs probed vs skipped by the bound order;
+        #: ``rounds`` counts the bound-ordered visit waves.
+        self.serve_stats: Dict[str, int] = {"probes": 0, "pruned": 0, "rounds": 0}
+
+        shards = self.router.assign(rows, matrix)
+        self._shards: List[SubproblemAggregator] = [
+            self._build_shard(rows[shards == s], matrix[shards == s])
+            for s in range(self.router.num_shards)
+        ]
+
+    # ------------------------------------------------------------------ basics
+    def _build_shard(
+        self, rows: np.ndarray, matrix: np.ndarray
+    ) -> SubproblemAggregator:
+        return SubproblemAggregator(
+            matrix.reshape(len(rows), self.num_dims),
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            row_ids=[int(r) for r in rows],
+            **self._index_options,
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        """Live rows per shard."""
+        return [len(shard) for shard in self._shards]
+
+    def skew(self) -> float:
+        """Max shard size over the balanced (mean) size; 1.0 is perfect balance."""
+        sizes = self.shard_sizes()
+        total = sum(sizes)
+        if total == 0:
+            return 1.0
+        return max(sizes) / (total / self.num_shards)
+
+    def point(self, row_id: int) -> np.ndarray:
+        """Random access to a live point's full coordinate vector."""
+        return self._shards[self.router.shard_of(row_id)].point(row_id)
+
+    def shard(self, index: int) -> SubproblemAggregator:
+        """Direct access to one shard's aggregator (tests and benchmarks)."""
+        return self._shards[index]
+
+    # ------------------------------------------------------------------ updates
+    def _claim_row_id(self, row_id: Optional[int]) -> int:
+        row_id = claim_row_id(
+            row_id,
+            self._max_row_id,
+            self._deleted.__contains__,
+            self.router._shard_of.__contains__,
+        )
+        self._max_row_id = max(self._max_row_id, row_id)
+        return row_id
+
+    def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
+        """Insert a point; the router picks its shard.  Returns the row id."""
+        vector = np.asarray(point, dtype=float)
+        if vector.shape != (self.num_dims,):
+            raise ValueError(f"point must have {self.num_dims} dimensions")
+        row_id = self._claim_row_id(row_id)
+        shard = int(
+            self.router.assign(
+                np.asarray([row_id], dtype=np.int64), vector[None, :]
+            )[0]
+        )
+        self._shards[shard].insert(vector, row_id=row_id)
+        return row_id
+
+    def bulk_insert(
+        self, points, row_ids: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Insert many points at once (one bulk patch per touched shard)."""
+        matrix = np.asarray(points, dtype=float)
+        if matrix.size == 0:
+            matrix = matrix.reshape(0, self.num_dims)
+        if matrix.ndim != 2 or matrix.shape[1] != self.num_dims:
+            raise ValueError(
+                f"points must have shape (m, {self.num_dims}), got {matrix.shape}"
+            )
+        if row_ids is None:
+            ids = [self._claim_row_id(None) for _ in range(len(matrix))]
+        else:
+            ids = [int(r) for r in row_ids]
+            if len(ids) != len(matrix):
+                raise ValueError("row_ids must align with the points")
+            if len(set(ids)) != len(ids):
+                raise ValueError("row ids must be unique")
+            ids = [self._claim_row_id(r) for r in ids]
+        if not ids:
+            return []
+        id_array = np.asarray(ids, dtype=np.int64)
+        shards = self.router.assign(id_array, matrix)
+        for s in range(self.num_shards):
+            members = shards == s
+            if members.any():
+                self._shards[s].bulk_insert(
+                    matrix[members], row_ids=[int(r) for r in id_array[members]]
+                )
+        return ids
+
+    def delete(self, row_id: int) -> None:
+        """Delete a row from the shard it lives in."""
+        shard = self.router.release(row_id)
+        self._deleted.add(int(row_id))
+        self._shards[shard].delete(row_id)
+
+    def bulk_delete(self, row_ids: Sequence[int]) -> None:
+        """Delete many rows at once (one bulk patch per touched shard)."""
+        ids = [int(r) for r in row_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("row ids must be unique")
+        # Validate everything up front so a bad id cannot half-apply the batch.
+        shards = [self.router.shard_of(row) for row in ids]
+        grouped: Dict[int, List[int]] = {}
+        for row, shard in zip(ids, shards):
+            grouped.setdefault(shard, []).append(row)
+        for row in ids:
+            self.router.release(row)
+            self._deleted.add(row)
+        for shard, members in grouped.items():
+            self._shards[shard].bulk_delete(members)
+
+    # --------------------------------------------------------------- rebalance
+    def rebalance(self) -> bool:
+        """Refit the router on the live data and rebuild every shard.
+
+        Returns True when any row moved.  The result set is preserved exactly
+        — rows only change shards — so serving answers are unchanged.
+        """
+        rows: List[int] = []
+        for shard in self._shards:
+            rows.extend(shard._live_rows())
+        rows.sort()
+        row_array = np.asarray(rows, dtype=np.int64)
+        matrix = (
+            np.asarray([self.point(row) for row in rows], dtype=float)
+            if rows
+            else np.empty((0, self.num_dims), dtype=float)
+        )
+        before = self.router.assignments()
+        self.router.refit(matrix, reshuffle=True)
+        shards = self.router.assign(row_array, matrix)
+        moved = any(before[int(r)] != int(s) for r, s in zip(row_array, shards))
+        self._shards = [
+            self._build_shard(row_array[shards == s], matrix[shards == s])
+            for s in range(self.num_shards)
+        ]
+        self.rebalances += 1
+        return moved
+
+    def maybe_rebalance(self) -> bool:
+        """Rebalance only if the shard-size skew exceeds the threshold."""
+        if self.skew() > self.rebalance_threshold:
+            return self.rebalance()
+        return False
+
+    # ------------------------------------------------------------------ serving
+    def query(
+        self,
+        query: Union[SDQuery, Sequence[float]],
+        k: Optional[int] = None,
+        alpha: Optional[Sequence[float]] = None,
+        beta: Optional[Sequence[float]] = None,
+    ) -> TopKResult:
+        """Answer one SD-Query across all shards (same inputs as ``SDIndex.query``)."""
+        if isinstance(query, SDQuery):
+            if k is not None or alpha is not None or beta is not None:
+                raise ValueError("pass either an SDQuery or point/k/weights, not both")
+            built = query
+        else:
+            if k is None:
+                raise ValueError("k is required when querying with a raw point")
+            built = SDQuery.simple(
+                point=query,
+                repulsive=self.repulsive,
+                attractive=self.attractive,
+                k=k,
+                alpha=alpha,
+                beta=beta,
+            )
+        spec = BatchQuerySpec.coerce(
+            self.repulsive, self.attractive, self.num_dims, [built]
+        )
+        return self._serve(spec).results[0]
+
+    def batch_query(self, queries, k=None, alpha=None, beta=None) -> BatchResult:
+        """Answer a batch of SD-Queries (same inputs as ``SDIndex.batch_query``)."""
+        spec = BatchQuerySpec.coerce(
+            self.repulsive,
+            self.attractive,
+            self.num_dims,
+            queries,
+            k=k,
+            alpha=alpha,
+            beta=beta,
+        )
+        return self._serve(spec)
+
+    def _executor_instance(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            workers = self._max_workers or self.num_shards
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(1, min(workers, self.num_shards)),
+                thread_name_prefix="shard-probe",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the probe executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _serve(self, spec: BatchQuerySpec) -> BatchResult:
+        """The serving loop: bound-ordered shard visits with global pruning."""
+        m = len(spec)
+        label = "sd-sharded/batch"
+        if m == 0:
+            return BatchResult(results=[], algorithm=label)
+        total_live = len(self)
+        if total_live == 0:
+            return BatchResult(
+                results=[TopKResult(matches=[], algorithm=label) for _ in range(m)],
+                algorithm=label,
+            )
+        ks_global = np.minimum(spec.ks, total_live)
+        sessions = [shard.serving_session() for shard in self._shards]
+
+        # One admissible upper bound per (shard, query), from the collapsed
+        # flat leaf arrays; also the point where stale sessions reflatten.
+        ubs = np.vstack([session.upper_bounds(spec) for session in sessions])
+        # Per-query shard visit order, best bound first (stable: equal bounds
+        # keep shard order, so serving is deterministic).
+        order = np.argsort(-ubs, axis=0, kind="stable")
+
+        # Slack scale for the shard-skip test, matching the engine's pruning
+        # slack so an exact tie at the k-th boundary never skips its shard.
+        weight_scale = spec.alpha.sum(axis=1) + spec.beta.sum(axis=1)
+        magnitude = 0.0
+        for session in sessions:
+            magnitude = max(magnitude, session.data_magnitude())
+        for dim in self.repulsive + self.attractive:
+            magnitude = max(magnitude, float(np.abs(spec.points[:, dim]).max()))
+
+        pools: List[List] = [[] for _ in range(m)]
+        examined = np.zeros(m, dtype=np.int64)
+        probes = pruned = rounds = 0
+
+        # Seed a *global* per-query lower bound on the k-th best score from a
+        # cross-shard sample, so far shards can be pruned before any probe and
+        # every probe starts with a tight enumeration threshold.  Sample
+        # scores are real point scores up to ulp-level term-order differences,
+        # which the engine's pruning slack absorbs — admissible.
+        kth_lower = np.full(m, -math.inf)
+        sample_pool = max(64, 1024 // self.num_shards)
+        samples = np.hstack(
+            [session.sample_scores(spec, sample_pool) for session in sessions]
+        )
+        pool_size = samples.shape[1]
+        for j in range(m):
+            k_j = int(ks_global[j])
+            if pool_size >= k_j:
+                kth_lower[j] = np.partition(samples[j], pool_size - k_j)[
+                    pool_size - k_j
+                ]
+
+        for r in range(self.num_shards):
+            skip_below = _prune_bound(kth_lower, weight_scale, magnitude)
+            tasks: Dict[int, List[int]] = {}
+            for j in range(m):
+                shard = int(order[r, j])
+                if not np.isfinite(ubs[shard, j]):
+                    continue  # empty shard: nothing to probe or to count
+                if ubs[shard, j] < skip_below[j]:
+                    pruned += 1
+                    continue
+                tasks.setdefault(shard, []).append(j)
+            if not tasks:
+                break
+            rounds += 1
+            probes += sum(len(js) for js in tasks.values())
+
+            def probe(shard: int, js: List[int]):
+                members = np.asarray(js, dtype=np.int64)
+                # skip_below already carries the pruning slack at the *global*
+                # magnitude, so a shard with small coordinates cannot
+                # under-slack a bound seeded from another shard's samples.
+                return sessions[shard].run(
+                    spec.subset(members),
+                    lower_bounds=skip_below[members],
+                    _label=label,
+                )
+
+            ordered = sorted(tasks.items())
+            if self.parallel and len(ordered) > 1:
+                futures = [
+                    (js, self._executor_instance().submit(probe, shard, js))
+                    for shard, js in ordered
+                ]
+                batches = [(js, future.result()) for js, future in futures]
+            else:
+                batches = [(js, probe(shard, js)) for shard, js in ordered]
+
+            # Merge in fixed shard order so results never depend on scheduling.
+            for js, batch in batches:
+                for j, result in zip(js, batch.results):
+                    pools[j].extend(result.matches)
+                    examined[j] += result.candidates_examined
+                    pools[j].sort()
+                    del pools[j][int(ks_global[j]) :]
+                    if len(pools[j]) >= int(ks_global[j]):
+                        kth_lower[j] = max(kth_lower[j], pools[j][-1].score)
+
+        self.serve_stats = {"probes": probes, "pruned": pruned, "rounds": rounds}
+        results = [
+            TopKResult(
+                matches=pools[j],
+                candidates_examined=int(examined[j]),
+                full_evaluations=int(examined[j]),
+                algorithm="sd-sharded",
+            )
+            for j in range(m)
+        ]
+        return BatchResult(results=results, algorithm=label)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> IndexStats:
+        """Aggregate statistics over every shard."""
+        total_memory = 0
+        total_nodes = 0
+        build_seconds = 0.0
+        for shard in self._shards:
+            stats = shard.stats()
+            total_memory += stats.memory_bytes
+            total_nodes += stats.num_nodes
+            build_seconds += stats.build_seconds or 0.0
+        return IndexStats(
+            name="sd-sharded",
+            num_points=len(self),
+            num_nodes=total_nodes,
+            memory_bytes=total_memory,
+            build_seconds=build_seconds,
+        )
+
+
+class ShardedXYIndex:
+    """2D facade over a :class:`ShardedIndex` mirroring the x/y call shapes.
+
+    ``x`` is the attractive coordinate and ``y`` the repulsive one, exactly as
+    in :class:`repro.core.topk.TopKIndex` (``alpha`` weights ``|y - qy|``,
+    ``beta`` weights ``|x - qx|``).  Scores follow the SD-Index term order
+    ``alpha*|dy| - beta*|dx|`` — mathematically equal to the TopKIndex kernels,
+    bit-identical to the sharded/flat n-dimensional engines.  Default ``k``
+    and weights may be pinned at build time (the ``Top1Index.sharded``
+    apriori-parameter style) or passed per query (``TopKIndex.sharded``).
+    """
+
+    def __init__(
+        self,
+        x: Sequence[float],
+        y: Sequence[float],
+        num_shards: int = 4,
+        k: Optional[int] = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        row_ids: Optional[Sequence[int]] = None,
+        **options,
+    ) -> None:
+        xs = np.asarray(x, dtype=float)
+        ys = np.asarray(y, dtype=float)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("x and y must be 1-d arrays of equal length")
+        self.default_k = None if k is None else int(k)
+        self.default_alpha = float(alpha)
+        self.default_beta = float(beta)
+        self._inner = ShardedIndex(
+            np.column_stack([xs, ys]) if len(xs) else np.empty((0, 2)),
+            repulsive=(1,),
+            attractive=(0,),
+            num_shards=num_shards,
+            row_ids=row_ids,
+            **options,
+        )
+
+    @property
+    def inner(self) -> ShardedIndex:
+        """The underlying n-dimensional sharded engine."""
+        return self._inner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def _resolve(self, k, alpha, beta) -> Tuple[int, float, float]:
+        k = self.default_k if k is None else int(k)
+        if k is None:
+            raise ValueError("k is required (none was pinned at build time)")
+        return (
+            k,
+            self.default_alpha if alpha is None else float(alpha),
+            self.default_beta if beta is None else float(beta),
+        )
+
+    def query(self, qx: float, qy: float, k=None, alpha=None, beta=None) -> TopKResult:
+        """Top-k for one 2D query point."""
+        k, alpha, beta = self._resolve(k, alpha, beta)
+        return self._inner.query([float(qx), float(qy)], k=k, alpha=[alpha], beta=[beta])
+
+    def batch_query(self, qx, qy, k=None, alpha=None, beta=None) -> BatchResult:
+        """Top-k for a batch of 2D query points."""
+        k, alpha, beta = self._resolve(k, alpha, beta)
+        points = np.column_stack(
+            [np.atleast_1d(np.asarray(qx, dtype=float)),
+             np.atleast_1d(np.asarray(qy, dtype=float))]
+        )
+        return self._inner.batch_query(points, k=k, alpha=[alpha], beta=[beta])
+
+    def insert(self, x: float, y: float, row_id: Optional[int] = None) -> int:
+        return self._inner.insert([float(x), float(y)], row_id=row_id)
+
+    def delete(self, row_id: int) -> None:
+        self._inner.delete(row_id)

@@ -81,6 +81,28 @@ class TopKIndex:
     def __len__(self) -> int:
         return len(self.tree)
 
+    @classmethod
+    def sharded(
+        cls,
+        x: Sequence[float],
+        y: Sequence[float],
+        num_shards: int = 4,
+        row_ids: Optional[Sequence[int]] = None,
+        **options,
+    ):
+        """A sharded serving engine over the same 2D point set.
+
+        Returns a :class:`repro.core.sharding.ShardedXYIndex` whose
+        ``query(qx, qy, k, alpha, beta)`` mirrors :meth:`query`; rows are
+        partitioned across ``num_shards`` shards and probed in bound order.
+        Scores follow the SD-Index term order ``alpha*|dy| - beta*|dx|``
+        (mathematically equal to this index's normalized-then-scaled kernel,
+        not bit-for-bit).
+        """
+        from repro.core.sharding import ShardedXYIndex
+
+        return ShardedXYIndex(x, y, num_shards=num_shards, row_ids=row_ids, **options)
+
     # ------------------------------------------------------------------ queries
     def flat_session(self):
         """The cached flattened view of the tree (build or reflatten lazily)."""

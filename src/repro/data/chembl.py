@@ -67,7 +67,11 @@ PAPER_TABLE1: Dict[int, Dict[str, float]] = {
 _EXCEPTION_FRACTION = 0.012
 
 
-def generate_chembl_like(num_molecules: int = 50_000, seed: int = 7) -> Dataset:
+def generate_chembl_like(
+    num_molecules: int = 50_000,
+    seed: int = 7,
+    rng: Optional[np.random.Generator] = None,
+) -> Dataset:
     """Generate the synthetic molecular library.
 
     Parameters
@@ -76,11 +80,14 @@ def generate_chembl_like(num_molecules: int = 50_000, seed: int = 7) -> Dataset:
         Library size; the paper's ChEMBL v2 snapshot has 428,913 molecules, the
         default is scaled down so the qualitative experiment runs in seconds.
     seed:
-        Random seed for reproducibility.
+        Random seed for reproducibility (never the global numpy state).
+    rng:
+        Explicit generator to draw from instead of deriving one from ``seed``.
     """
     if num_molecules < 1000:
         raise ValueError("the qualitative experiment needs at least 1000 molecules")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     num_exceptions = max(50, int(round(_EXCEPTION_FRACTION * num_molecules)))
     num_main = num_molecules - num_exceptions
 

@@ -56,9 +56,16 @@ class Dataset:
         return self.matrix[row]
 
     # ------------------------------------------------------------------ slicing
-    def sample(self, count: int, seed: int = 0, replace: bool = False) -> "Dataset":
+    def sample(
+        self,
+        count: int,
+        seed: int = 0,
+        replace: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Dataset":
         """A random sample of ``count`` rows (seeded, for reproducible workloads)."""
-        rng = np.random.default_rng(seed)
+        if rng is None:
+            rng = np.random.default_rng(seed)
         count = min(count, len(self)) if not replace else count
         rows = rng.choice(len(self), size=count, replace=replace)
         return Dataset(

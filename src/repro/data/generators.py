@@ -14,7 +14,12 @@ top-k / skyline literature:
 
 A clustered distribution is included as an extra stress test for the index
 structures (it is not part of the paper's evaluation but exercises skewed
-envelope shapes).  All generators are seeded and return :class:`Dataset` objects.
+envelope shapes).  All generators are seeded and return :class:`Dataset`
+objects; none ever touches the global numpy random state.  Every generator
+accepts either a ``seed`` (a private :func:`numpy.random.default_rng` stream
+is derived from it) or an explicit ``rng`` generator to draw from — passing
+``rng`` lets callers interleave several generators on one reproducible stream
+(golden regeneration stays order-independent either way).
 """
 
 from __future__ import annotations
@@ -39,9 +44,23 @@ def _column_names(num_dims: int) -> tuple:
     return tuple(f"d{i}" for i in range(num_dims))
 
 
-def generate_uniform(num_points: int, num_dims: int, seed: int = 0) -> Dataset:
+def _resolve_rng(
+    seed: int, rng: Optional[np.random.Generator]
+) -> np.random.Generator:
+    """The stream to draw from: an explicit ``rng`` wins over the ``seed``."""
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+def generate_uniform(
+    num_points: int,
+    num_dims: int,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> Dataset:
     """Independent uniform coordinates in ``[0, 1]``."""
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     matrix = rng.random((num_points, num_dims))
     return Dataset(
         matrix=matrix,
@@ -52,10 +71,14 @@ def generate_uniform(num_points: int, num_dims: int, seed: int = 0) -> Dataset:
 
 
 def generate_correlated(
-    num_points: int, num_dims: int, seed: int = 0, noise: float = 0.08
+    num_points: int,
+    num_dims: int,
+    seed: int = 0,
+    noise: float = 0.08,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dataset:
     """Coordinates positively correlated across dimensions (diagonal band)."""
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     base = rng.random(num_points)
     jitter = rng.normal(0.0, noise, size=(num_points, num_dims))
     matrix = np.clip(base[:, None] + jitter, 0.0, 1.0)
@@ -68,7 +91,11 @@ def generate_correlated(
 
 
 def generate_anticorrelated(
-    num_points: int, num_dims: int, seed: int = 0, noise: float = 0.08
+    num_points: int,
+    num_dims: int,
+    seed: int = 0,
+    noise: float = 0.08,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dataset:
     """Coordinates anti-correlated across dimensions (anti-diagonal band).
 
@@ -76,7 +103,7 @@ def generate_anticorrelated(
     starts uniform, is recentred so its coordinates sum to a value drawn from a
     narrow normal around ``m / 2``, and is clipped back into the unit cube.
     """
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     raw = rng.random((num_points, num_dims))
     target_sum = rng.normal(num_dims / 2.0, noise * num_dims, size=num_points)
     current_sum = raw.sum(axis=1)
@@ -96,9 +123,10 @@ def generate_clustered(
     seed: int = 0,
     num_clusters: int = 8,
     spread: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dataset:
     """Gaussian clusters with centers uniform in the unit cube (extra stress test)."""
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     centers = rng.random((num_clusters, num_dims))
     assignments = rng.integers(0, num_clusters, size=num_points)
     matrix = centers[assignments] + rng.normal(0.0, spread, size=(num_points, num_dims))
@@ -125,13 +153,18 @@ DISTRIBUTIONS: Dict[str, Callable[..., Dataset]] = {
 
 
 def generate_dataset(
-    distribution: str, num_points: int, num_dims: int, seed: int = 0, **kwargs
+    distribution: str,
+    num_points: int,
+    num_dims: int,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
 ) -> Dataset:
-    """Dispatch to a named distribution generator."""
+    """Dispatch to a named distribution generator (``rng`` overrides ``seed``)."""
     try:
         generator = DISTRIBUTIONS[distribution]
     except KeyError:
         raise ValueError(
             f"unknown distribution {distribution!r}; available: {sorted(DISTRIBUTIONS)}"
         ) from None
-    return generator(num_points, num_dims, seed=seed, **kwargs)
+    return generator(num_points, num_dims, seed=seed, rng=rng, **kwargs)

@@ -1,0 +1,143 @@
+"""Sharded-serving experiment: batch throughput versus shard count.
+
+Not a figure of the paper — a scale-out experiment for the serving engine of
+:mod:`repro.core.sharding`.  Two scenarios bracket the partitioning design
+space:
+
+``uniform``
+    Independent uniform coordinates; no locality for range partitioning to
+    exploit, so the sweep shows the overhead floor of the shard fan-out and
+    whatever the tightened cross-shard thresholds save.
+``chembl``
+    The paper's Table 1 shape (attractive drug-likeness with tight locality,
+    repulsive molecular weight spanning wide) with query molecules sampled
+    from the library — the serving case range sharding is built for, where
+    bound-ordered probing prunes most non-local shards outright.
+
+Every sharded answer is verified bit-identical against the single-session
+engine before a timing is reported.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from repro.core.sdindex import SDIndex
+from repro.data.chembl import generate_chembl_like
+from repro.data.generators import generate_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.registry import build_workload
+from repro.workloads.runner import ExperimentResult
+from repro.workloads.workload import BatchWorkload
+
+__all__ = ["shard_sweep", "SHARD_COUNTS"]
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: The paper's ChEMBL v2 library size; scaled by ``config.scale``.
+_CHEMBL_SIZE = 428_913
+
+
+def _verify_identical(batch, expected, context: str) -> None:
+    for mine, theirs in zip(batch, expected):
+        if mine.row_ids != theirs.row_ids or mine.scores != theirs.scores:
+            raise AssertionError(
+                f"{context}: sharded answers drifted from the single-session engine"
+            )
+
+
+def _time_batch(engine, workload, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        engine.batch_query(workload)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _sweep_scenario(
+    name: str,
+    data: np.ndarray,
+    repulsive,
+    attractive,
+    workload,
+    config: ExperimentConfig,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name=f"sharded serving ({name}, {len(data)} points)",
+        x_label="shards",
+        y_label="batch queries/s",
+        notes="answers verified bit-identical to the single-session engine",
+    )
+    baseline = SDIndex.build(
+        data, repulsive=repulsive, attractive=attractive, branching=config.branching
+    )
+    baseline.batch_query(workload)  # build the serving session before timing
+    flat_seconds = _time_batch(baseline, workload)
+    expected = baseline.batch_query(workload)
+    flat_series = result.series_for("SD-Index")
+    for partitioner in ("range", "hash"):
+        series = result.series_for(f"SD-Sharded/{partitioner}")
+        for num_shards in SHARD_COUNTS:
+            sharded = SDIndex.build_sharded(
+                data,
+                repulsive=repulsive,
+                attractive=attractive,
+                num_shards=num_shards,
+                partitioner=partitioner,
+                branching=config.branching,
+            )
+            sharded.batch_query(workload)
+            _verify_identical(
+                sharded.batch_query(workload),
+                expected,
+                f"{name}/{partitioner}/{num_shards}",
+            )
+            seconds = _time_batch(sharded, workload)
+            series.add(num_shards, len(workload) / seconds)
+            sharded.close()
+    for num_shards in SHARD_COUNTS:
+        flat_series.add(num_shards, len(workload) / flat_seconds)
+    return result
+
+
+def shard_sweep(config: ExperimentConfig) -> List[ExperimentResult]:
+    """Throughput of the sharded engine at 1/2/4/8 shards vs the flat engine."""
+    results: List[ExperimentResult] = []
+
+    num_points = config.sizes([_CHEMBL_SIZE])[0]
+    num_queries = config.queries()
+
+    uniform = generate_dataset("uniform", num_points, 4, seed=config.seed).matrix
+    workload = build_workload(
+        "sharded_serving",
+        (0, 1),
+        (2, 3),
+        num_queries=num_queries,
+        num_dims=4,
+        seed=config.seed + 1,
+    )
+    results.append(
+        _sweep_scenario("uniform", uniform, (0, 1), (2, 3), workload, config)
+    )
+
+    chembl = generate_chembl_like(max(1000, num_points), seed=config.seed + 7).matrix
+    rng = np.random.default_rng(config.seed + 2)
+    points = chembl[rng.integers(0, len(chembl), size=num_queries)]
+    chembl_workload = BatchWorkload(
+        points=points,
+        ks=rng.choice(np.asarray([1, 10]), size=num_queries),
+        alphas=rng.uniform(0.05, 1.0, size=(num_queries, 1)),
+        betas=rng.uniform(0.05, 1.0, size=(num_queries, 1)),
+        repulsive=(1,),
+        attractive=(0,),
+        description="query molecules sampled from the library",
+        seed=config.seed + 2,
+    )
+    results.append(
+        _sweep_scenario("chembl", chembl, (1,), (0,), chembl_workload, config)
+    )
+    return results

@@ -21,6 +21,7 @@ from repro.baselines import (
     ThresholdAlgorithm,
 )
 from repro.core.sdindex import SDIndex
+from repro.core.sharding import ShardedIndex
 from repro.workloads.workload import (
     BatchWorkload,
     QueryWorkload,
@@ -41,6 +42,25 @@ def _build_sd_index(data: np.ndarray, repulsive, attractive, **kwargs) -> SDInde
     allowed = {"angles", "branching", "leaf_capacity", "pairing"}
     options = {key: value for key, value in kwargs.items() if key in allowed}
     return SDIndex.build(data, repulsive=repulsive, attractive=attractive, **options)
+
+
+def _build_sharded(data: np.ndarray, repulsive, attractive, **kwargs) -> ShardedIndex:
+    allowed = {
+        "angles",
+        "branching",
+        "leaf_capacity",
+        "pairing",
+        "num_shards",
+        "partitioner",
+        "range_dim",
+        "rebalance_threshold",
+        "parallel",
+        "max_workers",
+    }
+    options = {key: value for key, value in kwargs.items() if key in allowed}
+    return SDIndex.build_sharded(
+        data, repulsive=repulsive, attractive=attractive, **options
+    )
 
 
 def _build_seqscan(data: np.ndarray, repulsive, attractive, **kwargs) -> SequentialScan:
@@ -66,6 +86,7 @@ def _build_seqscan_py(data: np.ndarray, repulsive, attractive, **kwargs) -> Pure
 #: Algorithm name -> builder(data, repulsive, attractive, **options).
 ALGORITHM_BUILDERS: Dict[str, Callable] = {
     "SD-Index": _build_sd_index,
+    "SD-Sharded": _build_sharded,
     "SeqScan": _build_seqscan,
     "SeqScan-py": _build_seqscan_py,
     "TA": _build_ta,
@@ -92,10 +113,23 @@ def _build_batch_serving(repulsive, attractive, **options) -> BatchWorkload:
     return make_batch_workload(repulsive, attractive, **options)
 
 
+def _build_sharded_serving(repulsive, attractive, **options) -> BatchWorkload:
+    """The sharded-serving workload: answer-limited traffic with a small k menu.
+
+    Identical columnar shape to ``batch_serving`` but with the k ∈ {1, 10}
+    menu of the sharded-engine acceptance scenarios (top-1 lookups mixed with
+    top-10 pages), so the same workload drives the benchmarks, the golden
+    regressions and the shard-count experiment sweep.
+    """
+    options.setdefault("k", (1, 10))
+    return make_batch_workload(repulsive, attractive, **options)
+
+
 #: Workload name -> builder(repulsive, attractive, **options).
 WORKLOAD_BUILDERS: Dict[str, Callable] = {
     "uniform": _build_uniform_workload,
     "batch_serving": _build_batch_serving,
+    "sharded_serving": _build_sharded_serving,
 }
 
 

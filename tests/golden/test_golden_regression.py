@@ -24,7 +24,9 @@ import pytest
 from repro.baselines import SequentialScan
 from repro.core.query import SDQuery
 from repro.core.sdindex import SDIndex
+from repro.core.sharding import ShardedIndex
 from repro.data.generators import generate_dataset
+from repro.workloads.registry import build_workload
 from repro.workloads.workload import make_batch_workload
 
 FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
@@ -68,6 +70,40 @@ SCENARIOS = {
 
 NUM_QUERIES = 10
 K_CHOICES = (1, 3, 5, 8)
+
+#: The sharded-serving snapshot: the registered ``sharded_serving`` workload
+#: (k menu {1, 10}) over seeded uniform data, asserted against the sharded
+#: engine at 2 and 4 shards with both partitioners.
+SHARDED_SCENARIO = {
+    "distribution": "uniform",
+    "num_points": 600,
+    "num_dims": 4,
+    "data_seed": 401,
+    "repulsive": (0, 1),
+    "attractive": (2, 3),
+    "workload_seed": 402,
+}
+SHARDED_NUM_QUERIES = 12
+SHARD_COUNTS = (2, 4)
+
+
+def _sharded_inputs():
+    config = SHARDED_SCENARIO
+    data = generate_dataset(
+        config["distribution"],
+        config["num_points"],
+        config["num_dims"],
+        seed=config["data_seed"],
+    ).matrix
+    workload = build_workload(
+        "sharded_serving",
+        config["repulsive"],
+        config["attractive"],
+        num_queries=SHARDED_NUM_QUERIES,
+        num_dims=config["num_dims"],
+        seed=config["workload_seed"],
+    )
+    return data, workload
 
 
 def _scenario_inputs(config):
@@ -114,6 +150,24 @@ def regenerate() -> None:
         path = _fixture_path(name)
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")
+    data, workload = _sharded_inputs()
+    oracle = SequentialScan(
+        data, SHARDED_SCENARIO["repulsive"], SHARDED_SCENARIO["attractive"]
+    )
+    payload = {
+        "scenario": {key: list(value) if isinstance(value, tuple) else value
+                     for key, value in SHARDED_SCENARIO.items()},
+        "num_queries": SHARDED_NUM_QUERIES,
+        "k_choices": [1, 10],
+        "shard_counts": list(SHARD_COUNTS),
+        "expected": [
+            {"row_ids": result.row_ids, "scores": result.scores}
+            for result in oracle.batch_query(workload)
+        ],
+    }
+    path = _fixture_path("sharded_serving")
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
 
 
 def _assert_matches_fixture(result, expected, context: str) -> None:
@@ -162,6 +216,58 @@ class TestGoldenTopK:
         batch = index.batch_query(workload)
         for j, result in enumerate(batch):
             _assert_matches_fixture(result, expected[j], f"{name}/batch q{j}")
+
+
+class TestGoldenShardedServing:
+    """Frozen answers of the ``sharded_serving`` workload (k in {1, 10})."""
+
+    def _load(self):
+        payload = json.loads(_fixture_path("sharded_serving").read_text())
+        data, workload = _sharded_inputs()
+        return data, workload, payload["expected"]
+
+    def test_workload_uses_the_acceptance_k_menu(self):
+        _data, workload, _expected = self._load()
+        assert set(int(k) for k in workload.ks) <= {1, 10}
+        assert {1, 10} <= set(int(k) for k in workload.ks)
+
+    def test_oracle_matches_fixture(self):
+        data, workload, expected = self._load()
+        batch = SequentialScan(
+            data, SHARDED_SCENARIO["repulsive"], SHARDED_SCENARIO["attractive"]
+        ).batch_query(workload)
+        for j, result in enumerate(batch):
+            _assert_matches_fixture(result, expected[j], f"sharded/oracle q{j}")
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("partitioner", ["hash", "range"])
+    def test_sharded_engine_matches_fixture(self, num_shards, partitioner):
+        data, workload, expected = self._load()
+        engine = ShardedIndex(
+            data,
+            repulsive=SHARDED_SCENARIO["repulsive"],
+            attractive=SHARDED_SCENARIO["attractive"],
+            num_shards=num_shards,
+            partitioner=partitioner,
+        )
+        batch = engine.batch_query(workload)
+        for j, result in enumerate(batch):
+            _assert_matches_fixture(
+                result, expected[j],
+                f"sharded/{partitioner}/{num_shards} q{j}",
+            )
+        engine.close()
+
+    def test_flat_engine_matches_fixture(self):
+        data, workload, expected = self._load()
+        index = SDIndex.build(
+            data,
+            repulsive=SHARDED_SCENARIO["repulsive"],
+            attractive=SHARDED_SCENARIO["attractive"],
+        )
+        batch = index.batch_query(workload)
+        for j, result in enumerate(batch):
+            _assert_matches_fixture(result, expected[j], f"sharded/flat q{j}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,214 @@
+"""Differential fuzz harness: every execution engine must agree exactly.
+
+Hypothesis drives random interleavings of ``insert`` / ``delete`` /
+``bulk_insert`` / ``bulk_delete`` / query operations against five engines at
+once:
+
+* the legacy threshold traversal (``SDIndex.query(..., engine="legacy")``),
+* the flattened-session fast path of the same index (single and batched),
+* :class:`repro.core.sharding.ShardedIndex` at 1, 2, 4 and 8 shards (hash and
+  range partitioning),
+* a :class:`SequentialScan` oracle rebuilt from a plain dict of live rows.
+
+All engines must return *identical* ``(score, row_id)`` answers — bit-equal
+floats, same ids, same order.  Hypothesis chooses only the shape of the
+interleaving (which ops, when to query) plus a seed; the actual coordinates
+come from a ``numpy`` generator under that seed, so points are continuous
+random values and exact score ties (where the legacy traversal's tie-break
+legitimately differs) have probability zero.
+
+A deterministic long-run variant drives 1,000 interleaved updates through the
+same five-way comparison at periodic checkpoints — the acceptance scenario of
+the sharded serving engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SequentialScan
+from repro.core.query import SDQuery
+from repro.core.sdindex import SDIndex
+from repro.core.sharding import ShardedIndex
+
+REPULSIVE = (0, 1)
+ATTRACTIVE = (2, 3)
+NUM_DIMS = 4
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+class Harness:
+    """One flat index, four sharded engines and a dict-backed oracle in lockstep."""
+
+    def __init__(self, seed: int, initial_rows: int) -> None:
+        self.rng = np.random.default_rng(seed)
+        data = self.rng.random((initial_rows, NUM_DIMS))
+        self.store = {row: data[row].copy() for row in range(initial_rows)}
+        self.flat = SDIndex.build(data, repulsive=REPULSIVE, attractive=ATTRACTIVE)
+        self.sharded = [
+            ShardedIndex(
+                data,
+                repulsive=REPULSIVE,
+                attractive=ATTRACTIVE,
+                num_shards=num_shards,
+                # Cover both partitioners across the fleet.
+                partitioner="range" if num_shards in (2, 8) else "hash",
+            )
+            for num_shards in SHARD_COUNTS
+        ]
+        self.next_row = initial_rows
+
+    # ------------------------------------------------------------------ ops
+    def insert(self) -> None:
+        vector = self.rng.random(NUM_DIMS)
+        row = self.next_row
+        self.next_row += 1
+        self.store[row] = vector
+        self.flat.insert(vector, row_id=row)
+        for engine in self.sharded:
+            engine.insert(vector, row_id=row)
+
+    def bulk_insert(self, count: int) -> None:
+        matrix = self.rng.random((count, NUM_DIMS))
+        rows = list(range(self.next_row, self.next_row + count))
+        self.next_row += count
+        for row, vector in zip(rows, matrix):
+            self.store[row] = vector
+        self.flat.bulk_insert(matrix, row_ids=rows)
+        for engine in self.sharded:
+            engine.bulk_insert(matrix, row_ids=rows)
+
+    def delete(self) -> None:
+        if len(self.store) <= 1:
+            return
+        row = int(self.rng.choice(sorted(self.store)))
+        del self.store[row]
+        self.flat.delete(row)
+        for engine in self.sharded:
+            engine.delete(row)
+
+    def bulk_delete(self, count: int) -> None:
+        live = sorted(self.store)
+        count = min(count, max(len(live) - 1, 0))
+        if count == 0:
+            return
+        rows = [int(r) for r in self.rng.choice(live, size=count, replace=False)]
+        for row in rows:
+            del self.store[row]
+        self.flat.bulk_delete(rows)
+        for engine in self.sharded:
+            engine.bulk_delete(rows)
+
+    # ------------------------------------------------------------------ checks
+    def oracle(self) -> SequentialScan:
+        rows = sorted(self.store)
+        return SequentialScan(
+            np.asarray([self.store[row] for row in rows], dtype=float),
+            REPULSIVE,
+            ATTRACTIVE,
+            row_ids=rows,
+        )
+
+    def check_queries(self, num_queries: int = 3) -> None:
+        points = self.rng.random((num_queries, NUM_DIMS))
+        ks = self.rng.choice(np.asarray([1, 3, 10]), size=num_queries)
+        alphas = self.rng.uniform(0.05, 1.0, size=(num_queries, len(REPULSIVE)))
+        betas = self.rng.uniform(0.05, 1.0, size=(num_queries, len(ATTRACTIVE)))
+        oracle = self.oracle()
+        expected = oracle.batch_query(points, k=ks, alpha=alphas, beta=betas)
+        flat_batch = self.flat.batch_query(points, k=ks, alpha=alphas, beta=betas)
+        shard_batches = [
+            engine.batch_query(points, k=ks, alpha=alphas, beta=betas)
+            for engine in self.sharded
+        ]
+        for j in range(num_queries):
+            reference = expected[j]
+            spec_query = SDQuery.simple(
+                point=points[j],
+                repulsive=REPULSIVE,
+                attractive=ATTRACTIVE,
+                k=int(ks[j]),
+                alpha=alphas[j],
+                beta=betas[j],
+            )
+            fast = self.flat.query(spec_query)
+            legacy = self.flat.query(spec_query, engine="legacy")
+            for label, result in (
+                ("flat/batch", flat_batch[j]),
+                ("flat/fast", fast),
+                ("flat/legacy", legacy),
+                *(
+                    (f"sharded/{engine.num_shards}", batch[j])
+                    for engine, batch in zip(self.sharded, shard_batches)
+                ),
+            ):
+                assert result.row_ids == reference.row_ids, (
+                    f"{label} rows diverged at query {j}: "
+                    f"{result.row_ids} != {reference.row_ids}"
+                )
+                assert result.scores == reference.scores, (
+                    f"{label} scores diverged at query {j}: "
+                    f"{result.scores} != {reference.scores}"
+                )
+
+    def check_population(self) -> None:
+        assert len(self.flat) == len(self.store)
+        for engine in self.sharded:
+            assert len(engine) == len(self.store)
+
+
+OPS = ("insert", "bulk_insert", "delete", "bulk_delete", "query")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    initial_rows=st.integers(16, 80),
+    ops=st.lists(st.sampled_from(OPS), min_size=1, max_size=25),
+)
+def test_fuzzed_interleavings_agree(seed, initial_rows, ops):
+    harness = Harness(seed, initial_rows)
+    harness.check_queries()
+    for op in ops:
+        if op == "insert":
+            harness.insert()
+        elif op == "bulk_insert":
+            harness.bulk_insert(int(harness.rng.integers(2, 12)))
+        elif op == "delete":
+            harness.delete()
+        elif op == "bulk_delete":
+            harness.bulk_delete(int(harness.rng.integers(2, 8)))
+        else:
+            harness.check_queries()
+    harness.check_population()
+    harness.check_queries()
+
+
+def test_thousand_interleaved_updates_stay_identical():
+    """The acceptance scenario: 1,000 fuzzed updates, periodic five-way checks."""
+    harness = Harness(seed=20260729, initial_rows=400)
+    rng = np.random.default_rng(99)
+    updates = 0
+    while updates < 1000:
+        op = rng.integers(0, 4)
+        if op == 0:
+            harness.insert()
+            updates += 1
+        elif op == 1:
+            count = int(rng.integers(5, 40))
+            harness.bulk_insert(count)
+            updates += count
+        elif op == 2:
+            harness.delete()
+            updates += 1
+        else:
+            count = int(rng.integers(5, 25))
+            before = len(harness.store)
+            harness.bulk_delete(count)
+            updates += before - len(harness.store)
+        if updates % 100 < 5:
+            harness.check_queries(num_queries=2)
+    harness.check_population()
+    harness.check_queries(num_queries=5)

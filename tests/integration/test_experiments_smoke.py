@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import ablations, figure7, figure8, table1
+from repro.experiments import ablations, figure7, figure8, sharding, table1
 from repro.experiments.cli import EXPERIMENTS, main
 from repro.experiments.config import ExperimentConfig
 from repro.workloads.reporting import format_series_table
@@ -129,6 +129,22 @@ class TestTable1:
         text = table1.format_table1(rows)
         assert "Overall Average" in text
         assert "938.67" in text  # the paper's k=10 molecular weight
+
+
+class TestShardedServing:
+    def test_shard_sweep_structure(self):
+        results = sharding.shard_sweep(TINY)
+        assert len(results) == 2  # uniform + chembl scenarios
+        for result in results:
+            methods = series_methods(result)
+            assert {"SD-Index", "SD-Sharded/range", "SD-Sharded/hash"} <= methods
+            for series in result.series:
+                assert series.x_values == list(sharding.SHARD_COUNTS)
+                assert all(y > 0 for y in series.y_values)
+
+    def test_cli_exposes_sharded_serving(self, capsys):
+        assert main(["list"]) == 0
+        assert "sharded-serving" in capsys.readouterr().out
 
 
 class TestAblationsAndCli:

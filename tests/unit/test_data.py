@@ -145,3 +145,52 @@ class TestChemblGenerator:
         a = generate_chembl_like(num_molecules=2000, seed=4)
         b = generate_chembl_like(num_molecules=2000, seed=4)
         assert np.allclose(a.matrix, b.matrix)
+
+
+class TestGeneratorSeeding:
+    """Regression: generation is a pure function of (seed | rng), never of
+    global numpy state, so golden regeneration stays order-independent."""
+
+    def test_generators_ignore_global_numpy_state(self):
+        baselines = {
+            name: generate_dataset(name, 300, 3, seed=11).matrix
+            for name in DISTRIBUTIONS
+        }
+        chembl_baseline = generate_chembl_like(2000, seed=11).matrix
+        # Perturb the legacy global state and burn draws between calls; every
+        # generator must still reproduce its baseline exactly.
+        np.random.seed(999)
+        np.random.random(1234)
+        for name, expected in baselines.items():
+            np.random.random(7)
+            regenerated = generate_dataset(name, 300, 3, seed=11).matrix
+            assert np.array_equal(regenerated, expected), name
+        assert np.array_equal(generate_chembl_like(2000, seed=11).matrix, chembl_baseline)
+
+    def test_explicit_rng_matches_equivalent_seed(self):
+        for name in DISTRIBUTIONS:
+            from_seed = generate_dataset(name, 200, 4, seed=23).matrix
+            from_rng = generate_dataset(
+                name, 200, 4, seed=999, rng=np.random.default_rng(23)
+            ).matrix
+            assert np.array_equal(from_seed, from_rng), name
+        assert np.array_equal(
+            generate_chembl_like(1500, seed=23).matrix,
+            generate_chembl_like(1500, rng=np.random.default_rng(23)).matrix,
+        )
+
+    def test_explicit_rng_stream_advances(self):
+        rng = np.random.default_rng(5)
+        first = generate_uniform(100, 2, rng=rng).matrix
+        second = generate_uniform(100, 2, rng=rng).matrix
+        assert not np.array_equal(first, second)
+        # Interleaving on one stream is itself reproducible.
+        rng = np.random.default_rng(5)
+        assert np.array_equal(first, generate_uniform(100, 2, rng=rng).matrix)
+        assert np.array_equal(second, generate_uniform(100, 2, rng=rng).matrix)
+
+    def test_dataset_sample_accepts_rng(self):
+        ds = generate_uniform(500, 3, seed=1)
+        from_seed = ds.sample(50, seed=9).matrix
+        from_rng = ds.sample(50, rng=np.random.default_rng(9)).matrix
+        assert np.array_equal(from_seed, from_rng)
