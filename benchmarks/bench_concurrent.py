@@ -1,0 +1,451 @@
+#!/usr/bin/env python3
+"""Concurrent serving benchmark: epoch snapshots vs a coarse global lock.
+
+The scenario the epoch subsystem (DESIGN.md section 6) exists for: several
+reader threads answer batched SD-Query traffic while writer threads apply
+inserts and deletes to the same sharded engine.  Two concurrency designs are
+measured on identical workloads:
+
+* **snapshot** — the default ``concurrency="snapshot"`` engine: every serving
+  call pins an immutable epoch cut and runs lock-free; writers prepare
+  copy-on-write successors and publish them atomically.  Readers overlap each
+  other (the numpy kernels release the GIL) and never wait for writers.
+* **coarse-lock** — the design snapshots replace: one global mutex around
+  every read and write (the engine runs ``concurrency="unsafe"``, which is
+  sound under the global lock and gives the baseline the cheaper in-place
+  write path).  Readers serialize behind each other and stall whenever a
+  writer holds the lock.
+
+Two scenarios, both at the serve-while-mutate contract:
+
+* **Throughput mixes** — write mixes of 0%, 10% and 50% (single-row updates
+  as a fraction of single queries served).  Readers draw batch calls from a
+  shared quota while writers drain the update script; wall time until both
+  finish gives queries/sec.  Reader *parallelism* is what snapshots unlock
+  here, so the speedup over the coarse lock scales with available cores (on
+  a single-core host the two designs are CPU-conserving and land near 1x).
+* **Maintenance latency** — readers serve continuously while a writer runs
+  insert bursts followed by full ``rebalance()`` passes (the realistic
+  companion of a skewed write mix).  Under the coarse lock every reader
+  stalls for the entire rebalance, so tail latency explodes to the rebalance
+  duration; epoch snapshots pin lock-free and keep serving the pre-rebalance
+  topology, so the p95 read latency stays at the normal batch cost on any
+  core count.  This is the number the epoch design is *for*.
+
+The headline "snapshot vs coarse-lock at the 10% write mix" gate uses the
+throughput speedup when more than one core is available and the p95-latency
+improvement otherwise (reported either way in the JSON).  Before any timing,
+both engines must agree bit-identically on the read batch, and after every
+storm the snapshot engine's epochs must have drained (no leaks under load).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent.py
+
+Knobs (environment): ``REPRO_BENCH_CONCURRENT_POINTS`` (dataset size, default
+60000), ``REPRO_BENCH_CONCURRENT_QUERIES`` (queries per batch call, default
+32), ``REPRO_BENCH_CONCURRENT_BATCHES`` (batch calls per run, default 48),
+``REPRO_BENCH_CONCURRENT_READERS`` (reader threads, default 4),
+``REPRO_BENCH_CONCURRENT_WRITERS`` (writer threads, default 2),
+``REPRO_BENCH_CONCURRENT_SHARDS`` (default 4), ``REPRO_BENCH_CONCURRENT_REPEAT``
+(best-of repetitions, default 2), ``REPRO_BENCH_CONCURRENT_CYCLES``
+(maintenance rebalance cycles, default 2), ``REPRO_BENCH_CONCURRENT_MIN_SPEEDUP``
+(exit-1 bar on the headline 10%-mix speedup, default 1.5; set to 0 on noisy
+shared runners to gate on correctness only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.sharding import ShardedIndex  # noqa: E402
+from repro.data.generators import generate_dataset  # noqa: E402
+from repro.workloads.registry import build_workload  # noqa: E402
+
+NUM_POINTS = int(os.environ.get("REPRO_BENCH_CONCURRENT_POINTS", "60000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_CONCURRENT_QUERIES", "32"))
+NUM_BATCHES = int(os.environ.get("REPRO_BENCH_CONCURRENT_BATCHES", "48"))
+NUM_READERS = int(os.environ.get("REPRO_BENCH_CONCURRENT_READERS", "4"))
+NUM_WRITERS = int(os.environ.get("REPRO_BENCH_CONCURRENT_WRITERS", "2"))
+NUM_SHARDS = int(os.environ.get("REPRO_BENCH_CONCURRENT_SHARDS", "4"))
+REPEAT = int(os.environ.get("REPRO_BENCH_CONCURRENT_REPEAT", "2"))
+MAINT_CYCLES = int(os.environ.get("REPRO_BENCH_CONCURRENT_CYCLES", "2"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_CONCURRENT_MIN_SPEEDUP", "1.5"))
+WRITE_MIXES = (0.0, 0.1, 0.5)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_concurrent.json"
+
+try:
+    EFFECTIVE_CORES = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux hosts
+    EFFECTIVE_CORES = os.cpu_count() or 1
+
+REPULSIVE = (0, 1)
+ATTRACTIVE = (2, 3)
+NUM_DIMS = 4
+
+
+class CoarseLockEngine:
+    """One global mutex around every operation — the baseline design."""
+
+    def __init__(self, inner: ShardedIndex) -> None:
+        self._inner = inner
+        self._lock = threading.Lock()
+
+    def batch_query(self, *args, **kwargs):
+        with self._lock:
+            return self._inner.batch_query(*args, **kwargs)
+
+    def insert(self, *args, **kwargs):
+        with self._lock:
+            return self._inner.insert(*args, **kwargs)
+
+    def delete(self, *args, **kwargs):
+        with self._lock:
+            return self._inner.delete(*args, **kwargs)
+
+    def rebalance(self):
+        with self._lock:
+            return self._inner.rebalance()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def build_engine(data: np.ndarray, concurrency: str) -> ShardedIndex:
+    return ShardedIndex(
+        data,
+        repulsive=REPULSIVE,
+        attractive=ATTRACTIVE,
+        num_shards=NUM_SHARDS,
+        partitioner="range",
+        concurrency=concurrency,
+    )
+
+
+def run_storm(engine, reads, script) -> Tuple[float, float]:
+    """Readers drain the batch quota while writers drain the update script.
+
+    Returns ``(read_seconds, total_seconds)``: serve throughput is reads
+    completed over *read* wall time — writes keep landing throughout, but a
+    writer still flushing its tail after the last read answered is not read
+    latency.
+    """
+    batches = list(range(NUM_BATCHES))
+    batch_lock = threading.Lock()
+    errors = []
+    reads_done = threading.Event()
+    active_readers = [NUM_READERS]
+    barrier = threading.Barrier(NUM_READERS + (NUM_WRITERS if script else 0) + 1)
+
+    def reader() -> None:
+        try:
+            barrier.wait()
+            while True:
+                with batch_lock:
+                    if not batches:
+                        break
+                    batches.pop()
+                engine.batch_query(reads)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            with batch_lock:
+                active_readers[0] -= 1
+                if active_readers[0] == 0:
+                    reads_done.set()
+
+    def writer(ops) -> None:
+        try:
+            barrier.wait()
+            for op, row, point in ops:
+                if op == "insert":
+                    engine.insert(point, row_id=row)
+                else:
+                    engine.delete(row)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(NUM_READERS)]
+    if script:
+        for w in range(NUM_WRITERS):
+            threads.append(
+                threading.Thread(target=writer, args=(script[w::NUM_WRITERS],))
+            )
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    reads_done.wait()
+    read_seconds = time.perf_counter() - started
+    for thread in threads:
+        thread.join()
+    total_seconds = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return read_seconds, total_seconds
+
+
+def run_maintenance_latency(concurrency: str, data, reads, script) -> dict:
+    """Per-read latency while a writer runs insert bursts + full rebalances."""
+    inner = build_engine(data, concurrency)
+    engine = inner if concurrency == "snapshot" else CoarseLockEngine(inner)
+    engine.batch_query(reads)  # warm sessions
+    latencies = []
+    lat_lock = threading.Lock()
+    done = threading.Event()
+    errors = []
+    barrier = threading.Barrier(NUM_READERS + 2)
+
+    def maintainer() -> None:
+        try:
+            barrier.wait()
+            position = 0
+            for _cycle in range(MAINT_CYCLES):
+                for op, row, point in script[position : position + 40]:
+                    if op == "insert":
+                        engine.insert(point, row_id=row)
+                    else:
+                        engine.delete(row)
+                position += 40
+                engine.rebalance()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def reader() -> None:
+        try:
+            barrier.wait()
+            while not done.is_set():
+                started = time.perf_counter()
+                engine.batch_query(reads)
+                with lat_lock:
+                    latencies.append(time.perf_counter() - started)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(NUM_READERS)]
+    threads.append(threading.Thread(target=maintainer))
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    engine.close()
+    if errors:
+        raise errors[0]
+    ordered = np.sort(np.asarray(latencies))
+    return {
+        "reads": len(ordered),
+        "wall_seconds": elapsed,
+        "p50_seconds": float(np.quantile(ordered, 0.5)),
+        "p95_seconds": float(np.quantile(ordered, 0.95)),
+        "max_seconds": float(ordered[-1]),
+    }
+
+
+def measure(concurrency: str, data, reads, scripts) -> dict:
+    """Throughput of one engine design across the write mixes."""
+    results = {}
+    for mix in WRITE_MIXES:
+        best = float("inf")
+        best_total = float("inf")
+        for repetition in range(max(1, REPEAT)):
+            inner = build_engine(data, concurrency)
+            engine = inner if concurrency == "snapshot" else CoarseLockEngine(inner)
+            engine.batch_query(reads)  # warm sessions before the clock starts
+            read_seconds, total_seconds = run_storm(engine, reads, scripts[mix])
+            if concurrency == "snapshot":
+                report = inner._topology.leak_report()
+                assert report["pinned_readers"] == 0 and report["live_epochs"] == 1
+                for shard in inner._shards:
+                    shard_report = shard.serving_session().epochs.leak_report()
+                    assert shard_report["pinned_readers"] == 0
+            engine.close()
+            best = min(best, read_seconds)
+            best_total = min(best_total, total_seconds)
+        queries = NUM_BATCHES * NUM_QUERIES
+        results[mix] = {
+            "seconds": best,
+            "total_seconds": best_total,
+            "queries_per_second": queries / best,
+            "writes": len(scripts[mix]),
+        }
+    return results
+
+
+def main() -> int:
+    print(
+        f"concurrent serving benchmark: {NUM_POINTS} points, {NUM_BATCHES} batches "
+        f"x {NUM_QUERIES} queries, {NUM_READERS} readers / {NUM_WRITERS} writers, "
+        f"{NUM_SHARDS} shards"
+    )
+    data = generate_dataset("uniform", NUM_POINTS, NUM_DIMS, seed=3).matrix
+    total_queries = NUM_BATCHES * NUM_QUERIES
+    scripts = {}
+    for mix in WRITE_MIXES:
+        writes = int(round(mix / (1.0 - mix) * total_queries)) if mix else 0
+        workload = build_workload(
+            "concurrent_serving",
+            REPULSIVE,
+            ATTRACTIVE,
+            num_queries=NUM_QUERIES,
+            num_updates=max(writes, 1),
+            num_dims=NUM_DIMS,
+            seed=11,
+        )
+        scripts[mix] = workload.script(range(NUM_POINTS))[:writes]
+    reads = workload.reads
+
+    # Correctness gate: both designs answer the read batch bit-identically on
+    # the static dataset before any clocks run.
+    snapshot_engine = build_engine(data, "snapshot")
+    locked_engine = build_engine(data, "unsafe")
+    expected = locked_engine.batch_query(reads)
+    answered = snapshot_engine.batch_query(reads)
+    identical = all(
+        mine.row_ids == theirs.row_ids and mine.scores == theirs.scores
+        for mine, theirs in zip(answered, expected)
+    )
+    # ...and a snapshot pinned mid-write keeps matching its frozen oracle.
+    from repro.baselines import SequentialScan
+
+    with snapshot_engine.snapshot() as snap:
+        frozen_rows, frozen_matrix = snap.frozen()
+        for op, row, point in scripts[0.5][:50] or scripts[0.1][:50]:
+            if op == "insert":
+                snapshot_engine.insert(point, row_id=row)
+            else:
+                snapshot_engine.delete(row)
+        pinned = snap.batch_query(reads)
+    oracle = SequentialScan(
+        frozen_matrix, REPULSIVE, ATTRACTIVE,
+        row_ids=[int(r) for r in frozen_rows],
+    ).batch_query(reads)
+    snapshot_isolated = all(
+        mine.row_ids == theirs.row_ids and mine.scores == theirs.scores
+        for mine, theirs in zip(pinned, oracle)
+    )
+    snapshot_engine.close()
+    locked_engine.close()
+
+    snapshot = measure("snapshot", data, reads, scripts)
+    coarse = measure("unsafe", data, reads, scripts)
+
+    mixes = []
+    for mix in WRITE_MIXES:
+        speedup = coarse[mix]["seconds"] / snapshot[mix]["seconds"]
+        mixes.append(
+            {
+                "write_mix": mix,
+                "writes": snapshot[mix]["writes"],
+                "snapshot_seconds": snapshot[mix]["seconds"],
+                "coarse_lock_seconds": coarse[mix]["seconds"],
+                "snapshot_queries_per_second": snapshot[mix]["queries_per_second"],
+                "coarse_lock_queries_per_second": coarse[mix]["queries_per_second"],
+                "speedup": speedup,
+            }
+        )
+
+    # Maintenance-latency scenario: the 10% mix's realistic companion (skewed
+    # writes force rebalances); measures what readers experience meanwhile.
+    maintenance_script = scripts[0.1] or scripts[0.5]
+    latency_snapshot = run_maintenance_latency(
+        "snapshot", data, reads, maintenance_script
+    )
+    latency_coarse = run_maintenance_latency(
+        "unsafe", data, reads, maintenance_script
+    )
+    latency_ratio = latency_coarse["p95_seconds"] / latency_snapshot["p95_seconds"]
+
+    throughput_10 = next(p for p in mixes if p["write_mix"] == 0.1)
+    if EFFECTIVE_CORES > 1:
+        headline_metric = "throughput_queries_per_second"
+        headline_speedup = throughput_10["speedup"]
+    else:
+        # One core conserves CPU-bound throughput across designs; what the
+        # epochs buy there is the read tail under writer critical sections.
+        headline_metric = "p95_read_latency_improvement"
+        headline_speedup = latency_ratio
+
+    payload = {
+        "benchmark": "concurrent_serving",
+        "num_points": NUM_POINTS,
+        "num_queries_per_batch": NUM_QUERIES,
+        "num_batches": NUM_BATCHES,
+        "num_readers": NUM_READERS,
+        "num_writers": NUM_WRITERS,
+        "num_shards": NUM_SHARDS,
+        "effective_cores": EFFECTIVE_CORES,
+        "bit_identical": identical,
+        "snapshot_isolated": snapshot_isolated,
+        "mixes": mixes,
+        "maintenance_latency": {
+            "rebalance_cycles": MAINT_CYCLES,
+            "snapshot": latency_snapshot,
+            "coarse_lock": latency_coarse,
+            "p95_improvement": latency_ratio,
+            # The flip side: under the coarse lock the maintainer also starves
+            # behind reader lock holders, so the same maintenance takes this
+            # many times longer to complete than with lock-free readers.
+            "maintenance_wall_improvement": latency_coarse["wall_seconds"]
+            / latency_snapshot["wall_seconds"],
+        },
+        "headline": {
+            "write_mix": 0.1,
+            "metric": headline_metric,
+            "speedup": headline_speedup,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for point in mixes:
+        print(
+            f"write mix {point['write_mix']:>4.0%} ({point['writes']:>4} writes): "
+            f"snapshot {point['snapshot_queries_per_second']:>8.0f} q/s  "
+            f"coarse-lock {point['coarse_lock_queries_per_second']:>8.0f} q/s  "
+            f"speedup {point['speedup']:.2f}x"
+        )
+    print(
+        f"maintenance latency (p95): snapshot {latency_snapshot['p95_seconds']*1e3:.0f}ms  "
+        f"coarse-lock {latency_coarse['p95_seconds']*1e3:.0f}ms  "
+        f"improvement {latency_ratio:.1f}x "
+        f"(max stall {latency_coarse['max_seconds']:.2f}s vs "
+        f"{latency_snapshot['max_seconds']:.2f}s; maintenance completed "
+        f"{latency_coarse['wall_seconds'] / latency_snapshot['wall_seconds']:.1f}x "
+        f"faster without the lock)"
+    )
+    print(
+        f"bit-identical: {identical}  snapshot-isolated: {snapshot_isolated}  "
+        f"cores: {EFFECTIVE_CORES}  headline ({headline_metric}): "
+        f"{headline_speedup:.2f}x"
+    )
+    print(f"wrote {OUTPUT}")
+
+    if not identical or not snapshot_isolated:
+        print("FAIL: correctness gate failed", file=sys.stderr)
+        return 1
+    if headline_speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: 10%-mix headline speedup {headline_speedup:.2f}x "
+            f"({headline_metric}) below the {MIN_SPEEDUP:g}x acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -169,6 +169,33 @@ def main() -> None:
     print(f"Skew after a hot-range burst: {sharded.skew():.2f}; "
           f"rebalanced: {sharded.maybe_rebalance()}; "
           f"skew now {sharded.skew():.2f}")
+
+    # --- serve while mutating: epoch snapshots ----------------------------------
+    # Every engine defaults to concurrency="snapshot" (DESIGN.md section 6):
+    # reads pin an immutable epoch, writers publish copy-on-write successors,
+    # so reader threads stay correct while writer threads insert, delete and
+    # even rebalance.  snapshot() exposes the same mechanism explicitly as a
+    # repeatable-read view — pin it, and the answers cannot move under you.
+    probe = batch_points[:8]
+    with sharded.snapshot() as snap:
+        pinned_before = snap.batch_query(probe, k=3)
+        # A write storm lands *while the snapshot is open*...
+        storm_rows = sharded.bulk_insert(rng.random((2000, 4)))
+        sharded.rebalance()
+        pinned_after = snap.batch_query(probe, k=3)
+        # ...and the pinned view does not move: same rows, bit-equal scores.
+        assert all(a.row_ids == b.row_ids and a.scores == b.scores
+                   for a, b in zip(pinned_before, pinned_after))
+        print(f"\nSnapshot pinned epoch v{snap.topology_version}: answers "
+              f"unchanged through a 2000-row storm + rebalance "
+              f"(now serving {len(sharded)} rows live, {len(snap)} pinned)")
+    # Fresh reads see the new data the moment the snapshot is released.
+    fresh = sharded.batch_query(probe, k=3)
+    moved = sum(1 for a, b in zip(pinned_before, fresh)
+                if a.row_ids != b.row_ids)
+    print(f"After release, {moved}/8 probe answers changed — live reads see "
+          f"the storm immediately")
+    sharded.bulk_delete(storm_rows)
     sharded.close()
 
 

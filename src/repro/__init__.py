@@ -14,7 +14,8 @@ The primary entry points are:
 """
 
 from repro.core.angles import AngleGrid
-from repro.core.batch import BatchQuerySpec, QuerySession
+from repro.core.batch import BatchQuerySpec, QuerySession, SessionSnapshot
+from repro.core.epoch import Epoch, EpochManager
 from repro.core.geometry import Angle
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
 from repro.core.results import BatchResult, IndexStats, Match, TopKResult
@@ -38,6 +39,9 @@ __all__ = [
     "BatchResult",
     "BatchQuerySpec",
     "QuerySession",
+    "SessionSnapshot",
+    "Epoch",
+    "EpochManager",
     "IndexStats",
     "SDIndex",
     "ShardedIndex",

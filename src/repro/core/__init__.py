@@ -4,12 +4,13 @@ The public entry point for most users is :class:`repro.core.sdindex.SDIndex`,
 re-exported from the top-level :mod:`repro` package.
 """
 
+from repro.core.epoch import Epoch, EpochManager
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
 from repro.core.results import IndexStats, Match, TopKResult
-from repro.core.sdindex import SDIndex
-from repro.core.sharding import ShardedIndex, ShardedXYIndex, ShardRouter
-from repro.core.top1 import Top1Index
-from repro.core.topk import TopKIndex
+from repro.core.sdindex import SDIndex, SDIndexSnapshot
+from repro.core.sharding import ShardedIndex, ShardedSnapshot, ShardedXYIndex, ShardRouter
+from repro.core.top1 import Top1Index, Top1Snapshot
+from repro.core.topk import TopKIndex, TopKSnapshot
 
 __all__ = [
     "DimensionRole",
@@ -20,10 +21,16 @@ __all__ = [
     "Match",
     "TopKResult",
     "IndexStats",
+    "Epoch",
+    "EpochManager",
     "SDIndex",
+    "SDIndexSnapshot",
     "ShardedIndex",
+    "ShardedSnapshot",
     "ShardedXYIndex",
     "ShardRouter",
     "Top1Index",
+    "Top1Snapshot",
     "TopKIndex",
+    "TopKSnapshot",
 ]

@@ -20,12 +20,14 @@ where the paper's speed-up over TA comes from.
 from __future__ import annotations
 
 import math
+import threading
 import weakref
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.angles import AngleGrid
+from repro.core.epoch import validate_concurrency
 from repro.core.pairing import DimensionPairing, pair_dimensions
 from repro.core.query import SDQuery, make_fast_scorer, sd_score
 from repro.core.results import Match, TopKResult
@@ -109,10 +111,20 @@ class SubproblemAggregator:
         branching: int = 8,
         leaf_capacity: int = 32,
         row_ids: Optional[Sequence[int]] = None,
+        concurrency: str = "snapshot",
     ) -> None:
         matrix = np.asarray(data, dtype=float)
         if matrix.ndim != 2:
             raise ValueError("data must be an (n, m) matrix")
+        validate_concurrency(concurrency)
+        #: Concurrency mode inherited by every session this aggregator creates:
+        #: ``"snapshot"`` (default) publishes copy-on-write epochs so reads
+        #: under writes are safe; ``"unsafe"`` patches in place (legacy,
+        #: single-threaded mutation only).  See DESIGN.md section 6.
+        self.concurrency = concurrency
+        #: Serializes writers (and session rebuilds, which read the structures
+        #: writers mutate).  Reentrant: a writer patch may trigger a rebuild.
+        self._write_lock = threading.RLock()
         self._num_dims = matrix.shape[1]
         self.repulsive = tuple(int(d) for d in repulsive)
         self.attractive = tuple(int(d) for d in attractive)
@@ -174,6 +186,20 @@ class SubproblemAggregator:
         """Monotone update counter; batch query sessions use it to detect staleness."""
         return self._mutations
 
+    @property
+    def version(self) -> int:
+        """Alias of :attr:`mutations`: the aggregator's state version number.
+
+        Bumped on every mutation; session epochs published for this aggregator
+        correspond to prefixes of this counter.
+        """
+        return self._mutations
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The writer mutex: mutations and session (re)builds serialize on it."""
+        return self._write_lock
+
     def point(self, row_id: int) -> np.ndarray:
         """Random access to a live point's full coordinate vector."""
         row_id = int(row_id)
@@ -231,15 +257,16 @@ class SubproblemAggregator:
         rather than invalidated — see :meth:`session`.
         """
         vector = self._validate_new_point(point)
-        row_id = self._claim_row_id(row_id)
-        self._extra_points[row_id] = vector
-        for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
-            index.insert(vector[att_dim], vector[rep_dim], row_id)
-        if self._column_dims:
-            self._columns_dirty = True
-        self._mutations += 1
-        self._patch_sessions("apply_insert", row_id, vector)
-        return row_id
+        with self._write_lock:
+            row_id = self._claim_row_id(row_id)
+            self._extra_points[row_id] = vector
+            for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
+                index.insert(vector[att_dim], vector[rep_dim], row_id)
+            if self._column_dims:
+                self._columns_dirty = True
+            self._mutations += 1
+            self._patch_sessions("apply_insert", row_id, vector)
+            return row_id
 
     def bulk_insert(
         self, points, row_ids: Optional[Sequence[int]] = None
@@ -258,28 +285,29 @@ class SubproblemAggregator:
             raise ValueError(
                 f"points must have shape (m, {self._num_dims}), got {matrix.shape}"
             )
-        if row_ids is None:
-            ids = [self._claim_row_id(None) for _ in range(len(matrix))]
-        else:
-            ids = [int(r) for r in row_ids]
-            if len(ids) != len(matrix):
-                raise ValueError("row_ids must align with the points")
-            if len(set(ids)) != len(ids):
-                raise ValueError("row ids must be unique")
-            ids = [self._claim_row_id(r) for r in ids]
-        if not len(matrix):
-            return []
-        for row_id, vector in zip(ids, matrix):
-            self._extra_points[row_id] = vector
-            for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
-                index.insert(vector[att_dim], vector[rep_dim], row_id)
-        if self._column_dims:
-            self._columns_dirty = True
-        self._mutations += 1
-        self._patch_sessions(
-            "apply_bulk_insert", np.asarray(ids, dtype=np.int64), matrix
-        )
-        return ids
+        with self._write_lock:
+            if row_ids is None:
+                ids = [self._claim_row_id(None) for _ in range(len(matrix))]
+            else:
+                ids = [int(r) for r in row_ids]
+                if len(ids) != len(matrix):
+                    raise ValueError("row_ids must align with the points")
+                if len(set(ids)) != len(ids):
+                    raise ValueError("row ids must be unique")
+                ids = [self._claim_row_id(r) for r in ids]
+            if not len(matrix):
+                return []
+            for row_id, vector in zip(ids, matrix):
+                self._extra_points[row_id] = vector
+                for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
+                    index.insert(vector[att_dim], vector[rep_dim], row_id)
+            if self._column_dims:
+                self._columns_dirty = True
+            self._mutations += 1
+            self._patch_sessions(
+                "apply_bulk_insert", np.asarray(ids, dtype=np.int64), matrix
+            )
+            return ids
 
     def delete(self, row_id: int) -> None:
         """Delete a point from every subproblem structure.
@@ -288,45 +316,48 @@ class SubproblemAggregator:
         instead of being invalidated.
         """
         row_id = int(row_id)
-        if row_id in self._deleted or (
-            row_id not in self._base_rows and row_id not in self._extra_points
-        ):
-            raise KeyError(f"row id {row_id} not present")
-        self._deleted.add(row_id)
-        for index in self._pair_indexes:
-            index.delete(row_id)
-        if self._column_dims:
-            self._columns_dirty = True
-        self._mutations += 1
-        self._patch_sessions("apply_delete", row_id)
+        with self._write_lock:
+            if row_id in self._deleted or (
+                row_id not in self._base_rows and row_id not in self._extra_points
+            ):
+                raise KeyError(f"row id {row_id} not present")
+            self._deleted.add(row_id)
+            for index in self._pair_indexes:
+                index.delete(row_id)
+            if self._column_dims:
+                self._columns_dirty = True
+            self._mutations += 1
+            self._patch_sessions("apply_delete", row_id)
 
     def bulk_delete(self, row_ids: Sequence[int]) -> None:
         """Delete many rows at once (validated up front, one session patch)."""
         ids = [int(r) for r in row_ids]
         if len(set(ids)) != len(ids):
             raise ValueError("row ids must be unique")
-        for row_id in ids:
-            if row_id in self._deleted or (
-                row_id not in self._base_rows and row_id not in self._extra_points
-            ):
-                raise KeyError(f"row id {row_id} not present")
-        if not ids:
-            return
-        self._deleted.update(ids)
-        for row_id in ids:
-            for index in self._pair_indexes:
-                index.delete(row_id)
-        if self._column_dims:
-            self._columns_dirty = True
-        self._mutations += 1
-        self._patch_sessions("apply_bulk_delete", np.asarray(ids, dtype=np.int64))
+        with self._write_lock:
+            for row_id in ids:
+                if row_id in self._deleted or (
+                    row_id not in self._base_rows and row_id not in self._extra_points
+                ):
+                    raise KeyError(f"row id {row_id} not present")
+            if not ids:
+                return
+            self._deleted.update(ids)
+            for row_id in ids:
+                for index in self._pair_indexes:
+                    index.delete(row_id)
+            if self._column_dims:
+                self._columns_dirty = True
+            self._mutations += 1
+            self._patch_sessions("apply_bulk_delete", np.asarray(ids, dtype=np.int64))
 
     def _refresh_columns(self) -> None:
-        rows = list(self._live_rows())
-        for dim in self._column_dims:
-            values = [float(self.point(row)[dim]) for row in rows]
-            self._columns[dim] = SortedColumn(values, row_ids=rows)
-        self._columns_dirty = False
+        with self._write_lock:
+            rows = list(self._live_rows())
+            for dim in self._column_dims:
+                values = [float(self.point(row)[dim]) for row in rows]
+                self._columns[dim] = SortedColumn(values, row_ids=rows)
+            self._columns_dirty = False
 
     # ------------------------------------------------------------------ querying
     def query(self, query: SDQuery) -> TopKResult:
@@ -431,8 +462,18 @@ class SubproblemAggregator:
         patching; it only reflattens once its garbage threshold trips.
         """
         if self._serving_session is None:
-            self._serving_session = self.session(cached=False)
+            with self._write_lock:
+                if self._serving_session is None:
+                    self._serving_session = self.session(cached=False)
         return self._serving_session
+
+    def snapshot(self):
+        """Pin the serving session's current epoch: an immutable read view.
+
+        Returns a :class:`repro.core.batch.SessionSnapshot`; see DESIGN.md
+        section 6 for the reader/writer protocol.
+        """
+        return self.serving_session().snapshot()
 
     def session(self, seed_pool: Optional[int] = None, cached: bool = True):
         """A shared-traversal batch query session over the current point set.

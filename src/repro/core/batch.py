@@ -64,11 +64,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.epoch import EpochManager, validate_concurrency
 from repro.core.geometry import Angle
 from repro.core.query import SDQuery
 from repro.core.results import BatchResult, Match, TopKResult
 
-__all__ = ["BatchQuerySpec", "QuerySession"]
+__all__ = ["BatchQuerySpec", "QuerySession", "SessionSnapshot", "SessionState"]
 
 # Bounds are stored per angle as (max w_a, min w_a, max w_b, min w_b); keep the
 # same order as repro.core.projection_tree.
@@ -685,8 +686,44 @@ class _FlatTree:
                 self.dead += 1
 
     def garbage_fraction(self) -> float:
-        """Accumulated garbage + imbalance relative to the live population."""
+        """Accumulated garbage + imbalance relative to the live population.
+
+        Saturates (divides by 1) once every row is tombstoned, so a fully
+        emptied view reports huge garbage instead of dividing by zero — the
+        owner reflattens it into a valid empty view on the next access.
+        """
         return (self.appended + self.dead) / max(self.live_count, 1)
+
+    def clone(self) -> "_FlatTree":
+        """Copy-on-write duplicate for epoch-published maintenance.
+
+        Shares the large append-replaced arrays (``rows``/``x``/``y``/
+        ``leaf_of_pos`` are swapped wholesale by :meth:`append_points`) and
+        copies exactly the ones maintenance mutates in place: the validity
+        mask, the per-leaf bounds and x-spans, and the lazy id->position map.
+        A reader holding the original therefore never observes the clone's
+        subsequent patches.
+        """
+        dup = _FlatTree.__new__(_FlatTree)
+        dup.angles = self.angles
+        dup.rows = self.rows
+        dup.x = self.x
+        dup.y = self.y
+        dup.live = self.live.copy()
+        dup.leaf_bounds = self.leaf_bounds.copy()
+        dup.leaf_min_x = self.leaf_min_x.copy()
+        dup.leaf_max_x = self.leaf_max_x.copy()
+        dup.leaf_of_pos = self.leaf_of_pos
+        dup.num_leaves = self.num_leaves
+        dup.appended = self.appended
+        dup.dead = self.dead
+        dup.grid_cos = self.grid_cos
+        dup.grid_sin = self.grid_sin
+        dup.grid_rad = self.grid_rad
+        dup._pos_of_row = (
+            None if self._pos_of_row is None else dict(self._pos_of_row)
+        )
+        return dup
 
     def collapsed(self) -> "_CollapsedTree":
         """A one-pseudo-leaf view aggregating every leaf's stored bounds.
@@ -836,6 +873,95 @@ def leaf_score_bounds(
 
 
 # ------------------------------------------------------------------- sessions
+class SessionState:
+    """One immutable epoch of a :class:`QuerySession`'s execution state.
+
+    Everything the vectorized kernels read lives here: the snapshot row ids
+    and coordinate matrix, the validity mask, the per-pair flattened trees
+    (with their per-leaf bounds), the sorted-column arrays and the
+    id->position maps.  Under ``concurrency="snapshot"`` readers pin one
+    ``SessionState`` through the session's
+    :class:`~repro.core.epoch.EpochManager` and execute entirely against it,
+    so writers preparing the next state can never tear a read; under
+    ``concurrency="unsafe"`` the same object is patched in place (the legacy
+    single-threaded behavior).
+    """
+
+    __slots__ = (
+        "rows",
+        "matrix",
+        "live",
+        "num_live",
+        "row_order",
+        "sorted_rows",
+        "columns_by_dim",
+        "pairs",
+        "pair_leaf_of_position",
+        "col_values",
+        "col_positions",
+        "appended",
+        "tombstoned",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        matrix: np.ndarray,
+        live: np.ndarray,
+        num_live: int,
+        row_order: np.ndarray,
+        sorted_rows: np.ndarray,
+        columns_by_dim: Dict[int, np.ndarray],
+        pairs: List[Tuple[int, int, _FlatTree]],
+        pair_leaf_of_position: List[np.ndarray],
+        col_values: Dict[int, np.ndarray],
+        col_positions: Dict[int, np.ndarray],
+        appended: int = 0,
+        tombstoned: int = 0,
+    ) -> None:
+        self.rows = rows
+        self.matrix = matrix
+        self.live = live
+        self.num_live = num_live
+        self.row_order = row_order
+        self.sorted_rows = sorted_rows
+        self.columns_by_dim = columns_by_dim
+        self.pairs = pairs
+        self.pair_leaf_of_position = pair_leaf_of_position
+        self.col_values = col_values
+        self.col_positions = col_positions
+        self.appended = appended
+        self.tombstoned = tombstoned
+
+    def positions_of(self, row_ids: np.ndarray) -> np.ndarray:
+        """Snapshot positions of live row ids (vectorized id -> position map)."""
+        if len(row_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.row_order[np.searchsorted(self.sorted_rows, row_ids)]
+
+    def assign_from(self, other: "SessionState") -> None:
+        """Overwrite every field in place (the ``concurrency="unsafe"`` path)."""
+        for slot in SessionState.__slots__:
+            setattr(self, slot, getattr(other, slot))
+
+    def garbage_fraction(self) -> float:
+        """Accumulated garbage + imbalance relative to the live population.
+
+        Division-safe when every row is tombstoned (live population 0): the
+        denominator saturates at 1 so a fully emptied session reports a large
+        finite fraction and reflattens into a valid empty view.
+        """
+        return (self.appended + self.tombstoned) / max(self.num_live, 1)
+
+    def live_row_ids(self) -> np.ndarray:
+        """Row ids alive in this epoch (frozen-oracle support for tests)."""
+        return self.rows[self.live]
+
+    def live_matrix(self) -> np.ndarray:
+        """Coordinates of the live rows, aligned with :meth:`live_row_ids`."""
+        return self.matrix[self.live]
+
+
 class QuerySession:
     """Shared-traversal batch execution over one :class:`SubproblemAggregator`.
 
@@ -845,7 +971,7 @@ class QuerySession:
     :meth:`run`.
 
     Sessions survive index mutation: the owning aggregator registers every
-    session it creates and patches the flattened arrays in place on each
+    session it creates and patches the flattened arrays on each
     ``insert``/``delete``/``bulk_insert``/``bulk_delete`` — appended rows are
     leaf-assigned and loosen only the covering leaf's bounds, deletions are
     tombstoned through a validity mask, and the 1D sorted-column state is
@@ -854,6 +980,15 @@ class QuerySession:
     projection tree's rebuild policy) the session marks itself dirty and
     reflattens lazily on the next :meth:`run` — call :meth:`reflatten` to force
     it eagerly.  See DESIGN.md for the maintenance policy discussion.
+
+    **Concurrency.**  The execution state lives in epoch-published
+    :class:`SessionState` objects (DESIGN.md section 6).  Under the default
+    ``concurrency="snapshot"`` every patch builds a successor state
+    copy-on-write (cloning exactly the arrays it would have mutated in place)
+    and publishes it atomically, so readers that pinned an epoch — via
+    :meth:`snapshot` or implicitly per :meth:`run` — are immune to concurrent
+    writers.  ``concurrency="unsafe"`` patches the current state in place:
+    slightly cheaper, but only sound with single-threaded mutation.
     """
 
     def __init__(
@@ -861,16 +996,47 @@ class QuerySession:
         aggregator,
         seed_pool: int = _SEED_POOL,
         reflatten_threshold: float = _REFLATTEN_THRESHOLD,
+        concurrency: Optional[str] = None,
     ) -> None:
+        if concurrency is None:
+            concurrency = getattr(aggregator, "concurrency", "snapshot")
+        validate_concurrency(concurrency)
         self._aggregator = aggregator
         self._seed_pool = int(seed_pool)
         self.reflatten_threshold = float(reflatten_threshold)
+        self.concurrency = concurrency
+        #: Epoch manager of the published execution states; readers pin, the
+        #: writer (the owning aggregator's patch path) publishes.
+        self.epochs = EpochManager()
         #: Lifetime maintenance counters (survive reflattening).
         self.reflattens = 0
         self.patched_inserts = 0
         self.patched_deletes = 0
-        self._build()
-        aggregator._register_session(self)
+        self._dirty = False
+        # Building reads the aggregator's structures; registration makes the
+        # session visible to its patch path — both under the writer lock so a
+        # concurrent mutation can neither tear the build nor miss the session.
+        with aggregator.write_lock:
+            self._build()
+            aggregator._register_session(self)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def _state(self) -> SessionState:
+        """The current (most recently published) execution state.
+
+        Read atomically through the epoch manager: a publish racing this read
+        may reclaim the *epoch*, but the returned state object itself is
+        immutable (snapshot mode) and stays valid for the holder.
+        """
+        return self.epochs.current_state()
+
+    def _install(self, state: SessionState) -> None:
+        """Make ``state`` current: publish a new epoch, or patch in place."""
+        if self.concurrency == "snapshot":
+            self.epochs.publish(state)
+        else:
+            self._state.assign_from(state)
 
     def _build(self) -> None:
         """(Re)build the flattened execution state from the aggregator."""
@@ -879,20 +1045,18 @@ class QuerySession:
             aggregator._refresh_columns()
         self._generation = aggregator.mutations
         self._dirty = False
-        self._appended = 0
-        self._tombstoned = 0
 
         deleted = aggregator._deleted
         extras = aggregator._extra_points
         if not deleted and not extras:
-            self._rows = np.fromiter(
+            rows = np.fromiter(
                 aggregator._base_rows.keys(), dtype=np.int64, count=len(aggregator._base_rows)
             )
-            self._matrix = aggregator._base_matrix
+            matrix = aggregator._base_matrix
         else:
             base_rows = [row for row in aggregator._base_rows if row not in deleted]
             extra_rows = [row for row in extras if row not in deleted]
-            self._rows = np.asarray(base_rows + extra_rows, dtype=np.int64)
+            rows = np.asarray(base_rows + extra_rows, dtype=np.int64)
             parts = []
             if base_rows:
                 parts.append(
@@ -902,43 +1066,51 @@ class QuerySession:
                 )
             if extra_rows:
                 parts.append(np.asarray([extras[row] for row in extra_rows], dtype=float))
-            self._matrix = (
+            matrix = (
                 np.vstack(parts)
                 if parts
                 else np.empty((0, aggregator._num_dims), dtype=float)
             )
 
-        self._live = np.ones(len(self._rows), dtype=bool)
-        self._num_live = len(self._rows)
-        order = np.argsort(self._rows)
-        self._row_order = order
-        self._sorted_rows = self._rows[order]
+        order = np.argsort(rows)
+        sorted_rows = rows[order]
         scored_dims = set(aggregator.repulsive) | set(aggregator.attractive)
-        self._columns_by_dim = {
-            dim: np.ascontiguousarray(self._matrix[:, dim]) for dim in scored_dims
+        columns_by_dim = {
+            dim: np.ascontiguousarray(matrix[:, dim]) for dim in scored_dims
         }
 
-        self._pairs: List[Tuple[int, int, _FlatTree]] = []
-        self._pair_leaf_of_position: List[np.ndarray] = []
+        state = SessionState(
+            rows=rows,
+            matrix=matrix,
+            live=np.ones(len(rows), dtype=bool),
+            num_live=len(rows),
+            row_order=order,
+            sorted_rows=sorted_rows,
+            columns_by_dim=columns_by_dim,
+            pairs=[],
+            pair_leaf_of_position=[],
+            col_values={},
+            col_positions={},
+        )
+
         for index, (rep_dim, att_dim) in zip(
             aggregator._pair_indexes, aggregator.pairing.pairs
         ):
             flat = _FlatTree(index.tree)
-            positions = self._positions_of(flat.rows)
-            self._pairs.append((rep_dim, att_dim, flat))
+            positions = state.positions_of(flat.rows)
+            state.pairs.append((rep_dim, att_dim, flat))
             # Inverse map: which leaf of this tree holds each snapshot position.
-            leaf_of_position = np.empty(len(self._rows), dtype=np.int64)
+            leaf_of_position = np.empty(len(rows), dtype=np.int64)
             leaf_of_position[positions] = flat.leaf_of_pos
-            self._pair_leaf_of_position.append(leaf_of_position)
+            state.pair_leaf_of_position.append(leaf_of_position)
 
         # Session-owned sorted-column state (values stay aligned with the
         # snapshot positions); patched incrementally, never rebuilt per update.
-        self._col_values: Dict[int, np.ndarray] = {}
-        self._col_positions: Dict[int, np.ndarray] = {}
         for dim in aggregator._column_dims:
             column = aggregator._columns[dim]
-            self._col_values[dim] = np.array(column.values)
-            self._col_positions[dim] = self._positions_of(np.asarray(column.row_ids))
+            state.col_values[dim] = np.array(column.values)
+            state.col_positions[dim] = state.positions_of(np.asarray(column.row_ids))
+        self.epochs.publish(state)
 
     # -------------------------------------------------------------- maintenance
     @property
@@ -948,12 +1120,33 @@ class QuerySession:
 
     def reflatten(self) -> None:
         """Force an eager rebuild of the flattened state (counts in ``reflattens``)."""
-        self.reflattens += 1
-        self._build()
+        with self._aggregator.write_lock:
+            self.reflattens += 1
+            self._build()
 
-    def _check_garbage(self) -> None:
-        if (self._appended + self._tombstoned) > self.reflatten_threshold * max(
-            self._num_live, 1
+    def _fresh_state(self) -> SessionState:
+        """The current state, rebuilt first if garbage or staleness demands it.
+
+        The rebuild reads the aggregator's structures, so it happens under the
+        aggregator's write lock; concurrent readers that lost the race simply
+        observe the state the winner published.
+        """
+        if self.needs_reflatten:
+            with self._aggregator.write_lock:
+                if self.needs_reflatten:
+                    self.reflatten()
+        return self._state
+
+    def garbage_fraction(self) -> float:
+        """Garbage + imbalance of the current state relative to live rows.
+
+        Defined (saturating denominator) even when every row is tombstoned.
+        """
+        return self._state.garbage_fraction()
+
+    def _check_garbage(self, state: SessionState) -> None:
+        if (state.appended + state.tombstoned) > self.reflatten_threshold * max(
+            state.num_live, 1
         ):
             self._dirty = True
 
@@ -964,7 +1157,12 @@ class QuerySession:
         )
 
     def apply_bulk_insert(self, row_ids, matrix) -> None:
-        """Patch a batch of inserted points into the flattened arrays in place."""
+        """Patch a batch of inserted points into a successor execution state.
+
+        Under ``concurrency="snapshot"`` the successor is built copy-on-write
+        and published as a new epoch; under ``"unsafe"`` the current state's
+        fields are overwritten in place.
+        """
         self._generation = self._aggregator.mutations
         if self._dirty:
             return
@@ -973,90 +1171,179 @@ class QuerySession:
         count = len(row_ids)
         if count == 0:
             return
-        if any(flat.num_leaves == 0 for _, _, flat in self._pairs):
-            # The flat view was built over an empty tree; nothing to patch into.
+        state = self._state
+        if any(flat.num_leaves == 0 for _, _, flat in state.pairs):
+            # The flat view was built over an empty tree; nothing to patch
+            # into.  Mark dirty so the next read reflattens into a valid
+            # non-empty view (regression: fully-emptied-then-refilled index).
             self._dirty = True
             return
-        start = len(self._rows)
+        cow = self.concurrency == "snapshot"
+        start = len(state.rows)
         new_positions = np.arange(start, start + count, dtype=np.int64)
-        self._rows = np.concatenate([self._rows, row_ids])
-        self._matrix = (
-            np.vstack([self._matrix, matrix]) if len(self._matrix) else matrix.copy()
+        rows = np.concatenate([state.rows, row_ids])
+        full_matrix = (
+            np.vstack([state.matrix, matrix]) if len(state.matrix) else matrix.copy()
         )
-        self._live = np.concatenate([self._live, np.ones(count, dtype=bool)])
-        self._num_live += count
-        for dim in self._columns_by_dim:
-            self._columns_by_dim[dim] = np.concatenate(
-                [self._columns_by_dim[dim], np.ascontiguousarray(matrix[:, dim])]
-            )
+        live = np.concatenate([state.live, np.ones(count, dtype=bool)])
+        columns_by_dim = {
+            dim: np.concatenate([values, np.ascontiguousarray(matrix[:, dim])])
+            for dim, values in state.columns_by_dim.items()
+        }
         # Maintain the sorted row-id -> position map.
         id_order = np.argsort(row_ids, kind="stable")
         sorted_new = row_ids[id_order]
-        insert_at = np.searchsorted(self._sorted_rows, sorted_new)
-        self._sorted_rows = np.insert(self._sorted_rows, insert_at, sorted_new)
-        self._row_order = np.insert(self._row_order, insert_at, new_positions[id_order])
-        # Patch every pair tree and its position-to-leaf inverse map.
-        for p, (rep_dim, att_dim, flat) in enumerate(self._pairs):
+        insert_at = np.searchsorted(state.sorted_rows, sorted_new)
+        sorted_rows = np.insert(state.sorted_rows, insert_at, sorted_new)
+        row_order = np.insert(state.row_order, insert_at, new_positions[id_order])
+        # Patch every pair tree (cloned copy-on-write under snapshot mode, so
+        # pinned epochs keep their bounds and masks) and its inverse leaf map.
+        pairs: List[Tuple[int, int, _FlatTree]] = []
+        pair_leaf_of_position: List[np.ndarray] = []
+        for p, (rep_dim, att_dim, flat) in enumerate(state.pairs):
+            if cow:
+                flat = flat.clone()
             leaves = flat.append_points(row_ids, matrix[:, att_dim], matrix[:, rep_dim])
-            self._pair_leaf_of_position[p] = np.concatenate(
-                [self._pair_leaf_of_position[p], leaves]
+            pairs.append((rep_dim, att_dim, flat))
+            pair_leaf_of_position.append(
+                np.concatenate([state.pair_leaf_of_position[p], leaves])
             )
         # Splice the new values into the session-owned sorted columns.  The
         # batch must be presorted per column: np.insert keeps same-gap values
         # in the given order, so unsorted input would break the sorted-column
         # invariant every searchsorted probe relies on.
-        for dim in self._col_values:
+        col_values: Dict[int, np.ndarray] = {}
+        col_positions: Dict[int, np.ndarray] = {}
+        for dim in state.col_values:
             values = np.ascontiguousarray(matrix[:, dim])
             value_order = np.argsort(values, kind="stable")
             sorted_values = values[value_order]
-            at = np.searchsorted(self._col_values[dim], sorted_values)
-            self._col_values[dim] = np.insert(
-                self._col_values[dim], at, sorted_values
+            at = np.searchsorted(state.col_values[dim], sorted_values)
+            col_values[dim] = np.insert(state.col_values[dim], at, sorted_values)
+            col_positions[dim] = np.insert(
+                state.col_positions[dim], at, new_positions[value_order]
             )
-            self._col_positions[dim] = np.insert(
-                self._col_positions[dim], at, new_positions[value_order]
-            )
-        self._appended += count
+        successor = SessionState(
+            rows=rows,
+            matrix=full_matrix,
+            live=live,
+            num_live=state.num_live + count,
+            row_order=row_order,
+            sorted_rows=sorted_rows,
+            columns_by_dim=columns_by_dim,
+            pairs=pairs,
+            pair_leaf_of_position=pair_leaf_of_position,
+            col_values=col_values,
+            col_positions=col_positions,
+            appended=state.appended + count,
+            tombstoned=state.tombstoned,
+        )
+        self._install(successor)
         self.patched_inserts += count
-        self._check_garbage()
+        self._check_garbage(successor)
 
     def apply_delete(self, row_id: int) -> None:
         """Tombstone one deleted row (called by the aggregator)."""
         self.apply_bulk_delete(np.asarray([row_id], dtype=np.int64))
 
     def apply_bulk_delete(self, row_ids) -> None:
-        """Tombstone a batch of deleted rows through the validity mask."""
+        """Tombstone a batch of deleted rows through the validity mask.
+
+        Snapshot mode copies the mask before writing it (the only in-place
+        mutation a delete patch performs), so pinned epochs keep serving the
+        rows they saw alive.
+        """
         self._generation = self._aggregator.mutations
         if self._dirty:
             return
         row_ids = np.asarray(row_ids, dtype=np.int64)
         if len(row_ids) == 0:
             return
-        positions = self._positions_of(row_ids)
-        self._live[positions] = False
-        self._num_live -= len(row_ids)
-        self._tombstoned += len(row_ids)
+        state = self._state
+        positions = state.positions_of(row_ids)
+        live = state.live.copy() if self.concurrency == "snapshot" else state.live
+        live[positions] = False
+        successor = SessionState(
+            rows=state.rows,
+            matrix=state.matrix,
+            live=live,
+            num_live=state.num_live - len(row_ids),
+            row_order=state.row_order,
+            sorted_rows=state.sorted_rows,
+            columns_by_dim=state.columns_by_dim,
+            pairs=state.pairs,
+            pair_leaf_of_position=state.pair_leaf_of_position,
+            col_values=state.col_values,
+            col_positions=state.col_positions,
+            appended=state.appended,
+            tombstoned=state.tombstoned + len(row_ids),
+        )
+        self._install(successor)
         self.patched_deletes += len(row_ids)
-        self._check_garbage()
+        self._check_garbage(successor)
 
     def maintenance_stats(self) -> Dict[str, int]:
         """Counters describing how the session has been kept alive."""
+        state = self._state
         return {
             "patched_inserts": self.patched_inserts,
             "patched_deletes": self.patched_deletes,
             "reflattens": self.reflattens,
-            "appended_since_flatten": self._appended,
-            "tombstoned_since_flatten": self._tombstoned,
-            "live_rows": self._num_live,
+            "appended_since_flatten": state.appended,
+            "tombstoned_since_flatten": state.tombstoned,
+            "live_rows": state.num_live,
             "needs_reflatten": int(self.needs_reflatten),
+            "epoch_version": self.epochs.version,
+            "epochs_live": self.epochs.live_epochs,
         }
 
+    # ------------------------------------------------------------------ snapshots
+    def snapshot(self) -> "SessionSnapshot":
+        """Pin the current epoch and return an immutable read view.
+
+        The view answers :meth:`run`/:meth:`run_one`/bound queries against the
+        pinned :class:`SessionState` no matter what writers do afterwards; use
+        it as a context manager (or call ``close()``) to release the pin so
+        the epoch can be reclaimed.  A stale session reflattens first, so the
+        pinned state always reflects every mutation applied so far.
+        """
+        self._fresh_state()
+        return SessionSnapshot(self, self.epochs.pin())
+
     # ------------------------------------------------------------------ helpers
-    def _positions_of(self, row_ids: np.ndarray) -> np.ndarray:
-        """Snapshot positions of live row ids (vectorized id -> position map)."""
-        if len(row_ids) == 0:
-            return np.empty(0, dtype=np.int64)
-        return self._row_order[np.searchsorted(self._sorted_rows, row_ids)]
+    # Read-only views of the current state, kept for tests and callers that
+    # predate the epoch refactor.
+    @property
+    def _rows(self) -> np.ndarray:
+        return self._state.rows
+
+    @property
+    def _matrix(self) -> np.ndarray:
+        return self._state.matrix
+
+    @property
+    def _live(self) -> np.ndarray:
+        return self._state.live
+
+    @property
+    def _num_live(self) -> int:
+        return self._state.num_live
+
+    @property
+    def _col_values(self) -> Dict[int, np.ndarray]:
+        return self._state.col_values
+
+    @property
+    def _col_positions(self) -> Dict[int, np.ndarray]:
+        return self._state.col_positions
+
+    @property
+    def _columns_by_dim(self) -> Dict[int, np.ndarray]:
+        return self._state.columns_by_dim
+
+    @property
+    def _pairs(self) -> List[Tuple[int, int, _FlatTree]]:
+        return self._state.pairs
 
     def _weight_column(self, spec: BatchQuerySpec, dim: int) -> np.ndarray:
         """The per-query weight column of a scored dimension."""
@@ -1065,7 +1352,9 @@ class QuerySession:
             return spec.alpha[:, aggregator.repulsive.index(dim)]
         return spec.beta[:, aggregator.attractive.index(dim)]
 
-    def _score_block(self, positions: np.ndarray, spec: BatchQuerySpec) -> np.ndarray:
+    def _score_block(
+        self, state: SessionState, positions: np.ndarray, spec: BatchQuerySpec
+    ) -> np.ndarray:
         """Scores of the sampled positions for every query: ``(m, p)``.
 
         Always accumulates in index term order — the result only seeds the
@@ -1075,19 +1364,19 @@ class QuerySession:
         aggregator = self._aggregator
         scores = np.zeros((len(spec), len(positions)))
         for i, dim in enumerate(aggregator.repulsive):
-            values = self._columns_by_dim[dim][positions]
+            values = state.columns_by_dim[dim][positions]
             scores += spec.alpha[:, i][:, None] * np.abs(
                 values[None, :] - spec.points[:, dim][:, None]
             )
         for i, dim in enumerate(aggregator.attractive):
-            values = self._columns_by_dim[dim][positions]
+            values = state.columns_by_dim[dim][positions]
             scores -= spec.beta[:, i][:, None] * np.abs(
                 values[None, :] - spec.points[:, dim][:, None]
             )
         return scores
 
     def _score_one(
-        self, positions: np.ndarray, spec: BatchQuerySpec, j: int
+        self, state: SessionState, positions: np.ndarray, spec: BatchQuerySpec, j: int
     ) -> np.ndarray:
         """Exact scores of candidate positions for query ``j``.
 
@@ -1102,17 +1391,17 @@ class QuerySession:
         for dim in rep_order:
             weight = spec.alpha[j, aggregator.repulsive.index(dim)]
             scores += weight * np.abs(
-                self._columns_by_dim[dim][positions] - spec.points[j, dim]
+                state.columns_by_dim[dim][positions] - spec.points[j, dim]
             )
         for dim in att_order:
             weight = spec.beta[j, aggregator.attractive.index(dim)]
             scores -= weight * np.abs(
-                self._columns_by_dim[dim][positions] - spec.points[j, dim]
+                state.columns_by_dim[dim][positions] - spec.points[j, dim]
             )
         return scores
 
     def _column_max_contribution(
-        self, dim: int, spec: BatchQuerySpec
+        self, state: SessionState, dim: int, spec: BatchQuerySpec
     ) -> np.ndarray:
         """Per-query maximum contribution of one leftover 1D subproblem.
 
@@ -1122,7 +1411,7 @@ class QuerySession:
         may include tombstoned rows — a dead row can only move the farthest
         value out or the nearest value in, which loosens the bound admissibly.
         """
-        values = self._col_values[dim]
+        values = state.col_values[dim]
         targets = spec.points[:, dim]
         weight = self._weight_column(spec, dim)
         if len(values) == 0:
@@ -1151,21 +1440,28 @@ class QuerySession:
         The sharded engine pools these samples across shards to seed a *global*
         k-th best lower bound before the first probe.
         """
-        if self._dirty or self._aggregator.mutations != self._generation:
-            self.reflatten()
+        state = self._fresh_state()
         spec = self._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
-        if self._num_live == 0:
+        return self._sample_scores(state, spec, pool)
+
+    def _sample_scores(
+        self, state: SessionState, spec: BatchQuerySpec, pool: int
+    ) -> np.ndarray:
+        if state.num_live == 0:
             return np.empty((len(spec), 0))
-        live = np.flatnonzero(self._live)
+        live = np.flatnonzero(state.live)
         sample = np.unique(
             np.linspace(0, len(live) - 1, min(len(live), int(pool))).astype(np.int64)
         )
-        return self._score_block(live[sample], spec)
+        return self._score_block(state, live[sample], spec)
 
     def data_magnitude(self) -> float:
         """Largest absolute scored coordinate in the snapshot (0.0 when empty)."""
+        return self._data_magnitude(self._state)
+
+    def _data_magnitude(self, state: SessionState) -> float:
         magnitude = 0.0
-        for column in self._columns_by_dim.values():
+        for column in state.columns_by_dim.values():
             if len(column):
                 magnitude = max(magnitude, float(np.abs(column).max()))
         return magnitude
@@ -1182,14 +1478,16 @@ class QuerySession:
         hold any of that query's answers.  Returns ``-inf`` for every query
         when no live rows remain.
         """
-        if self._dirty or self._aggregator.mutations != self._generation:
-            self.reflatten()
+        state = self._fresh_state()
         spec = self._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
+        return self._upper_bounds(state, spec)
+
+    def _upper_bounds(self, state: SessionState, spec: BatchQuerySpec) -> np.ndarray:
         m = len(spec)
-        if self._num_live == 0:
+        if state.num_live == 0:
             return np.full(m, -math.inf)
         ub = np.zeros(m)
-        for rep_dim, att_dim, flat in self._pairs:
+        for rep_dim, att_dim, flat in state.pairs:
             collapsed = flat.collapsed()
             if collapsed.num_leaves == 0:
                 return np.full(m, -math.inf)
@@ -1200,8 +1498,8 @@ class QuerySession:
                 spec.points[:, att_dim],
                 spec.points[:, rep_dim],
             )[:, 0]
-        for dim in self._col_values:
-            ub += self._column_max_contribution(dim, spec)
+        for dim in state.col_values:
+            ub += self._column_max_contribution(state, dim, spec)
         return ub
 
     def _coerce_spec(self, queries, k=None, alpha=None, beta=None) -> BatchQuerySpec:
@@ -1257,14 +1555,23 @@ class QuerySession:
         omitted from that query's result — exactly what a sharded merge wants,
         since such rows cannot enter the global top k.
         """
-        aggregator = self._aggregator
-        if self._dirty or aggregator.mutations != self._generation:
-            # Garbage crossed the threshold (or an unpatched mutation slipped
-            # by): rebuild the flattened state before answering.
-            self.reflatten()
+        # Garbage crossed the threshold (or an unpatched mutation slipped by):
+        # rebuild the flattened state before answering, then execute against
+        # one consistent state object end to end.
+        state = self._fresh_state()
         spec = self._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
+        return self._execute(state, spec, lower_bounds, _label)
+
+    def _execute(
+        self,
+        state: SessionState,
+        spec: BatchQuerySpec,
+        lower_bounds,
+        _label: str,
+    ) -> BatchResult:
+        """The filter-and-verify pipeline over one pinned execution state."""
         m = len(spec)
-        n_live = self._num_live
+        n_live = state.num_live
         if m == 0:
             return BatchResult(results=[], algorithm=_label)
         if n_live == 0:
@@ -1276,11 +1583,11 @@ class QuerySession:
                 algorithm=_label,
             )
         ks_eff = np.minimum(spec.ks, n_live)
-        live_positions = np.flatnonzero(self._live)
+        live_positions = np.flatnonzero(state.live)
 
         # Per-pair leaf bounds (shared traversal + per-partition resolution).
         pair_ubs: List[np.ndarray] = []
-        for rep_dim, att_dim, flat in self._pairs:
+        for rep_dim, att_dim, flat in state.pairs:
             pair_ubs.append(
                 leaf_score_bounds(
                     flat,
@@ -1292,19 +1599,19 @@ class QuerySession:
             )
 
         column_max = {
-            dim: self._column_max_contribution(dim, spec)
-            for dim in self._col_values
+            dim: self._column_max_contribution(state, dim, spec)
+            for dim in state.col_values
         }
 
         # Seeded lower bound on each query's k-th best score.
         magnitude = 0.0
-        for dim, column in self._columns_by_dim.items():
+        for dim, column in state.columns_by_dim.items():
             if len(column):
                 magnitude = max(magnitude, float(np.abs(column).max()))
             magnitude = max(magnitude, float(np.abs(spec.points[:, dim]).max()))
         weight_scale = spec.alpha.sum(axis=1) + spec.beta.sum(axis=1)
         threshold = _seeded_threshold(
-            lambda sample: self._score_block(live_positions[sample], spec),
+            lambda sample: self._score_block(state, live_positions[sample], spec),
             ks_eff,
             n_live,
             self._seed_pool,
@@ -1319,7 +1626,7 @@ class QuerySession:
             column_total = column_total + contribution
 
         candidates = self._enumerate_candidates(
-            spec, pair_ubs, column_total, column_max, threshold, live_positions
+            state, spec, pair_ubs, column_total, column_max, threshold, live_positions
         )
 
         results: List[TopKResult] = []
@@ -1332,43 +1639,43 @@ class QuerySession:
                 positions,
                 cand_bounds,
                 k_eff,
-                lambda sample: self._score_one(sample, spec, j),
+                lambda sample: self._score_one(state, sample, spec, j),
                 float(weight_scale[j]),
                 magnitude,
             )
-            if refined is not None and self._pairs and (
-                len(self._pairs) + len(self._col_values) >= 2
+            if refined is not None and state.pairs and (
+                len(state.pairs) + len(state.col_values) >= 2
             ) and len(positions) > max(_VERIFY_POOL, 4 * k_eff):
                 # Stage 3: the leaf-level bound of the first pair is the
                 # coarsest term — replace it with that pair's *exact*
                 # partial score (still admissible, far tighter) and
                 # re-prune once more before full verification.
-                rep_dim, att_dim, _flat = self._pairs[0]
+                rep_dim, att_dim, _flat = state.pairs[0]
                 rep_w = self._weight_column(spec, rep_dim)[j]
                 att_w = self._weight_column(spec, att_dim)[j]
                 tight = rep_w * np.abs(
-                    self._columns_by_dim[rep_dim][positions]
+                    state.columns_by_dim[rep_dim][positions]
                     - spec.points[j, rep_dim]
                 ) - att_w * np.abs(
-                    self._columns_by_dim[att_dim][positions]
+                    state.columns_by_dim[att_dim][positions]
                     - spec.points[j, att_dim]
                 )
                 tight += column_total[j]
-                for p in range(1, len(self._pairs)):
+                for p in range(1, len(state.pairs)):
                     tight += pair_ubs[p][j][
-                        self._pair_leaf_of_position[p][positions]
+                        state.pair_leaf_of_position[p][positions]
                     ]
                 positions = positions[tight >= refined]
             # Exact scorings performed: the refine head plus the final verify
             # pass (head survivors are rescored — bounded by max(64, 4k)).
             examined = head_count + len(positions)
-            scores = self._score_one(positions, spec, j)
-            top = select_topk(scores, self._rows[positions], k_eff)
+            scores = self._score_one(state, positions, spec, j)
+            top = select_topk(scores, state.rows[positions], k_eff)
             matches = [
                 Match(
-                    row_id=int(self._rows[positions[i]]),
+                    row_id=int(state.rows[positions[i]]),
                     score=float(scores[i]),
-                    point=tuple(self._matrix[positions[i]]),
+                    point=tuple(state.matrix[positions[i]]),
                 )
                 for i in top
             ]
@@ -1384,6 +1691,7 @@ class QuerySession:
 
     def _enumerate_candidates(
         self,
+        state: SessionState,
         spec: BatchQuerySpec,
         pair_ubs: List[np.ndarray],
         column_total: np.ndarray,
@@ -1404,17 +1712,17 @@ class QuerySession:
         positions so the verification stage can re-prune after tightening.
         """
         m = len(spec)
-        n_total = len(self._rows)
-        if self._pairs:
+        n_total = len(state.rows)
+        if state.pairs:
             candidates = []
             for j in range(m):
                 bound = np.full(n_total, column_total[j])
-                for p, leaf_of_position in enumerate(self._pair_leaf_of_position):
+                for p, leaf_of_position in enumerate(state.pair_leaf_of_position):
                     bound += pair_ubs[p][j][leaf_of_position]
                 if not np.isfinite(threshold[j]):
                     positions = live_positions
                 else:
-                    positions = np.flatnonzero((bound >= threshold[j]) & self._live)
+                    positions = np.flatnonzero((bound >= threshold[j]) & state.live)
                 candidates.append((positions, bound[positions]))
             return candidates
 
@@ -1427,8 +1735,8 @@ class QuerySession:
         else:
             dim = pairing.leftover_attractive[0]
             repulsive = False
-        values = self._col_values[dim]
-        column_positions = self._col_positions[dim]
+        values = state.col_values[dim]
+        column_positions = state.col_positions[dim]
         weight = self._weight_column(spec, dim)
         targets = spec.points[:, dim]
         other_max = np.zeros(m)
@@ -1439,7 +1747,7 @@ class QuerySession:
         sign = 1.0 if repulsive else -1.0
 
         def with_bounds(positions_j, values_j, j):
-            live = self._live[positions_j]
+            live = state.live[positions_j]
             positions_j = positions_j[live]
             bounds_j = other_max[j] + sign * weight[j] * np.abs(
                 values_j[live] - targets[j]
@@ -1491,6 +1799,98 @@ class QuerySession:
                         )
                     )
         return candidates
+
+
+class SessionSnapshot:
+    """A pinned, immutable read view of one :class:`QuerySession` epoch.
+
+    Holds one reader reference on the pinned epoch; every query method
+    executes against that epoch's :class:`SessionState`, so concurrent
+    ``insert``/``delete``/``rebalance`` on the owning index can never tear or
+    shift the answers.  Release the pin with :meth:`close` (or use the view as
+    a context manager) — until then the epoch cannot be reclaimed.
+    """
+
+    def __init__(self, session: QuerySession, epoch) -> None:
+        self._session = session
+        self._epoch = epoch
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release the pinned epoch (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._epoch.release()
+
+    def __enter__(self) -> "SessionSnapshot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def version(self) -> int:
+        """The pinned epoch's version."""
+        return self._epoch.version
+
+    @property
+    def state(self) -> SessionState:
+        if self._closed:
+            raise RuntimeError("session snapshot is closed")
+        return self._epoch.state
+
+    # ------------------------------------------------------------------ reading
+    @property
+    def num_live(self) -> int:
+        """Live rows in the pinned epoch."""
+        return self.state.num_live
+
+    def __len__(self) -> int:
+        return self.state.num_live
+
+    def live_row_ids(self) -> np.ndarray:
+        """Row ids alive in the pinned epoch (frozen-oracle support)."""
+        return self.state.live_row_ids()
+
+    def live_matrix(self) -> np.ndarray:
+        """Coordinates of the pinned live rows, aligned with ``live_row_ids``."""
+        return self.state.live_matrix()
+
+    def run(
+        self,
+        queries,
+        k=None,
+        alpha=None,
+        beta=None,
+        lower_bounds=None,
+        _label: str = "sd-index/snapshot",
+    ) -> BatchResult:
+        """Answer a batch against the pinned state (same contract as ``run``)."""
+        spec = self._session._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
+        return self._session._execute(self.state, spec, lower_bounds, _label)
+
+    def run_one(self, query) -> TopKResult:
+        """One SD-Query against the pinned state."""
+        return self.run([query]).results[0]
+
+    def upper_bounds(self, queries, k=None, alpha=None, beta=None) -> np.ndarray:
+        """Admissible per-query score upper bounds over the pinned state."""
+        spec = self._session._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
+        return self._session._upper_bounds(self.state, spec)
+
+    def sample_scores(self, queries, pool: int, k=None, alpha=None, beta=None) -> np.ndarray:
+        """Evenly spaced live-sample scores over the pinned state."""
+        spec = self._session._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
+        return self._session._sample_scores(self.state, spec, pool)
+
+    def data_magnitude(self) -> float:
+        """Largest absolute scored coordinate in the pinned state."""
+        return self._session._data_magnitude(self.state)
 
 
 # ------------------------------------------------------------------ 2D batches

@@ -29,7 +29,7 @@ from repro.core.angles import AngleGrid
 from repro.core.query import SDQuery
 from repro.core.results import IndexStats, TopKResult
 
-__all__ = ["SDIndex"]
+__all__ = ["SDIndex", "SDIndexSnapshot"]
 
 
 class SDIndex:
@@ -88,6 +88,7 @@ class SDIndex:
         leaf_capacity: int = 32,
         pairing: str = "order",
         row_ids: Optional[Sequence[int]] = None,
+        concurrency: str = "snapshot",
     ) -> None:
         matrix = np.asarray(data, dtype=float)
         if matrix.ndim != 2:
@@ -111,7 +112,13 @@ class SDIndex:
             branching=branching,
             leaf_capacity=leaf_capacity,
             row_ids=row_ids,
+            concurrency=concurrency,
         )
+
+    @property
+    def concurrency(self) -> str:
+        """``"snapshot"`` (epoch-isolated reads, default) or ``"unsafe"``."""
+        return self._aggregator.concurrency
 
     def _validate_roles(self) -> None:
         used = set(self.repulsive) | set(self.attractive)
@@ -192,24 +199,33 @@ class SDIndex:
         """
         if engine not in ("fast", "legacy"):
             raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'legacy'")
-        if isinstance(query, SDQuery):
-            if k is not None or alpha is not None or beta is not None:
-                raise ValueError("pass either an SDQuery or point/k/weights, not both")
-            built = query
-        else:
-            if k is None:
-                raise ValueError("k is required when querying with a raw point")
-            built = SDQuery.simple(
-                point=query,
-                repulsive=self.repulsive,
-                attractive=self.attractive,
-                k=k,
-                alpha=alpha,
-                beta=beta,
-            )
+        built = self._coerce_query(query, k, alpha, beta)
         if engine == "legacy":
             return self._aggregator.query(built)
         return self._aggregator.query_fast(built)
+
+    def _coerce_query(
+        self,
+        query: Union[SDQuery, Sequence[float]],
+        k: Optional[int],
+        alpha: Optional[Sequence[float]],
+        beta: Optional[Sequence[float]],
+    ) -> SDQuery:
+        """Normalize the two single-query call shapes (shared with snapshots)."""
+        if isinstance(query, SDQuery):
+            if k is not None or alpha is not None or beta is not None:
+                raise ValueError("pass either an SDQuery or point/k/weights, not both")
+            return query
+        if k is None:
+            raise ValueError("k is required when querying with a raw point")
+        return SDQuery.simple(
+            point=query,
+            repulsive=self.repulsive,
+            attractive=self.attractive,
+            k=k,
+            alpha=alpha,
+            beta=beta,
+        )
 
     def batch_query(
         self,
@@ -243,6 +259,16 @@ class SDIndex:
         session = self._aggregator._serving_session
         if session is not None:
             session.reflatten()
+
+    def snapshot(self) -> "SDIndexSnapshot":
+        """Pin the current serving epoch: a repeatable-read view of the index.
+
+        Queries answered through the returned :class:`SDIndexSnapshot` keep
+        returning the same answers no matter what ``insert``/``delete`` do
+        concurrently (see DESIGN.md section 6).  Use it as a context manager,
+        or ``close()`` it, to release the pinned epoch.
+        """
+        return SDIndexSnapshot(self, self._aggregator.snapshot())
 
     # ------------------------------------------------------------------ updates
     def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
@@ -285,3 +311,57 @@ class SDIndex:
     def aggregator(self) -> SubproblemAggregator:
         """The underlying aggregator (for benchmarking and tests)."""
         return self._aggregator
+
+
+class SDIndexSnapshot:
+    """A pinned, immutable read view of one :class:`SDIndex` serving epoch.
+
+    Mirrors the index's query surface (:meth:`query` / :meth:`batch_query`)
+    but every answer comes from the pinned epoch — concurrent writers cannot
+    move it.  ``frozen()`` exposes the pinned population for oracle checks.
+    """
+
+    def __init__(self, index: SDIndex, view) -> None:
+        self._index = index
+        self._view = view
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release the pinned epoch (idempotent)."""
+        self._view.close()
+
+    def __enter__(self) -> "SDIndexSnapshot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def version(self) -> int:
+        """The pinned session epoch's version."""
+        return self._view.version
+
+    # ------------------------------------------------------------------ reading
+    def __len__(self) -> int:
+        return self._view.num_live
+
+    def frozen(self):
+        """The pinned population as ``(row_ids, matrix)``, sorted by row id."""
+        rows = self._view.live_row_ids()
+        matrix = self._view.live_matrix()
+        order = np.argsort(rows)
+        return rows[order], matrix[order]
+
+    def query(
+        self,
+        query: Union[SDQuery, Sequence[float]],
+        k: Optional[int] = None,
+        alpha: Optional[Sequence[float]] = None,
+        beta: Optional[Sequence[float]] = None,
+    ) -> TopKResult:
+        """Answer one SD-Query against the pinned epoch (fast engine only)."""
+        return self._view.run_one(self._index._coerce_query(query, k, alpha, beta))
+
+    def batch_query(self, queries, k=None, alpha=None, beta=None):
+        """Answer a batch of SD-Queries against the pinned epoch."""
+        return self._view.run(queries, k=k, alpha=alpha, beta=beta)

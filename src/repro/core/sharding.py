@@ -46,17 +46,19 @@ for construction.
 from __future__ import annotations
 
 import math
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.aggregate import SubproblemAggregator, claim_row_id
-from repro.core.batch import BatchQuerySpec, _prune_bound
+from repro.core.batch import BatchQuerySpec, SessionSnapshot, _prune_bound
+from repro.core.epoch import EpochManager, validate_concurrency
 from repro.core.query import SDQuery
 from repro.core.results import BatchResult, IndexStats, TopKResult
 
-__all__ = ["ShardRouter", "ShardedIndex", "ShardedXYIndex"]
+__all__ = ["ShardRouter", "ShardedIndex", "ShardedSnapshot", "ShardedXYIndex"]
 
 #: splitmix64 stream increment and finalizer constants (Steele et al.).
 _SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
@@ -200,6 +202,21 @@ class ShardRouter:
         return dict(self._shard_of)
 
 
+class _ShardTopology:
+    """One epoch of the sharded layout: the router plus its shard aggregators.
+
+    Published through the engine's topology :class:`EpochManager` so a probe
+    that pinned an epoch keeps a consistent (router, shards) pair even while
+    :meth:`ShardedIndex.rebalance` swaps in a refitted successor.
+    """
+
+    __slots__ = ("router", "shards")
+
+    def __init__(self, router: ShardRouter, shards: Tuple[SubproblemAggregator, ...]) -> None:
+        self.router = router
+        self.shards = shards
+
+
 class ShardedIndex:
     """K-shard SD-Query serving engine with bound-ordered pruned fan-out.
 
@@ -209,6 +226,15 @@ class ShardedIndex:
     return results bit-identical to the unsharded flat engine.  Updates route
     through the :class:`ShardRouter`; ``serve_stats`` records, per serving
     call, how many shard probes ran versus were pruned by the bound order.
+
+    **Concurrency.**  Under the default ``concurrency="snapshot"`` every
+    serving call pins a consistent cut — the topology epoch plus one session
+    epoch per shard — before touching any data, so ``insert`` /
+    ``bulk_delete`` / :meth:`rebalance` running on other threads can never
+    tear an in-flight probe (DESIGN.md section 6).  Writers serialize on an
+    internal lock; :meth:`snapshot` hands the same pinned cut to callers that
+    want repeatable reads across several queries.  ``concurrency="unsafe"``
+    keeps the legacy in-place patching (single-threaded mutation only).
     """
 
     def __init__(
@@ -223,11 +249,13 @@ class ShardedIndex:
         parallel: bool = True,
         max_workers: Optional[int] = None,
         row_ids: Optional[Sequence[int]] = None,
+        concurrency: str = "snapshot",
         **index_options,
     ) -> None:
         matrix = np.asarray(data, dtype=float)
         if matrix.ndim != 2:
             raise ValueError("data must be an (n, m) matrix of points")
+        validate_concurrency(concurrency)
         self.repulsive = tuple(int(d) for d in repulsive)
         self.attractive = tuple(int(d) for d in attractive)
         self.num_dims = matrix.shape[1]
@@ -256,13 +284,16 @@ class ShardedIndex:
             # distance, so range-disjoint shards are the ones bound pruning
             # can rule out.
             range_dim = (self.attractive or self.repulsive)[0]
-        self.router = ShardRouter(num_shards, partitioner, range_dim)
-        self.router.refit(matrix)
+        self.concurrency = concurrency
         self.rebalance_threshold = float(rebalance_threshold)
         self.parallel = bool(parallel)
         self._max_workers = max_workers
         self._index_options = dict(index_options)
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        #: Serializes writers (updates and rebalances) and the brief pin phase
+        #: of snapshots, so every snapshot is a consistent cross-shard cut.
+        self._write_lock = threading.RLock()
         self._deleted: set = set()
         self._max_row_id = int(rows.max()) if len(rows) else -1
         self.rebalances = 0
@@ -271,11 +302,21 @@ class ShardedIndex:
         #: ``rounds`` counts the bound-ordered visit waves.
         self.serve_stats: Dict[str, int] = {"probes": 0, "pruned": 0, "rounds": 0}
 
-        shards = self.router.assign(rows, matrix)
-        self._shards: List[SubproblemAggregator] = [
-            self._build_shard(rows[shards == s], matrix[shards == s])
-            for s in range(self.router.num_shards)
-        ]
+        #: Epoch-published (router, shards) pairs; rebalance swaps whole
+        #: topologies so in-flight probes never see a half-refitted router.
+        self._topology = EpochManager()
+        router = ShardRouter(num_shards, partitioner, range_dim)
+        router.refit(matrix)
+        shards = router.assign(rows, matrix)
+        self._topology.publish(
+            _ShardTopology(
+                router,
+                tuple(
+                    self._build_shard(rows[shards == s], matrix[shards == s])
+                    for s in range(router.num_shards)
+                ),
+            )
+        )
 
     # ------------------------------------------------------------------ basics
     def _build_shard(
@@ -286,8 +327,29 @@ class ShardedIndex:
             repulsive=self.repulsive,
             attractive=self.attractive,
             row_ids=[int(r) for r in rows],
+            concurrency=self.concurrency,
             **self._index_options,
         )
+
+    @property
+    def router(self) -> ShardRouter:
+        """The current topology's router (swapped wholesale by rebalances).
+
+        Read atomically: a rebalance racing this read may reclaim the old
+        topology *epoch*, but the returned topology object stays intact for
+        the holder.
+        """
+        return self._topology.current_state().router
+
+    @property
+    def _shards(self) -> Tuple[SubproblemAggregator, ...]:
+        """The current topology's shard aggregators (atomic unpinned read)."""
+        return self._topology.current_state().shards
+
+    @property
+    def topology_version(self) -> int:
+        """Version of the current shard topology (bumped by rebalances)."""
+        return self._topology.version
 
     @property
     def num_shards(self) -> int:
@@ -332,14 +394,15 @@ class ShardedIndex:
         vector = np.asarray(point, dtype=float)
         if vector.shape != (self.num_dims,):
             raise ValueError(f"point must have {self.num_dims} dimensions")
-        row_id = self._claim_row_id(row_id)
-        shard = int(
-            self.router.assign(
-                np.asarray([row_id], dtype=np.int64), vector[None, :]
-            )[0]
-        )
-        self._shards[shard].insert(vector, row_id=row_id)
-        return row_id
+        with self._write_lock:
+            row_id = self._claim_row_id(row_id)
+            shard = int(
+                self.router.assign(
+                    np.asarray([row_id], dtype=np.int64), vector[None, :]
+                )[0]
+            )
+            self._shards[shard].insert(vector, row_id=row_id)
+            return row_id
 
     def bulk_insert(
         self, points, row_ids: Optional[Sequence[int]] = None
@@ -352,48 +415,55 @@ class ShardedIndex:
             raise ValueError(
                 f"points must have shape (m, {self.num_dims}), got {matrix.shape}"
             )
-        if row_ids is None:
-            ids = [self._claim_row_id(None) for _ in range(len(matrix))]
-        else:
-            ids = [int(r) for r in row_ids]
-            if len(ids) != len(matrix):
-                raise ValueError("row_ids must align with the points")
-            if len(set(ids)) != len(ids):
-                raise ValueError("row ids must be unique")
-            ids = [self._claim_row_id(r) for r in ids]
-        if not ids:
-            return []
-        id_array = np.asarray(ids, dtype=np.int64)
-        shards = self.router.assign(id_array, matrix)
-        for s in range(self.num_shards):
-            members = shards == s
-            if members.any():
-                self._shards[s].bulk_insert(
-                    matrix[members], row_ids=[int(r) for r in id_array[members]]
-                )
-        return ids
+        with self._write_lock:
+            if row_ids is None:
+                ids = [self._claim_row_id(None) for _ in range(len(matrix))]
+            else:
+                ids = [int(r) for r in row_ids]
+                if len(ids) != len(matrix):
+                    raise ValueError("row_ids must align with the points")
+                if len(set(ids)) != len(ids):
+                    raise ValueError("row ids must be unique")
+                ids = [self._claim_row_id(r) for r in ids]
+            if not ids:
+                return []
+            id_array = np.asarray(ids, dtype=np.int64)
+            shards = self.router.assign(id_array, matrix)
+            for s in range(self.num_shards):
+                members = shards == s
+                if members.any():
+                    self._shards[s].bulk_insert(
+                        matrix[members], row_ids=[int(r) for r in id_array[members]]
+                    )
+            return ids
 
     def delete(self, row_id: int) -> None:
-        """Delete a row from the shard it lives in."""
-        shard = self.router.release(row_id)
-        self._deleted.add(int(row_id))
-        self._shards[shard].delete(row_id)
+        """Delete a row from the shard it lives in.
+
+        Raises ``KeyError("row id N not present")`` for an unknown or
+        already-deleted id — the same contract as the flat engines.
+        """
+        with self._write_lock:
+            shard = self.router.release(row_id)
+            self._deleted.add(int(row_id))
+            self._shards[shard].delete(row_id)
 
     def bulk_delete(self, row_ids: Sequence[int]) -> None:
         """Delete many rows at once (one bulk patch per touched shard)."""
         ids = [int(r) for r in row_ids]
         if len(set(ids)) != len(ids):
             raise ValueError("row ids must be unique")
-        # Validate everything up front so a bad id cannot half-apply the batch.
-        shards = [self.router.shard_of(row) for row in ids]
-        grouped: Dict[int, List[int]] = {}
-        for row, shard in zip(ids, shards):
-            grouped.setdefault(shard, []).append(row)
-        for row in ids:
-            self.router.release(row)
-            self._deleted.add(row)
-        for shard, members in grouped.items():
-            self._shards[shard].bulk_delete(members)
+        with self._write_lock:
+            # Validate everything up front so a bad id cannot half-apply the batch.
+            shards = [self.router.shard_of(row) for row in ids]
+            grouped: Dict[int, List[int]] = {}
+            for row, shard in zip(ids, shards):
+                grouped.setdefault(shard, []).append(row)
+            for row in ids:
+                self.router.release(row)
+                self._deleted.add(row)
+            for shard, members in grouped.items():
+                self._shards[shard].bulk_delete(members)
 
     # --------------------------------------------------------------- rebalance
     def rebalance(self) -> bool:
@@ -401,33 +471,53 @@ class ShardedIndex:
 
         Returns True when any row moved.  The result set is preserved exactly
         — rows only change shards — so serving answers are unchanged.
+
+        The refitted router and the rebuilt shard aggregators are prepared on
+        the side and published as a *new topology epoch* in one atomic swap:
+        a probe launched before the rebalance keeps serving off the topology
+        it pinned, so it can never read a half-refitted router or a shard
+        list that no longer matches its bounds.
         """
-        rows: List[int] = []
-        for shard in self._shards:
-            rows.extend(shard._live_rows())
-        rows.sort()
-        row_array = np.asarray(rows, dtype=np.int64)
-        matrix = (
-            np.asarray([self.point(row) for row in rows], dtype=float)
-            if rows
-            else np.empty((0, self.num_dims), dtype=float)
-        )
-        before = self.router.assignments()
-        self.router.refit(matrix, reshuffle=True)
-        shards = self.router.assign(row_array, matrix)
-        moved = any(before[int(r)] != int(s) for r, s in zip(row_array, shards))
-        self._shards = [
-            self._build_shard(row_array[shards == s], matrix[shards == s])
-            for s in range(self.num_shards)
-        ]
-        self.rebalances += 1
-        return moved
+        with self._write_lock:
+            old_router = self.router
+            rows: List[int] = []
+            for shard in self._shards:
+                rows.extend(shard._live_rows())
+            rows.sort()
+            row_array = np.asarray(rows, dtype=np.int64)
+            matrix = (
+                np.asarray([self.point(row) for row in rows], dtype=float)
+                if rows
+                else np.empty((0, self.num_dims), dtype=float)
+            )
+            before = old_router.assignments()
+            router = ShardRouter(
+                old_router.num_shards,
+                old_router.partitioner,
+                old_router.range_dim,
+                boundaries=old_router.boundaries,
+            )
+            router.salt = old_router.salt
+            router.refit(matrix, reshuffle=True)
+            shards = router.assign(row_array, matrix)
+            moved = any(before[int(r)] != int(s) for r, s in zip(row_array, shards))
+            topology = _ShardTopology(
+                router,
+                tuple(
+                    self._build_shard(row_array[shards == s], matrix[shards == s])
+                    for s in range(router.num_shards)
+                ),
+            )
+            self._topology.publish(topology)
+            self.rebalances += 1
+            return moved
 
     def maybe_rebalance(self) -> bool:
         """Rebalance only if the shard-size skew exceeds the threshold."""
-        if self.skew() > self.rebalance_threshold:
-            return self.rebalance()
-        return False
+        with self._write_lock:
+            if self.skew() > self.rebalance_threshold:
+                return self.rebalance()
+            return False
 
     # ------------------------------------------------------------------ serving
     def query(
@@ -438,6 +528,17 @@ class ShardedIndex:
         beta: Optional[Sequence[float]] = None,
     ) -> TopKResult:
         """Answer one SD-Query across all shards (same inputs as ``SDIndex.query``)."""
+        spec = self._coerce_single(query, k, alpha, beta)
+        return self._serve(spec).results[0]
+
+    def _coerce_single(
+        self,
+        query: Union[SDQuery, Sequence[float]],
+        k: Optional[int],
+        alpha: Optional[Sequence[float]],
+        beta: Optional[Sequence[float]],
+    ) -> BatchQuerySpec:
+        """Normalize the single-query call shapes to a one-element spec."""
         if isinstance(query, SDQuery):
             if k is not None or alpha is not None or beta is not None:
                 raise ValueError("pass either an SDQuery or point/k/weights, not both")
@@ -453,10 +554,9 @@ class ShardedIndex:
                 alpha=alpha,
                 beta=beta,
             )
-        spec = BatchQuerySpec.coerce(
+        return BatchQuerySpec.coerce(
             self.repulsive, self.attractive, self.num_dims, [built]
         )
-        return self._serve(spec).results[0]
 
     def batch_query(self, queries, k=None, alpha=None, beta=None) -> BatchResult:
         """Answer a batch of SD-Queries (same inputs as ``SDIndex.batch_query``)."""
@@ -472,6 +572,10 @@ class ShardedIndex:
         return self._serve(spec)
 
     def _executor_instance(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise RuntimeError(
+                "ShardedIndex is closed; its probe executor cannot be restarted"
+            )
         if self._executor is None:
             workers = self._max_workers or self.num_shards
             self._executor = ThreadPoolExecutor(
@@ -481,35 +585,123 @@ class ShardedIndex:
         return self._executor
 
     def close(self) -> None:
-        """Shut down the probe executor (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut down the probe executor and refuse further serving (idempotent).
+
+        Safe to call any number of times; after the first call every
+        :meth:`query`/:meth:`batch_query`/:meth:`snapshot` raises
+        ``RuntimeError`` instead of silently resurrecting a new executor.
+        """
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "ShardedIndex":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc) -> bool:
+        # Never mask an exception propagating out of the ``with`` body: close
+        # only tears down the executor (it does not raise on pending probe
+        # failures) and we explicitly decline to suppress.
         self.close()
+        return False
+
+    # ----------------------------------------------------------------- snapshots
+    def snapshot(self) -> "ShardedSnapshot":
+        """Pin a consistent cross-shard cut: topology plus one epoch per shard.
+
+        The pin phase is **optimistic and lock-free**: pin the topology and
+        every shard session, then validate that nothing published meanwhile —
+        if every pinned epoch is still current at validation time, all of
+        them were current *simultaneously*, so the cut is a single point in
+        time.  On contention (a writer published mid-pin) the pins are
+        dropped and the phase retries; after a few collisions it falls back
+        to the writer lock for a guaranteed cut.  Readers therefore never
+        wait behind a long writer critical section — in particular, serving
+        continues at full speed through a multi-second :meth:`rebalance`.
+
+        Use the returned :class:`ShardedSnapshot` as a context manager (or
+        ``close()`` it) to release the pinned epochs for reclamation.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedIndex is closed")
+        for _attempt in range(5):
+            snap = self._try_pin_cut()
+            if snap is not None:
+                return snap
+        with self._write_lock:
+            # Writers are excluded, so the pinned epochs cannot move mid-pin.
+            snap = self._try_pin_cut()
+            if snap is None:  # pragma: no cover - excluded writers cannot race
+                raise RuntimeError("snapshot pin failed under the writer lock")
+            return snap
+
+    def _try_pin_cut(self) -> Optional["ShardedSnapshot"]:
+        """One optimistic pin attempt; None when a writer raced the pins."""
+        epoch = self._topology.pin()
+        views: List[SessionSnapshot] = []
+        try:
+            sessions = [shard.serving_session() for shard in epoch.state.shards]
+            for session in sessions:
+                views.append(session.snapshot())
+            consistent = self._topology.version == epoch.version and all(
+                session.epochs.version == view.version
+                and not session.needs_reflatten
+                for session, view in zip(sessions, views)
+            )
+        except BaseException:
+            for view in views:
+                view.close()
+            epoch.release()
+            raise
+        if consistent:
+            return ShardedSnapshot(self, epoch, views)
+        for view in views:
+            view.close()
+        epoch.release()
+        return None
 
     def _serve(self, spec: BatchQuerySpec) -> BatchResult:
-        """The serving loop: bound-ordered shard visits with global pruning."""
+        """Serve one batch against a freshly pinned snapshot."""
+        if self._closed:
+            raise RuntimeError("ShardedIndex is closed")
+        with self.snapshot() as snap:
+            return self._serve_snapshot(snap, spec)
+
+    def _serve_snapshot(
+        self, snap: "ShardedSnapshot", spec: BatchQuerySpec
+    ) -> BatchResult:
+        """The serving loop: bound-ordered shard visits with global pruning.
+
+        Runs entirely against the snapshot's pinned session views, so
+        concurrent mutation (including a rebalance publishing a new topology)
+        cannot shift bounds, masks or row sets mid-flight.
+        """
+        if self._closed:
+            # Uniform with _serve: a pinned snapshot outliving close() still
+            # refuses to serve, whether or not the probe executor is reached.
+            raise RuntimeError("ShardedIndex is closed")
         m = len(spec)
         label = "sd-sharded/batch"
         if m == 0:
             return BatchResult(results=[], algorithm=label)
-        total_live = len(self)
+        views = snap.views
+        num_shards = len(views)
+        total_live = sum(view.num_live for view in views)
         if total_live == 0:
             return BatchResult(
                 results=[TopKResult(matches=[], algorithm=label) for _ in range(m)],
                 algorithm=label,
             )
         ks_global = np.minimum(spec.ks, total_live)
-        sessions = [shard.serving_session() for shard in self._shards]
 
         # One admissible upper bound per (shard, query), from the collapsed
-        # flat leaf arrays; also the point where stale sessions reflatten.
-        ubs = np.vstack([session.upper_bounds(spec) for session in sessions])
+        # flat leaf arrays of each pinned view.
+        ubs = np.vstack([view.upper_bounds(spec) for view in views])
         # Per-query shard visit order, best bound first (stable: equal bounds
         # keep shard order, so serving is deterministic).
         order = np.argsort(-ubs, axis=0, kind="stable")
@@ -518,8 +710,8 @@ class ShardedIndex:
         # slack so an exact tie at the k-th boundary never skips its shard.
         weight_scale = spec.alpha.sum(axis=1) + spec.beta.sum(axis=1)
         magnitude = 0.0
-        for session in sessions:
-            magnitude = max(magnitude, session.data_magnitude())
+        for view in views:
+            magnitude = max(magnitude, view.data_magnitude())
         for dim in self.repulsive + self.attractive:
             magnitude = max(magnitude, float(np.abs(spec.points[:, dim]).max()))
 
@@ -533,9 +725,9 @@ class ShardedIndex:
         # scores are real point scores up to ulp-level term-order differences,
         # which the engine's pruning slack absorbs — admissible.
         kth_lower = np.full(m, -math.inf)
-        sample_pool = max(64, 1024 // self.num_shards)
+        sample_pool = max(64, 1024 // num_shards)
         samples = np.hstack(
-            [session.sample_scores(spec, sample_pool) for session in sessions]
+            [view.sample_scores(spec, sample_pool) for view in views]
         )
         pool_size = samples.shape[1]
         for j in range(m):
@@ -545,7 +737,7 @@ class ShardedIndex:
                     pool_size - k_j
                 ]
 
-        for r in range(self.num_shards):
+        for r in range(num_shards):
             skip_below = _prune_bound(kth_lower, weight_scale, magnitude)
             tasks: Dict[int, List[int]] = {}
             for j in range(m):
@@ -566,7 +758,7 @@ class ShardedIndex:
                 # skip_below already carries the pruning slack at the *global*
                 # magnitude, so a shard with small coordinates cannot
                 # under-slack a bound seeded from another shard's samples.
-                return sessions[shard].run(
+                return views[shard].run(
                     spec.subset(members),
                     lower_bounds=skip_below[members],
                     _label=label,
@@ -574,11 +766,26 @@ class ShardedIndex:
 
             ordered = sorted(tasks.items())
             if self.parallel and len(ordered) > 1:
+                executor = self._executor_instance()
                 futures = [
-                    (js, self._executor_instance().submit(probe, shard, js))
+                    (js, executor.submit(probe, shard, js))
                     for shard, js in ordered
                 ]
-                batches = [(js, future.result()) for js, future in futures]
+                # Collect every future even if one fails: cancel what has not
+                # started, then re-raise the *first* probe error so a failing
+                # probe is never masked by a secondary shutdown error.
+                batches = []
+                error: Optional[BaseException] = None
+                for js, future in futures:
+                    if error is None:
+                        try:
+                            batches.append((js, future.result()))
+                        except BaseException as exc:  # noqa: BLE001
+                            error = exc
+                    else:
+                        future.cancel()
+                if error is not None:
+                    raise error
             else:
                 batches = [(js, probe(shard, js)) for shard, js in ordered]
 
@@ -622,6 +829,114 @@ class ShardedIndex:
             memory_bytes=total_memory,
             build_seconds=build_seconds,
         )
+
+
+class ShardedSnapshot:
+    """A pinned, consistent cross-shard read view of a :class:`ShardedIndex`.
+
+    Holds the topology epoch plus one pinned session epoch per shard — all
+    taken under the engine's writer lock, so the cut is a single point in
+    time.  Queries answered through the snapshot are repeatable: concurrent
+    inserts, deletes and rebalances cannot change the answers until the
+    snapshot is closed and a new one pinned.
+    """
+
+    def __init__(self, engine: ShardedIndex, topology_epoch, views: List[SessionSnapshot]) -> None:
+        self._engine = engine
+        self._topology_epoch = topology_epoch
+        self._views = views
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release every pinned epoch (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            for view in self._views:
+                view.close()
+            self._topology_epoch.release()
+
+    def __enter__(self) -> "ShardedSnapshot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def views(self) -> List[SessionSnapshot]:
+        """The pinned per-shard session views, in shard order."""
+        if self._closed:
+            raise RuntimeError("sharded snapshot is closed")
+        return self._views
+
+    @property
+    def topology_version(self) -> int:
+        """The pinned topology epoch's version."""
+        return self._topology_epoch.version
+
+    @property
+    def versions(self) -> Tuple[int, ...]:
+        """Per-shard session epoch versions of this cut."""
+        return tuple(view.version for view in self.views)
+
+    # ------------------------------------------------------------------ reading
+    def __len__(self) -> int:
+        return sum(view.num_live for view in self.views)
+
+    def live_row_ids(self) -> np.ndarray:
+        """All live row ids across the pinned shards, sorted ascending."""
+        parts = [view.live_row_ids() for view in self.views]
+        merged = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        return np.sort(merged)
+
+    def frozen(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The pinned population as ``(row_ids, matrix)``, sorted by row id.
+
+        This is the frozen oracle the stress tests score against: a reader
+        that pinned this snapshot must get answers bit-identical to a
+        sequential scan over exactly these rows.
+        """
+        row_parts = [view.live_row_ids() for view in self.views]
+        matrix_parts = [view.live_matrix() for view in self.views]
+        if not row_parts:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, self._engine.num_dims), dtype=float),
+            )
+        rows = np.concatenate(row_parts)
+        matrix = np.concatenate(matrix_parts) if len(rows) else np.empty(
+            (0, self._engine.num_dims), dtype=float
+        )
+        order = np.argsort(rows)
+        return rows[order], matrix[order]
+
+    def query(
+        self,
+        query: Union[SDQuery, Sequence[float]],
+        k: Optional[int] = None,
+        alpha: Optional[Sequence[float]] = None,
+        beta: Optional[Sequence[float]] = None,
+    ) -> TopKResult:
+        """Answer one SD-Query against the pinned cut."""
+        spec = self._engine._coerce_single(query, k, alpha, beta)
+        return self._engine._serve_snapshot(self, spec).results[0]
+
+    def batch_query(self, queries, k=None, alpha=None, beta=None) -> BatchResult:
+        """Answer a batch of SD-Queries against the pinned cut."""
+        spec = BatchQuerySpec.coerce(
+            self._engine.repulsive,
+            self._engine.attractive,
+            self._engine.num_dims,
+            queries,
+            k=k,
+            alpha=alpha,
+            beta=beta,
+        )
+        return self._engine._serve_snapshot(self, spec)
 
 
 class ShardedXYIndex:

@@ -26,16 +26,18 @@ from __future__ import annotations
 import bisect
 import heapq
 import math
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.epoch import EpochManager
 from repro.core.geometry import Angle
 from repro.core.isoline import Envelope, EnvelopeSide, build_envelope
 from repro.core.results import IndexStats, Match, TopKResult
 
-__all__ = ["Top1Index"]
+__all__ = ["Top1Index", "Top1Snapshot"]
 
 
 class _RunningTopKRegions:
@@ -154,6 +156,12 @@ class Top1Index:
         #: owners/candidate sets) shared by the single-query fast path and the
         #: vectorized batch path; invalidated whenever a region changes.
         self._region_cache = None
+        #: Mutation counter (every insert/delete/rebuild bumps it) plus the
+        #: epoch manager of frozen read views built on demand by snapshot().
+        self._mutations = 0
+        self._write_lock = threading.RLock()
+        self.view_epochs = EpochManager()
+        self._view_built_at = -1
         self._rebuild()
 
     # ------------------------------------------------------------------ build
@@ -207,6 +215,7 @@ class Top1Index:
 
     def _rebuild(self) -> None:
         """Recompute the region structures from the full current point set."""
+        self._mutations += 1
         started = time.perf_counter()
         self._points.update(self._pending)
         self._pending.clear()
@@ -410,44 +419,46 @@ class Top1Index:
         ``k > 1`` it is buffered and the index is rebuilt once the buffer grows
         beyond a small fraction of the data.
         """
-        if row_id is None:
-            row_id = self._next_row_id()
-        row_id = int(row_id)
-        if row_id in self._points or row_id in self._pending:
-            raise ValueError(f"row id {row_id} already present")
-        px, py = float(x), float(y)
+        with self._write_lock:
+            if row_id is None:
+                row_id = self._next_row_id()
+            row_id = int(row_id)
+            if row_id in self._points or row_id in self._pending:
+                raise ValueError(f"row id {row_id} already present")
+            px, py = float(x), float(y)
+            self._mutations += 1
 
-        surfaces_lower = self._beats_layers(px, py, self._lower_layers, lower_side=True)
-        surfaces_upper = self._beats_layers(px, py, self._upper_layers, lower_side=False)
-        if not surfaces_lower and not surfaces_upper:
-            self._points[row_id] = (px, py)
+            surfaces_lower = self._beats_layers(px, py, self._lower_layers, lower_side=True)
+            surfaces_upper = self._beats_layers(px, py, self._upper_layers, lower_side=False)
+            if not surfaces_lower and not surfaces_upper:
+                self._points[row_id] = (px, py)
+                return row_id
+
+            if self.k == 1:
+                self._points[row_id] = (px, py)
+                if surfaces_lower and self._lower_layers:
+                    self._splice(self._lower_layers[0], row_id, px, py, lower_side=True)
+                elif surfaces_lower:
+                    self._lower_layers = [
+                        Envelope(EnvelopeSide.LOWER_PROJECTIONS, [row_id], [])
+                    ]
+                if surfaces_upper and self._upper_layers:
+                    self._splice(self._upper_layers[0], row_id, px, py, lower_side=False)
+                elif surfaces_upper:
+                    self._upper_layers = [
+                        Envelope(EnvelopeSide.UPPER_PROJECTIONS, [row_id], [])
+                    ]
+                self._owner_rows.add(row_id)
+                self._region_cache = None
+                return row_id
+
+            self._pending[row_id] = (px, py)
+            if len(self._pending) > max(
+                self._PENDING_REBUILD_FLOOR,
+                int(self._PENDING_REBUILD_FRACTION * len(self._points)),
+            ):
+                self._rebuild()
             return row_id
-
-        if self.k == 1:
-            self._points[row_id] = (px, py)
-            if surfaces_lower and self._lower_layers:
-                self._splice(self._lower_layers[0], row_id, px, py, lower_side=True)
-            elif surfaces_lower:
-                self._lower_layers = [
-                    Envelope(EnvelopeSide.LOWER_PROJECTIONS, [row_id], [])
-                ]
-            if surfaces_upper and self._upper_layers:
-                self._splice(self._upper_layers[0], row_id, px, py, lower_side=False)
-            elif surfaces_upper:
-                self._upper_layers = [
-                    Envelope(EnvelopeSide.UPPER_PROJECTIONS, [row_id], [])
-                ]
-            self._owner_rows.add(row_id)
-            self._region_cache = None
-            return row_id
-
-        self._pending[row_id] = (px, py)
-        if len(self._pending) > max(
-            self._PENDING_REBUILD_FLOOR,
-            int(self._PENDING_REBUILD_FRACTION * len(self._points)),
-        ):
-            self._rebuild()
-        return row_id
 
     def delete(self, row_id: int) -> None:
         """Delete a point by row id.
@@ -456,14 +467,17 @@ class Top1Index:
         whatever lay beneath the owner); any other delete is constant time.
         """
         row_id = int(row_id)
-        if row_id in self._pending:
-            del self._pending[row_id]
-            return
-        if row_id not in self._points:
-            raise KeyError(f"row id {row_id} not present")
-        del self._points[row_id]
-        if row_id in self._owner_rows:
-            self._rebuild()
+        with self._write_lock:
+            if row_id in self._pending:
+                del self._pending[row_id]
+                self._mutations += 1
+                return
+            if row_id not in self._points:
+                raise KeyError(f"row id {row_id} not present")
+            del self._points[row_id]
+            self._mutations += 1
+            if row_id in self._owner_rows:
+                self._rebuild()
 
     def _next_row_id(self) -> int:
         existing = self._points.keys() | self._pending.keys()
@@ -579,6 +593,36 @@ class Top1Index:
             build_seconds=self._build_seconds,
         )
 
+    # ------------------------------------------------------------------ snapshots
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every insert, delete and rebuild."""
+        return self._mutations
+
+    def snapshot(self) -> "Top1Snapshot":
+        """Pin a frozen read view of the current region structures.
+
+        The view (region arrays plus copies of the point/pending maps) is
+        built at most once per mutation version and published as an epoch;
+        concurrent inserts/deletes build new versions and never touch pinned
+        ones.  Close the snapshot (or use it as a context manager) to release
+        the pin.
+        """
+        with self._write_lock:
+            if self._view_built_at != self._mutations:
+                self.view_epochs.publish(
+                    _FrozenTop1View(
+                        k=self.k,
+                        angle=self.angle,
+                        score_scale=self.score_scale,
+                        points=dict(self._points),
+                        pending=dict(self._pending),
+                        region_cache=self._region_arrays(),
+                    )
+                )
+                self._view_built_at = self._mutations
+            return Top1Snapshot(self.view_epochs.pin())
+
     # ------------------------------------------------------------------ debugging
     def envelope_layers(self) -> Tuple[List[Envelope], List[Envelope]]:
         """The (lower, upper) envelopes (``k == 1`` mode) — for tests and inspection."""
@@ -587,3 +631,68 @@ class Top1Index:
     def region_structures(self) -> Dict[str, _RunningTopKRegions]:
         """The four running top-k region structures (``k > 1`` mode)."""
         return dict(self._klists)
+
+
+class _FrozenTop1View:
+    """The immutable payload of one Top1 snapshot epoch."""
+
+    __slots__ = ("k", "angle", "score_scale", "points", "pending", "region_cache")
+
+    def __init__(self, k, angle, score_scale, points, pending, region_cache) -> None:
+        self.k = k
+        self.angle = angle
+        self.score_scale = score_scale
+        self.points = points
+        self.pending = pending
+        self.region_cache = region_cache
+
+
+class Top1Snapshot:
+    """A pinned, frozen read view of one :class:`Top1Index` epoch.
+
+    Reuses the index's own query kernels over frozen copies of the region
+    arrays and point maps, so answers are identical to querying the index at
+    the moment the snapshot was taken — and stay identical under concurrent
+    updates until the snapshot is closed.
+    """
+
+    # Borrow the query kernels: they only read attributes the snapshot carries.
+    query = Top1Index.query
+    batch_query = Top1Index.batch_query
+    _coords = Top1Index._coords
+    _score = Top1Index._score
+    _score_point = Top1Index._score_point
+
+    def __init__(self, epoch) -> None:
+        self._epoch = epoch
+        self._closed = False
+        view = epoch.state
+        self.k = view.k
+        self.angle = view.angle
+        self.score_scale = view.score_scale
+        self._points = view.points
+        self._pending = view.pending
+        self._frozen_regions = view.region_cache
+
+    def _region_arrays(self):
+        return self._frozen_regions
+
+    def close(self) -> None:
+        """Release the pinned epoch (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._epoch.release()
+
+    def __enter__(self) -> "Top1Snapshot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def version(self) -> int:
+        """The pinned epoch's version."""
+        return self._epoch.version
+
+    def __len__(self) -> int:
+        return len(self._points) + len(self._pending)

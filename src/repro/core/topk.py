@@ -35,16 +35,18 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.angles import AngleGrid
+from repro.core.epoch import EpochManager, validate_concurrency
 from repro.core.geometry import Angle
 from repro.core.projection_tree import ProjectionTree, StreamSpec
 from repro.core.results import IndexStats, Match, TopKResult
 
-__all__ = ["TopKIndex"]
+__all__ = ["TopKIndex", "TopKSnapshot"]
 
 
 class TopKIndex:
@@ -59,7 +61,9 @@ class TopKIndex:
         leaf_capacity: int = 32,
         row_ids: Optional[Sequence[int]] = None,
         rebuild_threshold: float = 0.25,
+        concurrency: str = "snapshot",
     ) -> None:
+        validate_concurrency(concurrency)
         self.angle_grid = angle_grid or AngleGrid.default()
         self.tree = ProjectionTree(
             x,
@@ -72,10 +76,16 @@ class TopKIndex:
         )
         #: Maintained flattened view backing the ``"flat"`` strategy and
         #: ``batch_query``: built lazily, patched on updates, reflattened once
-        #: its garbage fraction exceeds ``rebuild_threshold``.
+        #: its garbage fraction exceeds ``rebuild_threshold``.  Under
+        #: ``concurrency="snapshot"`` each patch clones the view copy-on-write
+        #: and publishes it as a new epoch, so readers holding the previous
+        #: view (or a pinned :meth:`snapshot`) are immune to the writer.
         self._flat = None
         self._flat_dirty = False
         self._flat_threshold = float(rebuild_threshold)
+        self.concurrency = concurrency
+        self._write_lock = threading.RLock()
+        self.flat_epochs = EpochManager()
         self.session_reflattens = 0
 
     def __len__(self) -> int:
@@ -109,11 +119,25 @@ class TopKIndex:
         from repro.core.batch import _FlatTree
 
         if self._flat is None or self._flat_dirty:
-            if self._flat is not None:
-                self.session_reflattens += 1
-            self._flat = _FlatTree(self.tree)
-            self._flat_dirty = False
+            with self._write_lock:
+                if self._flat is None or self._flat_dirty:
+                    if self._flat is not None:
+                        self.session_reflattens += 1
+                    self._flat = _FlatTree(self.tree)
+                    self._flat_dirty = False
+                    self.flat_epochs.publish(self._flat)
         return self._flat
+
+    def snapshot(self) -> "TopKSnapshot":
+        """Pin the current flat-view epoch: a repeatable-read view.
+
+        Queries answered through the returned :class:`TopKSnapshot` run the
+        vectorized flat kernels against the pinned view, unaffected by
+        concurrent :meth:`insert`/:meth:`delete`.  Close it (or use it as a
+        context manager) to release the pin.
+        """
+        self.flat_session()
+        return TopKSnapshot(self, self.flat_epochs.pin())
 
     def query(
         self,
@@ -341,38 +365,53 @@ class TopKIndex:
     def insert(self, x: float, y: float, row_id: Optional[int] = None) -> int:
         """Insert a point (see :meth:`ProjectionTree.insert`).
 
-        The cached flat view, if built, is patched in place rather than
-        discarded: the point is appended to its covering leaf and only that
-        leaf's bounds loosen.
+        The cached flat view, if built, is patched rather than discarded: the
+        point is appended to its covering leaf and only that leaf's bounds
+        loosen.  Snapshot mode patches a copy-on-write clone and publishes it,
+        so readers of the previous view are unaffected.
         """
-        row = self.tree.insert(x, y, row_id)
-        flat = self._flat
-        if flat is not None and not self._flat_dirty:
-            if flat.num_leaves == 0:
-                self._flat_dirty = True
-            else:
-                flat.append_points([row], [float(x)], [float(y)])
-                if flat.garbage_fraction() > self._flat_threshold:
+        with self._write_lock:
+            row = self.tree.insert(x, y, row_id)
+            flat = self._flat
+            if flat is not None and not self._flat_dirty:
+                if flat.num_leaves == 0:
                     self._flat_dirty = True
-        return row
+                else:
+                    if self.concurrency == "snapshot":
+                        flat = flat.clone()
+                    flat.append_points([row], [float(x)], [float(y)])
+                    self._install_flat(flat)
+            return row
 
     def delete(self, row_id: int) -> None:
         """Delete a point (see :meth:`ProjectionTree.delete`).
 
-        The cached flat view tombstones the row through its validity mask.
+        The cached flat view tombstones the row through its validity mask
+        (on a published copy-on-write clone under snapshot mode).
         """
-        self.tree.delete(row_id)
-        flat = self._flat
-        if flat is not None and not self._flat_dirty:
-            flat.tombstone_rows([row_id])
-            if flat.garbage_fraction() > self._flat_threshold:
-                self._flat_dirty = True
+        with self._write_lock:
+            self.tree.delete(row_id)
+            flat = self._flat
+            if flat is not None and not self._flat_dirty:
+                if self.concurrency == "snapshot":
+                    flat = flat.clone()
+                flat.tombstone_rows([row_id])
+                self._install_flat(flat)
+
+    def _install_flat(self, flat) -> None:
+        """Publish a patched flat view and re-check its garbage threshold."""
+        if flat is not self._flat:
+            self._flat = flat
+            self.flat_epochs.publish(flat)
+        if flat.garbage_fraction() > self._flat_threshold:
+            self._flat_dirty = True
 
     def rebuild(self) -> None:
         """Force a rebuild of the underlying tree (drops the flat view too)."""
-        self.tree.rebuild()
-        self._flat = None
-        self._flat_dirty = False
+        with self._write_lock:
+            self.tree.rebuild()
+            self._flat = None
+            self._flat_dirty = False
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> IndexStats:
@@ -380,3 +419,58 @@ class TopKIndex:
         stats = self.tree.stats()
         stats.name = "sd-topk"
         return stats
+
+
+class TopKSnapshot:
+    """A pinned, immutable flat view of one :class:`TopKIndex` epoch.
+
+    Answers 2D top-k queries through the vectorized flat kernels against the
+    pinned view; concurrent inserts and deletes on the owning index publish
+    new epochs and never touch this one.  Weights must be strictly positive
+    (the flat kernels' requirement — the degenerate axis-aligned fallback
+    needs the live tree, which a snapshot deliberately does not read).
+    """
+
+    def __init__(self, index: TopKIndex, epoch) -> None:
+        self._index = index
+        self._epoch = epoch
+        self._closed = False
+
+    def close(self) -> None:
+        """Release the pinned epoch (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._epoch.release()
+
+    def __enter__(self) -> "TopKSnapshot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def version(self) -> int:
+        """The pinned flat epoch's version."""
+        return self._epoch.version
+
+    @property
+    def flat(self):
+        if self._closed:
+            raise RuntimeError("top-k snapshot is closed")
+        return self._epoch.state
+
+    def __len__(self) -> int:
+        return self.flat.live_count
+
+    def query(self, qx: float, qy: float, k: int, alpha: float = 1.0, beta: float = 1.0) -> TopKResult:
+        """Top-``k`` for one query point against the pinned view."""
+        return self.batch_query([qx], [qy], k, alpha=alpha, beta=beta).results[0]
+
+    def batch_query(self, qx, qy, k, alpha=1.0, beta=1.0):
+        """Top-``k`` for a batch of query points against the pinned view."""
+        from repro.core.batch import batch_topk_2d
+
+        return batch_topk_2d(
+            self._index, qx, qy, k, alpha=alpha, beta=beta, flat=self.flat,
+            label="sd-topk/snapshot",
+        )

@@ -24,8 +24,10 @@ from repro.core.sdindex import SDIndex
 from repro.core.sharding import ShardedIndex
 from repro.workloads.workload import (
     BatchWorkload,
+    ConcurrentWorkload,
     QueryWorkload,
     make_batch_workload,
+    make_concurrent_workload,
     make_workload,
 )
 
@@ -125,11 +127,24 @@ def _build_sharded_serving(repulsive, attractive, **options) -> BatchWorkload:
     return make_batch_workload(repulsive, attractive, **options)
 
 
+def _build_concurrent_serving(repulsive, attractive, **options) -> ConcurrentWorkload:
+    """The concurrent-serving workload: read traffic plus an update script.
+
+    Answer-limited read traffic (the ``sharded_serving`` k menu {1, 10}) woven
+    with a deterministic insert/delete stream, so the same scenario drives the
+    golden snapshot fixtures, the serve-while-mutate stress harness and
+    ``benchmarks/bench_concurrent.py``.
+    """
+    options.setdefault("k", (1, 10))
+    return make_concurrent_workload(repulsive, attractive, **options)
+
+
 #: Workload name -> builder(repulsive, attractive, **options).
 WORKLOAD_BUILDERS: Dict[str, Callable] = {
     "uniform": _build_uniform_workload,
     "batch_serving": _build_batch_serving,
     "sharded_serving": _build_sharded_serving,
+    "concurrent_serving": _build_concurrent_serving,
 }
 
 

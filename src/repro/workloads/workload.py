@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.core.query import QueryWeights, SDQuery
 
-__all__ = ["QueryWorkload", "BatchWorkload", "make_workload", "make_batch_workload"]
+__all__ = [
+    "QueryWorkload",
+    "BatchWorkload",
+    "ConcurrentWorkload",
+    "make_workload",
+    "make_batch_workload",
+    "make_concurrent_workload",
+]
 
 
 @dataclass
@@ -110,6 +117,53 @@ class BatchWorkload:
             description=workload.description,
             seed=workload.seed,
         )
+
+
+@dataclass
+class ConcurrentWorkload:
+    """A serve-while-mutate scenario: read traffic plus an update script.
+
+    ``reads`` is the batched query traffic; the remaining fields are seeded
+    draws that :meth:`script` turns into a *deterministic* op list against any
+    starting population — the same scenario therefore drives the golden
+    regressions (updates applied serially, answers frozen at checkpoints), the
+    concurrency stress harness (updates applied from writer threads while
+    readers pin snapshots) and ``benchmarks/bench_concurrent.py``.
+    """
+
+    reads: BatchWorkload
+    insert_points: np.ndarray  # (num_updates, d) payload pool, drawn in order
+    op_draws: np.ndarray  # (num_updates,) uniform [0,1): op selector
+    victim_draws: np.ndarray  # (num_updates,) uniform [0,1): delete victim
+    delete_fraction: float
+    description: str = ""
+    seed: int = 0
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.op_draws)
+
+    def script(self, initial_row_ids: Sequence[int]) -> List[Tuple[str, int, Optional[np.ndarray]]]:
+        """The concrete op list for a given starting population.
+
+        Returns ``(op, row_id, point)`` tuples (``point`` is None for
+        deletes).  Inserts allocate fresh ids above the initial maximum;
+        deletes pick live victims through the seeded draws.  Purely a
+        function of ``initial_row_ids`` and the stored arrays — replaying it
+        always produces the same population trajectory.
+        """
+        live = [int(r) for r in initial_row_ids]
+        next_id = (max(live) + 1) if live else 0
+        ops: List[Tuple[str, int, Optional[np.ndarray]]] = []
+        for step in range(self.num_updates):
+            if self.op_draws[step] < self.delete_fraction and len(live) > 1:
+                victim = live.pop(int(self.victim_draws[step] * len(live)))
+                ops.append(("delete", victim, None))
+            else:
+                ops.append(("insert", next_id, self.insert_points[step]))
+                live.append(next_id)
+                next_id += 1
+        return ops
 
 
 def make_workload(
@@ -223,6 +277,57 @@ def make_batch_workload(
         betas=betas,
         repulsive=repulsive,
         attractive=attractive,
+        description=description,
+        seed=seed,
+    )
+
+
+def make_concurrent_workload(
+    repulsive: Sequence[int],
+    attractive: Sequence[int],
+    num_queries: int = 24,
+    num_updates: int = 120,
+    k=(1, 10),
+    delete_fraction: float = 0.4,
+    num_dims: Optional[int] = None,
+    seed: int = 0,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+    weight_range: Tuple[float, float] = (0.05, 1.0),
+) -> ConcurrentWorkload:
+    """Generate a seeded serve-while-mutate workload.
+
+    The read side mirrors :func:`make_batch_workload` (uniform points, random
+    weights, a ``k`` menu); the write side is ``num_updates`` seeded update
+    draws that :meth:`ConcurrentWorkload.script` resolves into a deterministic
+    insert/delete stream (``delete_fraction`` of the ops delete a live row,
+    the rest insert a fresh uniform point).
+    """
+    repulsive = tuple(int(d) for d in repulsive)
+    attractive = tuple(int(d) for d in attractive)
+    if num_dims is None:
+        num_dims = max(repulsive + attractive) + 1
+    reads = make_batch_workload(
+        repulsive,
+        attractive,
+        num_queries=num_queries,
+        k=k,
+        num_dims=num_dims,
+        seed=seed,
+        value_range=value_range,
+        weight_range=weight_range,
+    )
+    rng = np.random.default_rng(seed + 0x5EED)
+    low, high = value_range
+    description = (
+        f"concurrent serving: {num_queries} reads (k={k!r}) against "
+        f"{num_updates} interleaved updates ({delete_fraction:.0%} deletes)"
+    )
+    return ConcurrentWorkload(
+        reads=reads,
+        insert_points=rng.uniform(low, high, size=(num_updates, num_dims)),
+        op_draws=rng.random(num_updates),
+        victim_draws=rng.random(num_updates),
+        delete_fraction=float(delete_fraction),
         description=description,
         seed=seed,
     )

@@ -86,6 +86,26 @@ SHARDED_SCENARIO = {
 SHARDED_NUM_QUERIES = 12
 SHARD_COUNTS = (2, 4)
 
+#: The concurrent-serving snapshot: the registered ``concurrent_serving``
+#: workload's deterministic update script applied serially over seeded
+#: uniform data, with the read batch's oracle answers frozen at evenly spaced
+#: checkpoints.  The test replays the script through the flat and sharded
+#: engines (snapshot concurrency mode) and asserts bit-identical answers at
+#: every checkpoint — the single-threaded anchor of the multi-threaded
+#: stress harness.
+CONCURRENT_SCENARIO = {
+    "distribution": "uniform",
+    "num_points": 400,
+    "num_dims": 4,
+    "data_seed": 501,
+    "repulsive": (0, 1),
+    "attractive": (2, 3),
+    "workload_seed": 502,
+}
+CONCURRENT_NUM_QUERIES = 10
+CONCURRENT_NUM_UPDATES = 120
+CONCURRENT_CHECKPOINTS = (0, 40, 80, 120)
+
 
 def _sharded_inputs():
     config = SHARDED_SCENARIO
@@ -104,6 +124,62 @@ def _sharded_inputs():
         seed=config["workload_seed"],
     )
     return data, workload
+
+
+def _concurrent_inputs():
+    config = CONCURRENT_SCENARIO
+    data = generate_dataset(
+        config["distribution"],
+        config["num_points"],
+        config["num_dims"],
+        seed=config["data_seed"],
+    ).matrix
+    workload = build_workload(
+        "concurrent_serving",
+        config["repulsive"],
+        config["attractive"],
+        num_queries=CONCURRENT_NUM_QUERIES,
+        num_updates=CONCURRENT_NUM_UPDATES,
+        num_dims=config["num_dims"],
+        seed=config["workload_seed"],
+    )
+    return data, workload
+
+
+def _concurrent_expected(data, workload):
+    """Oracle answers of the read batch at every update-script checkpoint."""
+    config = CONCURRENT_SCENARIO
+    store = {row: data[row] for row in range(len(data))}
+    script = workload.script(sorted(store))
+    expected = []
+    applied = 0
+    for checkpoint in CONCURRENT_CHECKPOINTS:
+        while applied < checkpoint:
+            op, row, point = script[applied]
+            if op == "insert":
+                store[row] = np.asarray(point, dtype=float)
+            else:
+                del store[row]
+            applied += 1
+        rows = sorted(store)
+        oracle = SequentialScan(
+            np.asarray([store[row] for row in rows], dtype=float),
+            config["repulsive"],
+            config["attractive"],
+            row_ids=rows,
+        )
+        batch = oracle.batch_query(workload.reads)
+        expected.append(
+            {
+                "checkpoint": checkpoint,
+                "population": len(rows),
+                "results": [
+                    {"row_ids": result.row_ids, "scores": result.scores}
+                    for result in batch
+                ],
+            }
+        )
+    return expected
 
 
 def _scenario_inputs(config):
@@ -166,6 +242,18 @@ def regenerate() -> None:
         ],
     }
     path = _fixture_path("sharded_serving")
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    data, workload = _concurrent_inputs()
+    payload = {
+        "scenario": {key: list(value) if isinstance(value, tuple) else value
+                     for key, value in CONCURRENT_SCENARIO.items()},
+        "num_queries": CONCURRENT_NUM_QUERIES,
+        "num_updates": CONCURRENT_NUM_UPDATES,
+        "checkpoints": list(CONCURRENT_CHECKPOINTS),
+        "expected": _concurrent_expected(data, workload),
+    }
+    path = _fixture_path("concurrent_serving")
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {path}")
 
@@ -268,6 +356,94 @@ class TestGoldenShardedServing:
         batch = index.batch_query(workload)
         for j, result in enumerate(batch):
             _assert_matches_fixture(result, expected[j], f"sharded/flat q{j}")
+
+
+class TestGoldenConcurrentServing:
+    """Frozen checkpoint answers of the ``concurrent_serving`` update script."""
+
+    def _load(self):
+        payload = json.loads(_fixture_path("concurrent_serving").read_text())
+        data, workload = _concurrent_inputs()
+        return data, workload, payload
+
+    def test_script_is_deterministic(self):
+        data, workload, payload = self._load()
+        first = workload.script(range(len(data)))
+        second = workload.script(range(len(data)))
+        assert [(op, row) for op, row, _ in first] == [
+            (op, row) for op, row, _ in second
+        ]
+        assert len(first) == payload["num_updates"]
+        deletes = sum(1 for op, _, _ in first if op == "delete")
+        assert 0 < deletes < len(first)
+
+    def test_oracle_matches_fixture(self):
+        data, workload, payload = self._load()
+        expected = _concurrent_expected(data, workload)
+        assert len(expected) == len(payload["expected"])
+        for computed, frozen in zip(expected, payload["expected"]):
+            assert computed["checkpoint"] == frozen["checkpoint"]
+            assert computed["population"] == frozen["population"]
+            for mine, theirs in zip(computed["results"], frozen["results"]):
+                assert mine["row_ids"] == theirs["row_ids"]
+                for a, b in zip(mine["scores"], theirs["scores"]):
+                    assert abs(a - b) <= SCORE_TOLERANCE
+
+    def _replay(self, engine_factory, label, close=False):
+        config = CONCURRENT_SCENARIO
+        data, workload, payload = self._load()
+        engine = engine_factory(data)
+        script = workload.script(range(len(data)))
+        applied = 0
+        try:
+            for frozen in payload["expected"]:
+                while applied < frozen["checkpoint"]:
+                    op, row, point = script[applied]
+                    if op == "insert":
+                        engine.insert(point, row_id=row)
+                    else:
+                        engine.delete(row)
+                    applied += 1
+                # Serve the read batch through a pinned snapshot, exactly as a
+                # concurrent reader would.
+                with engine.snapshot() as snap:
+                    assert len(snap) == frozen["population"]
+                    batch = snap.batch_query(workload.reads)
+                for j, result in enumerate(batch):
+                    _assert_matches_fixture(
+                        result,
+                        frozen["results"][j],
+                        f"concurrent/{label}@{frozen['checkpoint']} q{j}",
+                    )
+        finally:
+            if close:
+                engine.close()
+
+    def test_flat_engine_matches_fixture(self):
+        config = CONCURRENT_SCENARIO
+        self._replay(
+            lambda data: SDIndex.build(
+                data,
+                repulsive=config["repulsive"],
+                attractive=config["attractive"],
+            ),
+            "flat",
+        )
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_sharded_engine_matches_fixture(self, num_shards):
+        config = CONCURRENT_SCENARIO
+        self._replay(
+            lambda data: ShardedIndex(
+                data,
+                repulsive=config["repulsive"],
+                attractive=config["attractive"],
+                num_shards=num_shards,
+                partitioner="range" if num_shards == 2 else "hash",
+            ),
+            f"sharded{num_shards}",
+            close=True,
+        )
 
 
 if __name__ == "__main__":

@@ -59,6 +59,8 @@ class Harness:
             for num_shards in SHARD_COUNTS
         ]
         self.next_row = initial_rows
+        #: Ids deleted so far — fodder for the delete-of-tombstone rule.
+        self.deleted_rows: list = []
 
     # ------------------------------------------------------------------ ops
     def insert(self) -> None:
@@ -88,6 +90,7 @@ class Harness:
         self.flat.delete(row)
         for engine in self.sharded:
             engine.delete(row)
+        self.deleted_rows.append(row)
 
     def bulk_delete(self, count: int) -> None:
         live = sorted(self.store)
@@ -100,6 +103,44 @@ class Harness:
         self.flat.bulk_delete(rows)
         for engine in self.sharded:
             engine.bulk_delete(rows)
+        self.deleted_rows.extend(rows)
+
+    def delete_invalid(self) -> None:
+        """The unified contract for bad deletes, checked across every engine.
+
+        Deleting an unknown id or an already-tombstoned id must raise
+        ``KeyError`` with the same message on the legacy/flat ``SDIndex`` and
+        on every sharded engine, and must leave the population untouched —
+        including when the bad id hides inside a ``bulk_delete`` batch (the
+        batch must be rejected atomically).
+        """
+        targets = [self.next_row + 1_000_000]  # never allocated
+        if self.deleted_rows:
+            targets.append(self.deleted_rows[-1])  # tombstoned earlier
+        engines = [("flat", self.flat)] + [
+            (f"sharded/{engine.num_shards}", engine) for engine in self.sharded
+        ]
+        live = sorted(self.store)
+        for target in targets:
+            for label, engine in engines:
+                try:
+                    engine.delete(target)
+                except KeyError as exc:
+                    assert f"row id {target} not present" in str(exc), (
+                        f"{label} raised a different message: {exc}"
+                    )
+                else:
+                    raise AssertionError(f"{label} delete({target}) did not raise")
+                if live:
+                    try:
+                        engine.bulk_delete([live[0], target])
+                    except KeyError:
+                        pass
+                    else:
+                        raise AssertionError(
+                            f"{label} bulk_delete with bad id did not raise"
+                        )
+        self.check_population()
 
     # ------------------------------------------------------------------ checks
     def oracle(self) -> SequentialScan:
@@ -159,7 +200,7 @@ class Harness:
             assert len(engine) == len(self.store)
 
 
-OPS = ("insert", "bulk_insert", "delete", "bulk_delete", "query")
+OPS = ("insert", "bulk_insert", "delete", "bulk_delete", "delete_invalid", "query")
 
 
 @settings(max_examples=20, deadline=None)
@@ -180,6 +221,8 @@ def test_fuzzed_interleavings_agree(seed, initial_rows, ops):
             harness.delete()
         elif op == "bulk_delete":
             harness.bulk_delete(int(harness.rng.integers(2, 8)))
+        elif op == "delete_invalid":
+            harness.delete_invalid()
         else:
             harness.check_queries()
     harness.check_population()
@@ -210,5 +253,6 @@ def test_thousand_interleaved_updates_stay_identical():
             updates += before - len(harness.store)
         if updates % 100 < 5:
             harness.check_queries(num_queries=2)
+            harness.delete_invalid()
     harness.check_population()
     harness.check_queries(num_queries=5)

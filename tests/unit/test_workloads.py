@@ -9,7 +9,8 @@ from repro.baselines import SequentialScan
 from repro.workloads.registry import ALGORITHM_BUILDERS, DEFAULT_METHODS, build_algorithm
 from repro.workloads.reporting import format_series_table, format_table
 from repro.workloads.runner import ExperimentResult, MeasuredSeries, time_queries
-from repro.workloads.workload import make_workload
+from repro.workloads.registry import build_workload
+from repro.workloads.workload import make_concurrent_workload, make_workload
 
 
 class TestWorkloads:
@@ -44,6 +45,49 @@ class TestWorkloads:
     def test_explicit_num_dims(self):
         workload = make_workload([0], [1], num_queries=2, num_dims=6)
         assert all(q.num_dims == 6 for q in workload)
+
+
+class TestConcurrentWorkload:
+    def test_script_is_deterministic_and_mixes_ops(self):
+        workload = make_concurrent_workload(
+            (0, 1), (2, 3), num_queries=8, num_updates=60, seed=5
+        )
+        assert len(workload.reads) == 8
+        assert workload.num_updates == 60
+        first = workload.script(range(100))
+        second = workload.script(range(100))
+        assert [(op, row) for op, row, _ in first] == [
+            (op, row) for op, row, _ in second
+        ]
+        ops = {op for op, _, _ in first}
+        assert ops == {"insert", "delete"}
+        # Inserts allocate fresh ids above the initial population.
+        inserted = [row for op, row, _ in first if op == "insert"]
+        assert min(inserted) >= 100
+        assert len(set(inserted)) == len(inserted)
+        # Deletes only target rows that were live at that point.
+        live = set(range(100))
+        for op, row, point in first:
+            if op == "insert":
+                assert point is not None and len(point) == 4
+                live.add(row)
+            else:
+                assert row in live
+                live.discard(row)
+
+    def test_registered_builder_uses_the_k_menu(self):
+        workload = build_workload(
+            "concurrent_serving", (0, 1), (2, 3), num_queries=40, seed=3
+        )
+        assert set(int(k) for k in workload.reads.ks) <= {1, 10}
+
+    def test_script_respects_starting_population(self):
+        workload = make_concurrent_workload(
+            (0, 1), (2, 3), num_queries=4, num_updates=10, seed=9
+        )
+        ops = workload.script([7, 99, 4])
+        inserted = [row for op, row, _ in ops if op == "insert"]
+        assert min(inserted) >= 100
 
 
 class TestRegistry:
