@@ -17,6 +17,7 @@ from repro.core.angles import AngleGrid
 from repro.core.batch import BatchQuerySpec, QuerySession, SessionSnapshot
 from repro.core.epoch import Epoch, EpochManager
 from repro.core.geometry import Angle
+from repro.core.persistence import DurableIndex, SnapshotFormatError, WriteAheadLog
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
 from repro.core.results import BatchResult, IndexStats, Match, TopKResult
 from repro.core.sdindex import SDIndex
@@ -42,6 +43,9 @@ __all__ = [
     "SessionSnapshot",
     "Epoch",
     "EpochManager",
+    "DurableIndex",
+    "SnapshotFormatError",
+    "WriteAheadLog",
     "IndexStats",
     "SDIndex",
     "ShardedIndex",

@@ -5,6 +5,13 @@ re-exported from the top-level :mod:`repro` package.
 """
 
 from repro.core.epoch import Epoch, EpochManager
+from repro.core.persistence import (
+    DurableIndex,
+    SnapshotFormatError,
+    WriteAheadLog,
+    load_engine,
+    save_engine,
+)
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
 from repro.core.results import IndexStats, Match, TopKResult
 from repro.core.sdindex import SDIndex, SDIndexSnapshot
@@ -23,6 +30,11 @@ __all__ = [
     "IndexStats",
     "Epoch",
     "EpochManager",
+    "DurableIndex",
+    "SnapshotFormatError",
+    "WriteAheadLog",
+    "load_engine",
+    "save_engine",
     "SDIndex",
     "SDIndexSnapshot",
     "ShardedIndex",

@@ -1201,7 +1201,11 @@ class QuerySession:
         pairs: List[Tuple[int, int, _FlatTree]] = []
         pair_leaf_of_position: List[np.ndarray] = []
         for p, (rep_dim, att_dim, flat) in enumerate(state.pairs):
-            if cow:
+            # Clone for snapshot isolation — and also whenever the flat view's
+            # patched arrays are read-only (a snapshot restored with
+            # ``load(..., mmap=True)`` memory-maps them): ``append_points``
+            # must never write into a mapped file.
+            if cow or not flat.live.flags.writeable:
                 flat = flat.clone()
             leaves = flat.append_points(row_ids, matrix[:, att_dim], matrix[:, rep_dim])
             pairs.append((rep_dim, att_dim, flat))
@@ -1261,7 +1265,14 @@ class QuerySession:
             return
         state = self._state
         positions = state.positions_of(row_ids)
-        live = state.live.copy() if self.concurrency == "snapshot" else state.live
+        # Copy under snapshot isolation, and always when the mask is read-only
+        # (an mmap-restored state): the tombstone write must never land in a
+        # mapped snapshot file.
+        live = (
+            state.live.copy()
+            if self.concurrency == "snapshot" or not state.live.flags.writeable
+            else state.live
+        )
         live[positions] = False
         successor = SessionState(
             rows=state.rows,

@@ -270,6 +270,37 @@ class SDIndex:
         """
         return SDIndexSnapshot(self, self._aggregator.snapshot())
 
+    # ------------------------------------------------------------- persistence
+    def save(self, path) -> None:
+        """Write a durable snapshot of this index at ``path`` (a directory).
+
+        The snapshot holds the flattened serving-session arrays, the
+        aggregator's row bookkeeping and the build parameters, versioned and
+        checksummed (DESIGN.md section 7).  Checkpointing pins the current
+        serving epoch, so concurrent writers keep running while the arrays
+        stream out.  Restore with :meth:`load`; wrap the index in a
+        :class:`repro.core.persistence.DurableIndex` for a write-ahead log
+        and crash recovery between snapshots.
+        """
+        from repro.core.persistence import save_engine
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = False, verify: Optional[bool] = None) -> "SDIndex":
+        """Load a snapshot written by :meth:`save`.
+
+        ``mmap=True`` memory-maps the arrays for a near-instant warm start
+        (the projection trees are rebuilt lazily, only when maintenance first
+        needs them); updates after an mmap load route through the
+        copy-on-write patch path, never the mapped file.  Raises
+        :class:`repro.core.persistence.SnapshotFormatError` on an unknown
+        format version or a failed checksum.
+        """
+        from repro.core.persistence import load_engine
+
+        return load_engine(path, mmap=mmap, verify=verify, expect="sdindex")
+
     # ------------------------------------------------------------------ updates
     def insert(self, point: Sequence[float], row_id: Optional[int] = None) -> int:
         """Insert a point into the index; returns its row id.

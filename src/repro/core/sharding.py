@@ -811,6 +811,27 @@ class ShardedIndex:
         ]
         return BatchResult(results=results, algorithm=label)
 
+    # ------------------------------------------------------------- persistence
+    def save(self, path) -> None:
+        """Write a durable snapshot of the whole sharded engine at ``path``.
+
+        The root manifest records the router (partitioner, boundaries, salt
+        and the explicit row->shard map) and the engine bookkeeping; every
+        shard streams its own sub-snapshot (``shard-<s>/`` with its own
+        manifest), captured as one consistent cut under the writer lock with
+        per-shard epochs pinned — writers resume while the arrays stream.
+        """
+        from repro.core.persistence import save_engine
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = False, verify: Optional[bool] = None) -> "ShardedIndex":
+        """Load a snapshot written by :meth:`save` (``mmap=True`` maps arrays)."""
+        from repro.core.persistence import load_engine
+
+        return load_engine(path, mmap=mmap, verify=verify, expect="sharded")
+
     # ------------------------------------------------------------------ stats
     def stats(self) -> IndexStats:
         """Aggregate statistics over every shard."""

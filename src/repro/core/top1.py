@@ -575,6 +575,25 @@ class Top1Index:
         envelope.owners = new_owners
         envelope.breakpoints = new_breakpoints
 
+    # ------------------------------------------------------------- persistence
+    def save(self, path) -> None:
+        """Write a durable snapshot of the region structures at ``path``.
+
+        Persists the envelopes / running top-k region lists verbatim (plus
+        the point and pending maps), so :meth:`load` restores the index
+        without re-running the region sweep.
+        """
+        from repro.core.persistence import save_engine
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = False, verify: Optional[bool] = None) -> "Top1Index":
+        """Load a snapshot written by :meth:`save`."""
+        from repro.core.persistence import load_engine
+
+        return load_engine(path, mmap=mmap, verify=verify, expect="top1")
+
     # ------------------------------------------------------------------ stats
     def stats(self) -> IndexStats:
         """Size statistics (regions, analytic memory) for the experiment harness."""

@@ -377,7 +377,9 @@ class TopKIndex:
                 if flat.num_leaves == 0:
                     self._flat_dirty = True
                 else:
-                    if self.concurrency == "snapshot":
+                    # Clone for snapshot isolation — and whenever the view's
+                    # arrays are read-only (restored via ``load(mmap=True)``).
+                    if self.concurrency == "snapshot" or not flat.live.flags.writeable:
                         flat = flat.clone()
                     flat.append_points([row], [float(x)], [float(y)])
                     self._install_flat(flat)
@@ -393,7 +395,7 @@ class TopKIndex:
             self.tree.delete(row_id)
             flat = self._flat
             if flat is not None and not self._flat_dirty:
-                if self.concurrency == "snapshot":
+                if self.concurrency == "snapshot" or not flat.live.flags.writeable:
                     flat = flat.clone()
                 flat.tombstone_rows([row_id])
                 self._install_flat(flat)
@@ -405,6 +407,25 @@ class TopKIndex:
             self.flat_epochs.publish(flat)
         if flat.garbage_fraction() > self._flat_threshold:
             self._flat_dirty = True
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path) -> None:
+        """Write a durable snapshot of the maintained flat view at ``path``.
+
+        Pins the current flat epoch (writers keep running while the arrays
+        stream) and records the tree build parameters; :meth:`load` rebuilds
+        the projection tree lazily on first structural need.
+        """
+        from repro.core.persistence import save_engine
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = False, verify: Optional[bool] = None) -> "TopKIndex":
+        """Load a snapshot written by :meth:`save` (``mmap=True`` maps arrays)."""
+        from repro.core.persistence import load_engine
+
+        return load_engine(path, mmap=mmap, verify=verify, expect="topk")
 
     def rebuild(self) -> None:
         """Force a rebuild of the underlying tree (drops the flat view too)."""

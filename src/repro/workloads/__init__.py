@@ -7,7 +7,13 @@ from repro.workloads.registry import (
     build_workload,
 )
 from repro.workloads.reporting import format_series_table, format_table
-from repro.workloads.runner import ExperimentResult, MeasuredSeries, time_queries
+from repro.workloads.runner import (
+    ExperimentResult,
+    MeasuredSeries,
+    resume_update_script,
+    run_update_script,
+    time_queries,
+)
 from repro.workloads.workload import (
     BatchWorkload,
     QueryWorkload,
@@ -25,6 +31,8 @@ __all__ = [
     "build_algorithm",
     "build_workload",
     "time_queries",
+    "run_update_script",
+    "resume_update_script",
     "MeasuredSeries",
     "ExperimentResult",
     "format_table",

@@ -1,17 +1,31 @@
-"""Timing harness: run a workload through an algorithm and record statistics."""
+"""Timing harness: run a workload through an algorithm and record statistics.
+
+Also the home of the durable-script helpers: a long ``concurrent_serving``
+update script applied through a :class:`repro.core.persistence.DurableIndex`
+can checkpoint its progress (:func:`run_update_script`) and resume exactly
+where the journal left off after a crash (:func:`resume_update_script`) —
+the checkpoint manifest carries the script step, and the WAL tail replayed
+by recovery advances it record for record.
+"""
 
 from __future__ import annotations
 
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.query import SDQuery
 from repro.core.results import TopKResult
 from repro.workloads.workload import QueryWorkload
 
-__all__ = ["MeasuredSeries", "ExperimentResult", "time_queries"]
+__all__ = [
+    "MeasuredSeries",
+    "ExperimentResult",
+    "time_queries",
+    "run_update_script",
+    "resume_update_script",
+]
 
 
 @dataclass
@@ -116,3 +130,70 @@ def time_queries(
     if collect_results:
         summary.results = results  # type: ignore[attr-defined]
     return summary
+
+
+# --------------------------------------------------------- durable op scripts
+def run_update_script(
+    engine,
+    ops: Sequence[Tuple],
+    start: int = 0,
+    checkpoint_every: Optional[int] = None,
+    extra: Optional[Dict] = None,
+) -> int:
+    """Apply a :meth:`ConcurrentWorkload.script` op list from step ``start``.
+
+    ``engine`` is any index exposing ``insert(point, row_id=...)`` /
+    ``delete(row_id)`` — including a
+    :class:`repro.core.persistence.DurableIndex`, in which case
+    ``checkpoint_every`` streams a checkpoint every N applied ops with the
+    script position recorded in the manifest (``{"script_step": ...}``), so a
+    crashed run resumes mid-script via :func:`resume_update_script`.
+    Returns the number of steps applied in total (``len(ops)``).
+    """
+    durable = checkpoint_every is not None
+    if durable and checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if durable and not hasattr(engine, "checkpoint"):
+        raise ValueError(
+            "checkpoint_every requires a durable engine (wrap it in "
+            "repro.core.persistence.DurableIndex); a silent no-op here would "
+            "lose the progress the caller believed was durable"
+        )
+    for step in range(start, len(ops)):
+        op, row_id, point = ops[step]
+        if op == "insert":
+            engine.insert(point, row_id=row_id)
+        elif op == "delete":
+            engine.delete(row_id)
+        else:
+            raise ValueError(f"unknown script op {op!r} at step {step}")
+        if durable and (step + 1) % checkpoint_every == 0:
+            engine.checkpoint(extra={**(extra or {}), "script_step": step + 1})
+    return len(ops)
+
+
+def resume_update_script(
+    path,
+    ops: Sequence[Tuple],
+    mmap: bool = False,
+    fsync: str = "commit",
+    checkpoint_every: Optional[int] = None,
+):
+    """Recover a durable engine and continue its update script where it died.
+
+    The resume point is exact: the recovered checkpoint's ``script_step``
+    plus one step per WAL record replayed past it (every script op journals
+    exactly one record).  Returns ``(durable_engine, resumed_from_step)``
+    after the remaining ops have been applied.
+    """
+    from repro.core.persistence import DurableIndex
+
+    durable = DurableIndex.recover(path, mmap=mmap, fsync=fsync)
+    recovery = durable.last_recovery
+    resumed_from = int(recovery["extra"].get("script_step", 0)) + int(
+        recovery["replayed"]
+    )
+    run_update_script(
+        durable, ops, start=resumed_from, checkpoint_every=checkpoint_every
+    )
+    return durable, resumed_from

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the committed format-v1 golden snapshot fixture.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/make_golden_snapshot.py
+
+The fixture (``golden_snapshot_v1/``) is a small durable SD-Index — a
+checkpointed snapshot plus a WAL tail — written at snapshot format version 1,
+together with ``expected.json`` holding the exact (row id, ``float.hex``
+score) answers of a fixed query batch.  Every future format version must keep
+loading it bit-identically (``tests/golden/test_golden_snapshot.py``); if the
+format ever becomes incompatible, add a *new* fixture for the new version and
+keep this one loading through the compatibility path.
+
+Only rerun this script to add coverage at the *current* version — never to
+"fix" a failing golden test, which signals a real compatibility break.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.persistence import DurableIndex
+from repro.core.sdindex import SDIndex
+
+FIXTURE = Path(__file__).resolve().parent / "golden_snapshot_v1"
+REPULSIVE = (0, 1)
+ATTRACTIVE = (2, 3)
+
+
+def main() -> None:
+    rng = np.random.default_rng(20260729)
+    data = rng.random((80, 4))
+    queries = rng.random((4, 4))
+
+    if FIXTURE.exists():
+        shutil.rmtree(FIXTURE)
+    index = SDIndex.build(data, repulsive=REPULSIVE, attractive=ATTRACTIVE)
+    durable = DurableIndex.create(index, FIXTURE / "store")
+    for _ in range(10):
+        durable.insert(rng.random(4))
+    durable.delete(3)
+    durable.delete(85)
+    durable.checkpoint(extra={"fixture": "golden-v1"})
+    # A WAL tail past the checkpoint, so loaders must replay to match.
+    for _ in range(5):
+        durable.insert(rng.random(4))
+    durable.delete(7)
+    answers = durable.batch_query(queries, k=5)
+    durable.close()
+
+    expected = {
+        "queries": [[float(v) for v in q] for q in queries],
+        "k": 5,
+        "results": [
+            [[int(m.row_id), float(m.score).hex()] for m in result.matches]
+            for result in answers.results
+        ],
+    }
+    with open(FIXTURE / "expected.json", "w", encoding="utf-8") as handle:
+        json.dump(expected, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    main()

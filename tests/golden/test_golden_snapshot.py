@@ -1,0 +1,74 @@
+"""Golden snapshot-format regression: format v1 must load forever.
+
+The committed fixture (``tests/fixtures/golden_snapshot_v1/``) is a small
+durable SD-Index — checkpointed snapshot plus a WAL tail — written at format
+version 1, with the exact expected answers stored as ``float.hex`` strings.
+Every future build must recover it bit-identically; a failure here is a
+backward-compatibility break, never something to fix by regenerating the
+fixture (see ``tests/fixtures/make_golden_snapshot.py``).
+
+Also locks the typed-error contract: unknown format versions and checksum
+mismatches must raise :class:`SnapshotFormatError`, not load garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import DurableIndex, SnapshotFormatError
+
+FIXTURE = Path(__file__).resolve().parents[1] / "fixtures" / "golden_snapshot_v1"
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A writable copy (recovery appends to the WAL; the fixture is read-only)."""
+    target = tmp_path / "store"
+    shutil.copytree(FIXTURE / "store", target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def expected():
+    with open(FIXTURE / "expected.json", "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("mmap", [False, True])
+def test_golden_v1_recovers_bit_identically(store, expected, mmap):
+    recovered = DurableIndex.recover(store, mmap=mmap)
+    assert recovered.last_recovery["extra"] == {"fixture": "golden-v1"}
+    assert recovered.last_recovery["replayed"] == 6  # the committed WAL tail
+    queries = np.asarray(expected["queries"], dtype=float)
+    answers = recovered.batch_query(queries, k=expected["k"])
+    got = [
+        [[m.row_id, float(m.score).hex()] for m in result.matches]
+        for result in answers.results
+    ]
+    assert got == expected["results"]
+    recovered.close()
+
+
+def test_golden_v1_unknown_version_rejected(store):
+    current = (store / "CURRENT").read_text().strip()
+    manifest_path = store / current / "MANIFEST.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = 2
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError, match="version"):
+        DurableIndex.recover(store)
+
+
+def test_golden_v1_checksum_mismatch_rejected(store):
+    current = (store / "CURRENT").read_text().strip()
+    target = store / current / "arrays" / "matrix.npy"
+    blob = bytearray(target.read_bytes())
+    blob[-3] ^= 0x10
+    target.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotFormatError, match="checksum"):
+        DurableIndex.recover(store)

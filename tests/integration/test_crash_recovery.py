@@ -1,0 +1,347 @@
+"""Crash-injection recovery harness (DESIGN.md section 7).
+
+The recovery invariant under test: after a crash at *any* point —
+
+* a torn WAL tail (the file truncated at every byte boundary of its final
+  records),
+* a process killed (``os._exit``) at named fault points inside an append or a
+  checkpoint, via subprocess drivers,
+* a truncated or bit-flipped snapshot array, a missing or mangled manifest —
+
+``DurableIndex.recover`` either yields an engine whose top-k answers are
+bit-identical to an uncrashed in-memory oracle that applied exactly the
+acknowledged op prefix, or raises the typed ``SnapshotFormatError``.  It must
+never silently serve stale or corrupt data.
+
+Everything here carries the ``crash`` marker; CI runs the suite in its own
+``recovery`` job under ``PYTHONDEVMODE=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.core.persistence import (
+    CURRENT_NAME,
+    WAL_NAME,
+    DurableIndex,
+    SnapshotFormatError,
+)
+from repro.core.sdindex import SDIndex
+from repro.core.sharding import ShardedIndex
+
+pytestmark = pytest.mark.crash
+
+REPULSIVE = (0, 1)
+ATTRACTIVE = (2, 3)
+NUM_DIMS = 4
+SEED = 2024
+INITIAL_ROWS = 250
+NUM_OPS = 40
+
+
+def make_ops(rng, store, count):
+    """A deterministic insert/delete script over a tracked population."""
+    ops = []
+    next_id = max(store) + 1
+    live = sorted(store)
+    for step in range(count):
+        if step % 3 == 2 and len(live) > 1:
+            victim = live.pop(int(rng.integers(len(live))))
+            ops.append(("delete", victim, None))
+        else:
+            ops.append(("insert", next_id, rng.random(NUM_DIMS)))
+            live.append(next_id)
+            next_id += 1
+    return ops
+
+
+def apply_op(engine, op):
+    kind, row_id, point = op
+    if kind == "insert":
+        engine.insert(point, row_id=row_id)
+    else:
+        engine.delete(row_id)
+
+
+def oracle_answers(store, ops_applied, queries, k):
+    """Answers of an uncrashed oracle that applied exactly ``ops_applied``."""
+    population = dict(store)
+    for kind, row_id, point in ops_applied:
+        if kind == "insert":
+            population[row_id] = point
+        else:
+            del population[row_id]
+    rows = sorted(population)
+    scan = SequentialScan(
+        np.asarray([population[row] for row in rows], dtype=float),
+        REPULSIVE,
+        ATTRACTIVE,
+        row_ids=rows,
+    )
+    return scan.batch_query(queries, k=k)
+
+
+def assert_bit_identical(expected, got):
+    for a, b in zip(expected.results, got.results):
+        assert [(m.row_id, m.score) for m in a.matches] == [
+            (m.row_id, m.score) for m in b.matches
+        ]
+
+
+@pytest.fixture
+def scenario(tmp_path):
+    """A durable flat engine with a checkpoint mid-script, closed cleanly."""
+    rng = np.random.default_rng(SEED)
+    data = rng.random((INITIAL_ROWS, NUM_DIMS))
+    store = {row: data[row] for row in range(INITIAL_ROWS)}
+    queries = rng.random((6, NUM_DIMS))
+    engine = SDIndex.build(data, repulsive=REPULSIVE, attractive=ATTRACTIVE)
+    durable = DurableIndex.create(engine, tmp_path / "dur")
+    ops = make_ops(rng, store, NUM_OPS)
+    for step, op in enumerate(ops):
+        apply_op(durable, op)
+        if step == NUM_OPS // 2:
+            durable.checkpoint()
+    durable.wal.sync()
+    durable.wal.close()
+    return tmp_path / "dur", store, ops, queries
+
+
+# ------------------------------------------------------------- torn WAL tails
+def test_torn_wal_tail_every_byte_boundary(scenario, tmp_path):
+    """Truncate the WAL at every byte boundary across its last records.
+
+    Each truncation is one possible crash; recovery must come back exactly
+    at the acknowledged prefix the surviving records represent — verified
+    bit-identically against the uncrashed oracle of that prefix — and the
+    recovered LSN tells us which prefix that is.
+    """
+    path, store, ops, queries = scenario
+    wal_blob = (path / WAL_NAME).read_bytes()
+    work = tmp_path / "work"
+    # Sweep the tail: every byte boundary of roughly the last three records.
+    checkpoint_lsn = NUM_OPS // 2 + 1
+    for cut in range(len(wal_blob) - 120, len(wal_blob) + 1):
+        if work.exists():
+            shutil.rmtree(work)
+        shutil.copytree(path, work)
+        (work / WAL_NAME).write_bytes(wal_blob[:cut])
+        recovered = DurableIndex.recover(work)
+        surviving = recovered.last_recovery["recovered_lsn"]
+        assert checkpoint_lsn <= surviving <= len(ops)
+        expected = oracle_answers(store, ops[:surviving], queries, k=5)
+        assert_bit_identical(expected, recovered.batch_query(queries, k=5))
+        recovered.close()
+
+
+def test_flipped_byte_before_tail_is_loud(scenario):
+    """Corruption *before* the WAL tail is not a torn write: loud failure."""
+    path, _store, _ops, _queries = scenario
+    blob = bytearray((path / WAL_NAME).read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    (path / WAL_NAME).write_bytes(bytes(blob))
+    with pytest.raises(SnapshotFormatError):
+        DurableIndex.recover(path)
+
+
+# -------------------------------------------------------- snapshot corruption
+def find_array_file(snapshot_dir: Path, name: str) -> Path:
+    return snapshot_dir / "arrays" / f"{name}.npy"
+
+
+def current_snapshot(path: Path) -> Path:
+    return path / (path / CURRENT_NAME).read_text().strip()
+
+
+def test_truncated_snapshot_array(scenario):
+    path, _store, _ops, _queries = scenario
+    target = find_array_file(current_snapshot(path), "matrix")
+    blob = target.read_bytes()
+    target.write_bytes(blob[: len(blob) - 64])
+    for mmap in (False, True):
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            DurableIndex.recover(path, mmap=mmap)
+
+
+def test_bitflipped_snapshot_array(scenario):
+    path, _store, _ops, _queries = scenario
+    target = find_array_file(current_snapshot(path), "sorted_rows")
+    blob = bytearray(target.read_bytes())
+    blob[-9] ^= 0x40
+    target.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotFormatError, match="checksum"):
+        DurableIndex.recover(path)
+
+
+def test_missing_manifest(scenario):
+    path, _store, _ops, _queries = scenario
+    (current_snapshot(path) / "MANIFEST.json").unlink()
+    with pytest.raises(SnapshotFormatError, match="manifest"):
+        DurableIndex.recover(path)
+
+
+def test_mangled_manifest_json(scenario):
+    path, _store, _ops, _queries = scenario
+    manifest = current_snapshot(path) / "MANIFEST.json"
+    manifest.write_text(manifest.read_text()[:-40])
+    with pytest.raises(SnapshotFormatError, match="manifest"):
+        DurableIndex.recover(path)
+
+
+def test_unknown_format_version(scenario):
+    path, _store, _ops, _queries = scenario
+    manifest = current_snapshot(path) / "MANIFEST.json"
+    payload = json.loads(manifest.read_text())
+    payload["format_version"] = 99
+    manifest.write_text(json.dumps(payload))
+    with pytest.raises(SnapshotFormatError, match="version"):
+        DurableIndex.recover(path)
+
+
+# ----------------------------------------------------------- subprocess kills
+DRIVER = textwrap.dedent(
+    """
+    import os, sys
+    import numpy as np
+    from repro.core import persistence
+    from repro.core.sdindex import SDIndex
+
+    path, fault_point, fault_at = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    seen = {"count": 0}
+
+    def hook(point):
+        if point == fault_point:
+            seen["count"] += 1
+            if seen["count"] == fault_at:
+                os._exit(1)  # simulated crash: no flush, no cleanup
+
+    rng = np.random.default_rng(7)
+    data = rng.random((120, 4))
+    engine = SDIndex.build(data, repulsive=(0, 1), attractive=(2, 3))
+    durable = persistence.DurableIndex.create(engine, path)
+    persistence.install_fault_hook(hook)
+    for step in range(30):
+        durable.insert(rng.random(4))
+        if step == 14:
+            durable.checkpoint()
+    durable.checkpoint()
+    os._exit(0)  # survived every fault point: nothing fired
+    """
+)
+
+FAULT_POINTS = [
+    # Killed inside an append, after the buffered write but before any
+    # flush/fsync: the record may or may not reach disk — either way it was
+    # never acknowledged, so recovery at the surviving prefix is correct.
+    ("wal.append.written", 5),
+    ("wal.append.written", 20),
+    # Killed streaming the mid-script checkpoint: CURRENT still names the
+    # initial snapshot, the full WAL replays over it.
+    ("snapshot.array.written", 8),
+    # Killed after the new manifest is durable but before CURRENT flips.
+    ("snapshot.manifest.written", 2),
+    # Killed right before / right after the atomic CURRENT replace.
+    ("checkpoint.current.before", 2),
+    ("checkpoint.current.written", 2),
+]
+
+
+@pytest.mark.parametrize("fault_point,fault_at", FAULT_POINTS)
+def test_subprocess_kill_recovers_exact_prefix(tmp_path, fault_point, fault_at):
+    """Kill a real process at a durability boundary; recover and verify.
+
+    The driver applies a deterministic op stream, so the oracle population
+    for any acknowledged prefix is reproducible here in the parent.  The
+    recovered LSN selects that prefix; answers must match it bit for bit.
+    """
+    target = tmp_path / "dur"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    result = subprocess.run(
+        [sys.executable, "-c", DRIVER, str(target), fault_point, str(fault_at)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1, (
+        f"fault point {fault_point!r} never fired: {result.stderr}"
+    )
+
+    recovered = DurableIndex.recover(target)
+    surviving = recovered.last_recovery["recovered_lsn"]
+    # Reconstruct the oracle for the surviving prefix of the driver's stream.
+    rng = np.random.default_rng(7)
+    data = rng.random((120, 4))
+    store = {row: data[row] for row in range(len(data))}
+    points = [rng.random(4) for _ in range(30)]
+    assert 0 <= surviving <= len(points)
+    for step in range(surviving):
+        store[len(data) + step] = points[step]
+    rows = sorted(store)
+    oracle = SequentialScan(
+        np.asarray([store[row] for row in rows], dtype=float),
+        REPULSIVE,
+        ATTRACTIVE,
+        row_ids=rows,
+    )
+    queries = np.random.default_rng(99).random((5, NUM_DIMS))
+    assert_bit_identical(
+        oracle.batch_query(queries, k=5), recovered.batch_query(queries, k=5)
+    )
+    # The recovered store keeps working: one more cycle survives a clean stop.
+    recovered.insert(np.full(NUM_DIMS, 0.5), row_id=10_000)
+    recovered.checkpoint()
+    recovered.close()
+    second = DurableIndex.recover(target)
+    assert second.point(10_000) is not None
+    second.close()
+
+
+# ------------------------------------------------------------- sharded crash
+def test_sharded_torn_tail_recovers_prefix(tmp_path):
+    """The same torn-tail sweep on a sharded engine (coarser: record cuts)."""
+    rng = np.random.default_rng(31)
+    data = rng.random((200, NUM_DIMS))
+    store = {row: data[row] for row in range(len(data))}
+    queries = rng.random((5, NUM_DIMS))
+    engine = ShardedIndex(
+        data,
+        repulsive=REPULSIVE,
+        attractive=ATTRACTIVE,
+        num_shards=2,
+        partitioner="range",
+    )
+    path = tmp_path / "dur"
+    durable = DurableIndex.create(engine, path)
+    ops = make_ops(rng, store, 20)
+    for op in ops:
+        apply_op(durable, op)
+    durable.wal.sync()
+    durable.close()
+
+    blob = (path / WAL_NAME).read_bytes()
+    work = tmp_path / "work"
+    for cut in (len(blob) - 1, len(blob) - 40, len(blob) - 90):
+        if work.exists():
+            shutil.rmtree(work)
+        shutil.copytree(path, work)
+        (work / WAL_NAME).write_bytes(blob[:cut])
+        recovered = DurableIndex.recover(work)
+        surviving = recovered.last_recovery["recovered_lsn"]
+        expected = oracle_answers(store, ops[:surviving], queries, k=5)
+        assert_bit_identical(expected, recovered.batch_query(queries, k=5))
+        recovered.close()
