@@ -10,7 +10,8 @@ The primary entry points are:
 * :class:`repro.SDQuery` / :func:`repro.sd_score` -- the query model and exact scorer,
 * :mod:`repro.baselines` -- sequential scan, adapted TA, BRS and PE comparators,
 * :mod:`repro.data` -- synthetic dataset generators used by the experiments,
-* :mod:`repro.experiments` -- regeneration of every figure and table of the paper.
+* :mod:`repro.experiments` -- regeneration of every figure and table of the paper,
+* :mod:`repro.serving` -- the asyncio coalescing serving front end (HTTP + JSON).
 """
 
 from repro.core.angles import AngleGrid
@@ -24,6 +25,7 @@ from repro.core.sdindex import SDIndex
 from repro.core.sharding import ShardedIndex, ShardedXYIndex, ShardRouter
 from repro.core.top1 import Top1Index
 from repro.core.topk import TopKIndex
+from repro.serving import SDQueryServer, ServingClient, ServingConfig
 
 __version__ = "0.1.0"
 
@@ -53,5 +55,8 @@ __all__ = [
     "ShardRouter",
     "Top1Index",
     "TopKIndex",
+    "SDQueryServer",
+    "ServingClient",
+    "ServingConfig",
     "__version__",
 ]

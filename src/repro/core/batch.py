@@ -1072,7 +1072,9 @@ class QuerySession:
                 else np.empty((0, aggregator._num_dims), dtype=float)
             )
 
-        order = np.argsort(rows)
+        # kind="stable" so equal keys can never reorder across platforms —
+        # the bit-identical differential-fuzz guarantees depend on it.
+        order = np.argsort(rows, kind="stable")
         sorted_rows = rows[order]
         scored_dims = set(aggregator.repulsive) | set(aggregator.attractive)
         columns_by_dim = {

@@ -466,6 +466,11 @@ class WriteAheadLog:
         self.fsync = fsync
         self._lock = threading.Lock()
         self._closed = False
+        # A crash mid-rotation may leave the written-aside file behind; it was
+        # never the live log (os.replace is the commit point), so drop it.
+        stale = self.path.with_suffix(".log.tmp")
+        if stale.exists():
+            stale.unlink()
         if self.path.exists():
             self.base_lsn, self._lsn, end = self._scan()
             self._file = open(self.path, "r+b")
@@ -479,6 +484,11 @@ class WriteAheadLog:
             self._file = open(self.path, "w+b")
             self._file.write(_WAL_MAGIC + _WAL_BASE.pack(0))
             _fsync_file(self._file)
+            # The file's *directory entry* must be durable too, on every
+            # policy: under ``fsync="os"`` nothing later syncs the directory
+            # on the append path, so a crash could otherwise lose the whole
+            # log file while the engine had acknowledged its writes.
+            _fsync_dir(self.path.parent)
 
     # ------------------------------------------------------------------ state
     @property
@@ -628,8 +638,14 @@ class WriteAheadLog:
                             out.write(header)
                             out.write(payload)
                 _fsync_file(out)
+            _fault("wal.rotate.written")
             os.replace(tmp, self.path)
+            _fault("wal.rotate.replaced")
+            # Persist the rename on every fsync policy: without the directory
+            # fsync a crash right after rotation can resurrect the old log
+            # tail (records the checkpoint already superseded).
             _fsync_dir(self.path.parent)
+            _fault("wal.rotate.synced")
             self._file.close()
             self._file = open(self.path, "r+b")
             self._file.seek(0, os.SEEK_END)

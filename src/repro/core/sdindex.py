@@ -380,7 +380,7 @@ class SDIndexSnapshot:
         """The pinned population as ``(row_ids, matrix)``, sorted by row id."""
         rows = self._view.live_row_ids()
         matrix = self._view.live_matrix()
-        order = np.argsort(rows)
+        order = np.argsort(rows, kind="stable")
         return rows[order], matrix[order]
 
     def query(

@@ -932,7 +932,9 @@ class ShardedSnapshot:
         matrix = np.concatenate(matrix_parts) if len(rows) else np.empty(
             (0, self._engine.num_dims), dtype=float
         )
-        order = np.argsort(rows)
+        # kind="stable": duplicate/equal keys must never reorder rows across
+        # platforms, or the bit-identical fuzz oracles would drift.
+        order = np.argsort(rows, kind="stable")
         return rows[order], matrix[order]
 
     def query(

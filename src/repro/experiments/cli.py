@@ -21,7 +21,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Sequence
 
-from repro.experiments import ablations, figure7, figure8, sharding
+from repro.experiments import ablations, figure7, figure8, serving, sharding
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.table1 import format_table1, run_table1
 from repro.workloads.reporting import format_series_table
@@ -58,6 +58,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
     "fig8-construction": _wrap(figure8.construction_sweep),
     "table1": _run_table1,
     "sharded-serving": _wrap(sharding.shard_sweep),
+    "serving-latency": _wrap(serving.coalescing_sweep),
     "ablation-angles": _wrap(ablations.angle_grid),
     "ablation-pairing": _wrap(ablations.pairing),
     "ablation-strategy": _wrap(ablations.query_strategy),

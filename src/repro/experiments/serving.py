@@ -1,0 +1,130 @@
+"""Serving-latency experiment: coalescing tick sweep under open-loop load.
+
+Not a figure of the paper — the serving-tier companion of the batch engine
+(DESIGN.md §8).  One embedded :class:`~repro.serving.server.SDQueryServer`
+answers a seeded open-loop Poisson workload while the coalescing tick sweeps
+from "no coalescing at all" (the per-request baseline) through increasingly
+wide micro-batching windows.  Reported per tick: tail latency percentiles
+and the mean coalesced batch size — the trade the tick knob buys (a wider
+tick batches more but holds early arrivals longer).
+
+Every run's responses are verified bit-identical against a
+:class:`~repro.baselines.sequential.SequentialScan` oracle before its
+timings are reported, and the engine's epochs must have drained afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional
+
+from repro.baselines.sequential import SequentialScan
+from repro.core.sdindex import SDIndex
+from repro.data.generators import generate_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.serving.loadgen import run_open_loop
+from repro.serving.server import SDQueryServer, ServingConfig
+from repro.workloads.registry import build_workload
+from repro.workloads.runner import ExperimentResult
+
+__all__ = ["coalescing_sweep", "TICKS_MS"]
+
+#: Coalescing windows swept (milliseconds); None is the per-request baseline.
+TICKS_MS = (0.0, 0.5, 1.0, 2.0, 5.0)
+
+_DEFAULT_POINTS = 50_000
+_DEFAULT_REQUESTS = 400
+_TARGET_RATE = 3000.0  # requests/second the open-loop schedule aims for
+
+
+async def _run_once(
+    index,
+    workload,
+    tick_seconds: Optional[float],
+    coalesce: bool,
+    oracle: SequentialScan,
+) -> dict:
+    config = ServingConfig(
+        tick_seconds=tick_seconds if coalesce else 0.0,
+        coalesce=coalesce,
+        request_timeout=None,
+    )
+    async with SDQueryServer(index, config) as server:
+        # Warm the serving session and the executor before the clock matters.
+        probe = workload.reads.queries()[0]
+        await server.submit(
+            probe.point, k=probe.k, alpha=probe.alpha, beta=probe.beta
+        )
+        report = await run_open_loop(server, workload, collect=True)
+        queries = workload.reads.queries()
+        for j, served in report.responses:
+            expect = oracle.query(queries[j])
+            if (
+                served.result.row_ids != expect.row_ids
+                or served.result.scores != expect.scores
+            ):
+                raise AssertionError(
+                    f"request {j}: served answer drifted from the sequential "
+                    f"scan oracle"
+                )
+        histogram = server.coalescer.batch_sizes
+        batched = sum(size * count for size, count in histogram.items())
+        batches = sum(histogram.values())
+        stats = report.as_dict()
+        stats["mean_batch_size"] = batched / batches if batches else 0.0
+        return stats
+
+
+def coalescing_sweep(config: ExperimentConfig) -> List[ExperimentResult]:
+    """Open-loop tail latency and batch size across coalescing tick widths."""
+    num_points = config.sizes([_DEFAULT_POINTS])[0]
+    num_requests = max(40, config.queries() * 4)
+    data = generate_dataset("uniform", num_points, 4, seed=config.seed).matrix
+    index = SDIndex.build(
+        data, repulsive=(0, 1), attractive=(2, 3), branching=config.branching
+    )
+    oracle = SequentialScan(data, (0, 1), (2, 3))
+    workload = build_workload(
+        "serving",
+        (0, 1),
+        (2, 3),
+        num_requests=num_requests,
+        target_rate=_TARGET_RATE,
+        num_dims=4,
+        seed=config.seed + 1,
+    )
+
+    latency = ExperimentResult(
+        name=f"serving latency ({num_points} points, {num_requests} open-loop "
+        f"requests at ~{_TARGET_RATE:g}/s)",
+        x_label="coalescing tick (ms)",
+        y_label="latency (ms)",
+        notes="answers verified bit-identical to the sequential-scan oracle",
+    )
+    batching = ExperimentResult(
+        name="coalesced batch size vs tick",
+        x_label="coalescing tick (ms)",
+        y_label="mean batch size",
+    )
+
+    baseline = asyncio.run(
+        _run_once(index, workload, None, coalesce=False, oracle=oracle)
+    )
+    for tick_ms in TICKS_MS:
+        stats = asyncio.run(
+            _run_once(index, workload, tick_ms / 1000.0, True, oracle)
+        )
+        for percentile in ("p50", "p95", "p99"):
+            latency.series_for(f"coalesced {percentile}").add(
+                tick_ms, stats[percentile]
+            )
+            latency.series_for(f"baseline {percentile}").add(
+                tick_ms, baseline[percentile]
+            )
+        batching.series_for("coalesced").add(tick_ms, stats["mean_batch_size"])
+        batching.series_for("baseline").add(tick_ms, baseline["mean_batch_size"])
+
+    report = index.query_session().epochs.leak_report()
+    if report["pinned_readers"] != 0:
+        raise AssertionError(f"serving sweep leaked epoch pins: {report}")
+    return [latency, batching]

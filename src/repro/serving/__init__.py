@@ -1,0 +1,34 @@
+"""Async coalescing serving front end over the epoch-snapshot engine.
+
+See DESIGN.md section 8 for the tick/coalesce/pin lifecycle and the
+admission + cache rules; ``examples/quickstart.py`` has a runnable demo.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionError, TokenBucket
+from repro.serving.cache import ResultCache
+from repro.serving.coalescer import (
+    RequestTimeout,
+    ServedResult,
+    ServerClosedError,
+    TickCoalescer,
+    query_key,
+)
+from repro.serving.loadgen import LoadReport, run_open_loop
+from repro.serving.server import SDQueryServer, ServingClient, ServingConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "TokenBucket",
+    "ResultCache",
+    "RequestTimeout",
+    "ServedResult",
+    "ServerClosedError",
+    "TickCoalescer",
+    "query_key",
+    "LoadReport",
+    "run_open_loop",
+    "SDQueryServer",
+    "ServingClient",
+    "ServingConfig",
+]

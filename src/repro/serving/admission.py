@@ -1,0 +1,163 @@
+"""Per-tenant admission control for the serving front end (DESIGN.md §8).
+
+Two independent limits, both per tenant and both typed-rejection (the HTTP
+layer maps :class:`AdmissionError` to a 429 with ``Retry-After``):
+
+* a **token bucket** bounding sustained request rate with a burst allowance
+  (tokens refill continuously at ``rate`` per second up to ``burst``), and
+* a **max in-flight** cap bounding how many of a tenant's requests may sit
+  in the coalescer at once — the backpressure that keeps one tenant from
+  filling every tick's batch while others starve.
+
+Admission happens *before* a request enters the coalescer queue, so a
+rejected request costs no batch slot, no epoch pin and no kernel time.
+The clock is injectable for deterministic tests; the default is
+``time.monotonic`` (never wall clock — an NTP step must not refill or
+starve a bucket).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["AdmissionError", "TokenBucket", "AdmissionController"]
+
+
+class AdmissionError(Exception):
+    """Typed 429-style rejection: which tenant, why, and when to retry."""
+
+    def __init__(self, tenant: str, reason: str, retry_after: float = 0.0) -> None:
+        self.tenant = tenant
+        self.reason = reason  # "rate" or "in_flight"
+        self.retry_after = max(0.0, float(retry_after))
+        super().__init__(
+            f"tenant {tenant!r} rejected ({reason}); retry after "
+            f"{self.retry_after:.3f}s"
+        )
+
+
+class TokenBucket:
+    """A continuously refilling token bucket on an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after a refill step)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (nothing taken) otherwise."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def seconds_until(self, tokens: float = 1.0) -> float:
+        """How long until ``tokens`` will be available at the refill rate."""
+        self._refill()
+        missing = tokens - self._tokens
+        return max(0.0, missing / self.rate)
+
+
+class AdmissionController:
+    """Admit or reject requests per tenant; track in-flight counts.
+
+    ``rate=None`` disables the token bucket, ``max_in_flight=None`` disables
+    the concurrency cap (both disabled = admit everything, the default).
+    ``burst`` defaults to ``rate`` (one second of traffic).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        max_in_flight: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else rate
+        self.max_in_flight = max_in_flight
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._in_flight: Dict[str, int] = {}
+        self.admitted = 0
+        self.rejected_rate = 0
+        self.rejected_in_flight = 0
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or raise :class:`AdmissionError`.
+
+        On success the tenant's in-flight count is raised; the caller owns a
+        matching :meth:`release` (the server does it in a ``finally``).
+        """
+        in_flight = self._in_flight.get(tenant, 0)
+        if self.max_in_flight is not None and in_flight >= self.max_in_flight:
+            self.rejected_in_flight += 1
+            raise AdmissionError(tenant, "in_flight", retry_after=0.0)
+        if self.rate is not None:
+            bucket = self._bucket(tenant)
+            if not bucket.try_acquire():
+                self.rejected_rate += 1
+                raise AdmissionError(
+                    tenant, "rate", retry_after=bucket.seconds_until()
+                )
+        self._in_flight[tenant] = in_flight + 1
+        self.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """Drop one in-flight reference (the response left the building)."""
+        count = self._in_flight.get(tenant, 0)
+        if count <= 0:
+            raise RuntimeError(f"tenant {tenant!r} has no in-flight requests")
+        if count == 1:
+            del self._in_flight[tenant]
+        else:
+            self._in_flight[tenant] = count - 1
+
+    def in_flight(self, tenant: str) -> int:
+        return self._in_flight.get(tenant, 0)
+
+    @property
+    def total_in_flight(self) -> int:
+        return sum(self._in_flight.values())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected_rate": self.rejected_rate,
+            "rejected_in_flight": self.rejected_in_flight,
+            "in_flight": self.total_in_flight,
+            "tenants": len(self._buckets) or len(self._in_flight),
+        }

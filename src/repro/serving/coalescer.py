@@ -1,0 +1,335 @@
+"""Tick-based request coalescing over epoch-pinned batch queries (DESIGN.md §8).
+
+The batch engine answers ~100 queries for little more than the cost of one
+(BENCH_batch.json), but a serving front end receives *single* queries, each
+on its own connection.  The coalescer closes that gap: requests arriving
+within one tick are merged into a single ``batch_query`` call against one
+pinned epoch snapshot, and every requester gets its own per-query
+:class:`~repro.core.results.TopKResult` back — bit-identical to what a
+sequential scan over the pinned population would return, with the engine's
+deterministic ``(-score, row_id)`` tie-break.
+
+Lifecycle of one batch (the pin discipline is the whole point):
+
+* Requests enqueue a future and wake the drainer; the drainer waits one
+  tick (letting the batch fill, up to ``max_batch``) and drains.
+* The batch is served by a worker function that **pins a snapshot, runs the
+  kernels and releases the pin entirely inside the executor thread** — a
+  synchronous, uncancellable scope.  Request timeouts cancel only the
+  requester's future; the epoch pin cannot be stranded by any asyncio
+  cancellation, because no ``await`` ever sits between pin and release.
+* Cache lookups key on ``(query_key, epoch_key)`` and happen inside the
+  worker under the same pin that serves the misses, so a cached entry is
+  never served across an epoch publication (see :mod:`repro.serving.cache`).
+
+``coalesce=False`` degrades to the per-request baseline (every submit is
+its own batch of one) while keeping the identical pin/cache/timeout
+machinery — that is the control arm ``benchmarks/bench_serving.py`` measures
+against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.query import SDQuery
+from repro.core.results import TopKResult
+from repro.serving.cache import ResultCache
+
+__all__ = [
+    "RequestTimeout",
+    "ServerClosedError",
+    "ServedResult",
+    "TickCoalescer",
+    "query_key",
+]
+
+
+class RequestTimeout(Exception):
+    """The per-request deadline elapsed before its batch was served."""
+
+    def __init__(self, timeout: float) -> None:
+        self.timeout = float(timeout)
+        super().__init__(f"request timed out after {timeout:.3f}s")
+
+
+class ServerClosedError(Exception):
+    """The front end is shut down; no further requests are served."""
+
+
+@dataclass
+class ServedResult:
+    """One request's answer plus the serving metadata the response reports."""
+
+    result: TopKResult
+    epoch: Hashable  #: version (or sharded version tuple) of the pinned epoch
+    batch_size: int  #: how many requests shared this coalesced batch
+    cached: bool  #: served from the (query, epoch) cache without kernel work
+
+
+def query_key(query: SDQuery) -> Tuple:
+    """A hashable identity for caching: point, roles, k and exact weights."""
+    return (
+        query.point,
+        query.repulsive,
+        query.attractive,
+        query.k,
+        query.weights.alpha,
+        query.weights.beta,
+    )
+
+
+def _epoch_key(snapshot) -> Hashable:
+    """The pinned snapshot's epoch identity (sharded cuts are version tuples)."""
+    versions = getattr(snapshot, "versions", None)
+    if versions is not None:
+        return (snapshot.topology_version,) + tuple(versions)
+    return snapshot.version
+
+
+@dataclass
+class _Pending:
+    query: SDQuery
+    key: Tuple
+    future: "asyncio.Future[ServedResult]"
+
+
+class TickCoalescer:
+    """Micro-batches concurrent single queries into epoch-pinned batch calls.
+
+    ``index`` is any engine whose ``snapshot()`` returns a pinned view with
+    ``batch_query(list_of_SDQuery)`` (:class:`~repro.core.sdindex.SDIndex`
+    and :class:`~repro.core.sharding.ShardedIndex` both qualify).
+
+    ``tick_seconds`` controls the coalescing window: ``0`` serves as soon as
+    the loop allows (still coalescing whatever queued during the previous
+    batch), a positive tick holds the batch open that long, and ``None``
+    disables the drainer entirely — tests then drive :meth:`flush` by hand
+    for deterministic interleavings.
+    """
+
+    def __init__(
+        self,
+        index,
+        tick_seconds: Optional[float] = 0.002,
+        max_batch: int = 64,
+        cache: Optional[ResultCache] = None,
+        coalesce: bool = True,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        if tick_seconds is not None and tick_seconds < 0:
+            raise ValueError(f"tick_seconds must be >= 0, got {tick_seconds}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._index = index
+        self._tick = tick_seconds
+        self._max_batch = int(max_batch)
+        self.cache = cache
+        self._coalesce = bool(coalesce)
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._pending: Deque[_Pending] = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._drainer: Optional[asyncio.Task] = None
+        self._closed = False
+        # ---- counters (monitoring + the benchmark's histogram report)
+        self.submitted = 0
+        self.served = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.batch_sizes: Counter = Counter()
+
+    # ------------------------------------------------------------- lifecycle
+    def _ensure_started(self) -> None:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serving-batch"
+            )
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        if (
+            self._coalesce
+            and self._tick is not None
+            and (self._drainer is None or self._drainer.done())
+        ):
+            self._drainer = asyncio.get_running_loop().create_task(self._drain())
+
+    async def close(self) -> None:
+        """Stop serving: finish the in-flight batch, fail everything queued.
+
+        Idempotent.  After close every queued and future :meth:`submit`
+        raises :class:`ServerClosedError`, and no epoch pins remain (the
+        worker scope released them; nothing else ever held one).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._drainer is not None:
+            await self._drainer
+            self._drainer = None
+        while self._pending:
+            item = self._pending.popleft()
+            if not item.future.done():
+                item.future.set_exception(ServerClosedError("serving front end closed"))
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def backlog(self) -> int:
+        """Requests currently waiting for a batch."""
+        return len(self._pending)
+
+    # --------------------------------------------------------------- serving
+    async def submit(
+        self, query: SDQuery, timeout: Optional[float] = None
+    ) -> ServedResult:
+        """Queue one query and await its coalesced answer.
+
+        ``timeout`` bounds the wait; on expiry the request's future is
+        cancelled (its batch slot is simply skipped at delivery) and
+        :class:`RequestTimeout` is raised.  The pinned epoch is unaffected —
+        the batch worker owns it, not the requester.
+        """
+        if self._closed:
+            raise ServerClosedError("serving front end closed")
+        self._ensure_started()
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[ServedResult]" = loop.create_future()
+        item = _Pending(query=query, key=query_key(query), future=future)
+        self.submitted += 1
+        if not self._coalesce:
+            # Per-request baseline: a batch of one through the same machinery.
+            await self._serve_batch([item])
+            return future.result()
+        self._pending.append(item)
+        self._wake.set()
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            raise RequestTimeout(timeout) from None
+
+    async def flush(self) -> int:
+        """Serve every queued request now (manual-tick mode); returns count."""
+        if self._closed:
+            raise ServerClosedError("serving front end closed")
+        self._ensure_started()
+        flushed = 0
+        while self._pending:
+            batch = self._drain_batch()
+            flushed += len(batch)
+            await self._serve_batch(batch)
+        return flushed
+
+    # ------------------------------------------------------------- internals
+    def _drain_batch(self) -> List[_Pending]:
+        batch: List[_Pending] = []
+        while self._pending and len(batch) < self._max_batch:
+            batch.append(self._pending.popleft())
+        return batch
+
+    async def _drain(self) -> None:
+        """The single drainer task: tick, drain, serve, repeat."""
+        while not self._closed:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._pending and not self._closed:
+                if self._tick and len(self._pending) < self._max_batch:
+                    await asyncio.sleep(self._tick)
+                batch = self._drain_batch()
+                if batch:
+                    await self._serve_batch(batch)
+
+    async def _serve_batch(self, batch: List[_Pending]) -> None:
+        """Serve one coalesced batch; delivery never raises out of the drainer."""
+        loop = asyncio.get_running_loop()
+        queries = [item.query for item in batch]
+        cache = self.cache
+
+        def run_pinned() -> Tuple[Hashable, Dict[int, Any], List[Optional[TopKResult]]]:
+            # Pin -> (cache-partition) -> kernels -> release, all inside this
+            # synchronous scope: no await between pin and release exists, so
+            # no cancellation can strand the epoch.  The cache is only read
+            # and written under the pin, keyed by the pinned epoch, so a
+            # publication between batches naturally misses.
+            snapshot = self._index.snapshot()
+            try:
+                epoch = _epoch_key(snapshot)
+                from_cache: List[Optional[TopKResult]] = [None] * len(batch)
+                misses: List[int] = []
+                if cache is not None:
+                    for j, item in enumerate(batch):
+                        hit = cache.get(item.key, epoch)
+                        if hit is None:
+                            misses.append(j)
+                        else:
+                            from_cache[j] = hit
+                else:
+                    misses = list(range(len(batch)))
+                fresh: Dict[int, Any] = {}
+                if misses:
+                    computed = snapshot.batch_query([queries[j] for j in misses])
+                    for j, result in zip(misses, computed.results):
+                        fresh[j] = result
+                        if cache is not None:
+                            cache.put(batch[j].key, epoch, result)
+                return epoch, fresh, from_cache
+            finally:
+                snapshot.close()
+
+        try:
+            epoch, fresh, from_cache = await loop.run_in_executor(
+                self._executor, run_pinned
+            )
+        except Exception as exc:  # deliver the failure to every requester
+            self.errors += 1
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        self.batch_sizes[len(batch)] += 1
+        for j, item in enumerate(batch):
+            if item.future.done():  # timed out / cancelled while batched
+                continue
+            result = from_cache[j]
+            cached = result is not None
+            if not cached:
+                result = fresh[j]
+            item.future.set_result(
+                ServedResult(
+                    result=result,
+                    epoch=epoch,
+                    batch_size=len(batch),
+                    cached=cached,
+                )
+            )
+            self.served += 1
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "submitted": self.submitted,
+            "served": self.served,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "backlog": len(self._pending),
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(self.batch_sizes.items())
+            },
+        }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        return stats

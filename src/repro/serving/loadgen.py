@@ -1,0 +1,123 @@
+"""Open-loop load generation for the serving front end.
+
+Open loop means arrivals follow the workload's schedule *regardless of
+completions*: a request fires at its scheduled offset even if earlier ones
+are still in flight, and its latency is measured from that scheduled arrival
+— so queueing delay (and therefore coordinated omission) shows up in the
+percentiles instead of being silently absorbed, exactly the failure mode a
+closed-loop "send, wait, send" script hides.  This is the harness behind
+``benchmarks/bench_serving.py`` and the ``serving-latency`` experiment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.admission import AdmissionError
+from repro.serving.coalescer import RequestTimeout, ServedResult, ServerClosedError
+from repro.workloads.runner import latency_percentiles
+
+__all__ = ["LoadReport", "run_open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run: latencies plus the failure tallies."""
+
+    latencies: np.ndarray  #: seconds, successful requests only, arrival order
+    rejected: int
+    timeouts: int
+    errors: int
+    elapsed_seconds: float
+    #: ``(request_index, ServedResult)`` pairs when collected (oracle checks).
+    responses: List[Tuple[int, ServedResult]] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    def percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 (seconds) of the successful latencies."""
+        return latency_percentiles(self.latencies)
+
+    def as_dict(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        summary.update(
+            {name: value * 1000.0 for name, value in self.percentiles().items()}
+        )
+        return summary
+
+
+async def run_open_loop(
+    server,
+    workload,
+    time_scale: float = 1.0,
+    collect: bool = False,
+    timeout: Optional[float] = None,
+) -> LoadReport:
+    """Fire the workload's requests at their scheduled offsets; gather stats.
+
+    ``server`` is an :class:`~repro.serving.server.SDQueryServer` (the
+    embedded ``submit`` path — measuring the serving tier, not the HTTP
+    parser).  ``time_scale`` stretches (>1) or compresses (<1) the arrival
+    schedule; ``collect=True`` keeps every response for oracle verification.
+    Latency is measured from *scheduled* arrival, open-loop style.
+    """
+    queries = workload.reads.queries()
+    offsets = np.asarray(workload.arrival_offsets, dtype=float) * float(time_scale)
+    tenants = list(workload.tenants)
+    latencies: List[Tuple[int, float]] = []
+    responses: List[Tuple[int, ServedResult]] = []
+    tallies = {"rejected": 0, "timeouts": 0, "errors": 0}
+    start = time.perf_counter()
+
+    async def fire(j: int) -> None:
+        delay = offsets[j] - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        scheduled = start + offsets[j]
+        query = queries[j]
+        try:
+            served = await server.submit(
+                query.point,
+                k=query.k,
+                alpha=query.weights.alpha,
+                beta=query.weights.beta,
+                tenant=tenants[j % len(tenants)] if tenants else "default",
+                timeout=timeout,
+            )
+        except AdmissionError:
+            tallies["rejected"] += 1
+            return
+        except RequestTimeout:
+            tallies["timeouts"] += 1
+            return
+        except ServerClosedError:
+            tallies["errors"] += 1
+            return
+        latencies.append((j, time.perf_counter() - scheduled))
+        if collect:
+            responses.append((j, served))
+
+    await asyncio.gather(*(fire(j) for j in range(len(queries))))
+    elapsed = time.perf_counter() - start
+    latencies.sort(key=lambda pair: pair[0])
+    return LoadReport(
+        latencies=np.asarray([lat for _j, lat in latencies], dtype=float),
+        rejected=tallies["rejected"],
+        timeouts=tallies["timeouts"],
+        errors=tallies["errors"],
+        elapsed_seconds=elapsed,
+        responses=responses,
+    )

@@ -10,6 +10,7 @@ from repro.workloads.reporting import format_series_table, format_table
 from repro.workloads.runner import (
     ExperimentResult,
     MeasuredSeries,
+    latency_percentiles,
     resume_update_script,
     run_update_script,
     time_queries,
@@ -17,15 +18,20 @@ from repro.workloads.runner import (
 from repro.workloads.workload import (
     BatchWorkload,
     QueryWorkload,
+    ServingWorkload,
     make_batch_workload,
+    make_serving_workload,
     make_workload,
 )
 
 __all__ = [
     "QueryWorkload",
     "BatchWorkload",
+    "ServingWorkload",
     "make_workload",
     "make_batch_workload",
+    "make_serving_workload",
+    "latency_percentiles",
     "ALGORITHM_BUILDERS",
     "WORKLOAD_BUILDERS",
     "build_algorithm",

@@ -26,8 +26,10 @@ from repro.workloads.workload import (
     BatchWorkload,
     ConcurrentWorkload,
     QueryWorkload,
+    ServingWorkload,
     make_batch_workload,
     make_concurrent_workload,
+    make_serving_workload,
     make_workload,
 )
 
@@ -139,12 +141,24 @@ def _build_concurrent_serving(repulsive, attractive, **options) -> ConcurrentWor
     return make_concurrent_workload(repulsive, attractive, **options)
 
 
+def _build_serving(repulsive, attractive, **options) -> ServingWorkload:
+    """The front-end serving workload: open-loop arrivals for the coalescer.
+
+    Answer-limited traffic (the k ∈ {1, 5, 10} menu) on a seeded Poisson
+    arrival schedule with multi-tenant labels and a repeated-query fraction —
+    the traffic shape that exercises micro-batching, admission control and
+    the ``(query, epoch)`` result cache all at once (DESIGN.md §8).
+    """
+    return make_serving_workload(repulsive, attractive, **options)
+
+
 #: Workload name -> builder(repulsive, attractive, **options).
 WORKLOAD_BUILDERS: Dict[str, Callable] = {
     "uniform": _build_uniform_workload,
     "batch_serving": _build_batch_serving,
     "sharded_serving": _build_sharded_serving,
     "concurrent_serving": _build_concurrent_serving,
+    "serving": _build_serving,
 }
 
 

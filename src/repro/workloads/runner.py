@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.query import SDQuery
 from repro.core.results import TopKResult
 from repro.workloads.workload import QueryWorkload
@@ -23,6 +25,7 @@ __all__ = [
     "MeasuredSeries",
     "ExperimentResult",
     "time_queries",
+    "latency_percentiles",
     "run_update_script",
     "resume_update_script",
 ]
@@ -130,6 +133,25 @@ def time_queries(
     if collect_results:
         summary.results = results  # type: ignore[attr-defined]
     return summary
+
+
+def latency_percentiles(
+    latencies: Sequence[float],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> Dict[str, float]:
+    """Tail-latency summary: ``{"p50": ..., "p95": ..., "p99": ...}`` in the
+    input's unit.
+
+    Uses the ``lower`` interpolation — every reported value is a latency that
+    actually occurred, which is the honest convention for tail reporting
+    (interpolating between two observed latencies invents a number no request
+    experienced).  Empty input yields all-zero percentiles.
+    """
+    values = np.asarray(list(latencies), dtype=float)
+    if values.size == 0:
+        return {f"p{p:g}": 0.0 for p in percentiles}
+    cuts = np.percentile(values, list(percentiles), method="lower")
+    return {f"p{p:g}": float(cut) for p, cut in zip(percentiles, cuts)}
 
 
 # --------------------------------------------------------- durable op scripts

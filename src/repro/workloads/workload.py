@@ -20,9 +20,11 @@ __all__ = [
     "QueryWorkload",
     "BatchWorkload",
     "ConcurrentWorkload",
+    "ServingWorkload",
     "make_workload",
     "make_batch_workload",
     "make_concurrent_workload",
+    "make_serving_workload",
 ]
 
 
@@ -164,6 +166,35 @@ class ConcurrentWorkload:
                 live.append(next_id)
                 next_id += 1
         return ops
+
+
+@dataclass
+class ServingWorkload:
+    """Open-loop request traffic for the serving front end (DESIGN.md §8).
+
+    ``reads`` is the query traffic in columnar form; ``arrival_offsets`` gives
+    each request's scheduled arrival (seconds from the run's start, sorted,
+    drawn from a seeded Poisson process so bursts happen — uniform spacing
+    would never exercise coalescing); ``tenants`` assigns request ``j`` to
+    tenant ``tenants[j % len(tenants)]``.  ``repeat_fraction`` of the requests
+    are exact repeats of earlier queries, which is what gives the
+    ``(query, epoch)`` result cache something to hit.
+    """
+
+    reads: BatchWorkload
+    arrival_offsets: np.ndarray  # (num_requests,) seconds from start, sorted
+    tenants: Tuple[str, ...]
+    target_rate: float  # requests/second the Poisson draws aimed for
+    description: str = ""
+    seed: int = 0
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.reads)
+
+    @property
+    def duration_seconds(self) -> float:
+        return float(self.arrival_offsets[-1]) if len(self.arrival_offsets) else 0.0
 
 
 def make_workload(
@@ -328,6 +359,68 @@ def make_concurrent_workload(
         op_draws=rng.random(num_updates),
         victim_draws=rng.random(num_updates),
         delete_fraction=float(delete_fraction),
+        description=description,
+        seed=seed,
+    )
+
+
+def make_serving_workload(
+    repulsive: Sequence[int],
+    attractive: Sequence[int],
+    num_requests: int = 400,
+    target_rate: float = 2000.0,
+    k=(1, 5, 10),
+    num_tenants: int = 4,
+    repeat_fraction: float = 0.25,
+    num_dims: Optional[int] = None,
+    seed: int = 0,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+    weight_range: Tuple[float, float] = (0.05, 1.0),
+) -> ServingWorkload:
+    """Generate seeded open-loop serving traffic.
+
+    Arrivals are a Poisson process at ``target_rate`` requests/second
+    (exponential inter-arrival draws, cumulatively summed), so the schedule
+    has the bursts that make micro-batching pay off.  ``repeat_fraction`` of
+    the requests re-issue an earlier request's exact query (point, ``k`` and
+    weights), modelling the repeated-query traffic a result cache exists for.
+    """
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ValueError(f"repeat_fraction must be in [0, 1), got {repeat_fraction}")
+    if target_rate <= 0:
+        raise ValueError(f"target_rate must be positive, got {target_rate}")
+    if num_tenants < 1:
+        raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
+    reads = make_batch_workload(
+        repulsive,
+        attractive,
+        num_queries=num_requests,
+        k=k,
+        num_dims=num_dims,
+        seed=seed,
+        value_range=value_range,
+        weight_range=weight_range,
+    )
+    rng = np.random.default_rng(seed + 0x5E21)
+    # Rewrite a seeded subset of requests as exact repeats of earlier ones.
+    for j in range(1, num_requests):
+        if rng.random() < repeat_fraction:
+            src = int(rng.integers(0, j))
+            reads.points[j] = reads.points[src]
+            reads.ks[j] = reads.ks[src]
+            reads.alphas[j] = reads.alphas[src]
+            reads.betas[j] = reads.betas[src]
+    offsets = np.cumsum(rng.exponential(1.0 / target_rate, size=num_requests))
+    tenants = tuple(f"tenant-{t}" for t in range(num_tenants))
+    description = (
+        f"serving: {num_requests} open-loop requests at ~{target_rate:g}/s, "
+        f"k={k!r}, {num_tenants} tenants, {repeat_fraction:.0%} repeats"
+    )
+    return ServingWorkload(
+        reads=reads,
+        arrival_offsets=offsets,
+        tenants=tenants,
+        target_rate=float(target_rate),
         description=description,
         seed=seed,
     )

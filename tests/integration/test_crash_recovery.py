@@ -345,3 +345,92 @@ def test_sharded_torn_tail_recovers_prefix(tmp_path):
         expected = oracle_answers(store, ops[:surviving], queries, k=5)
         assert_bit_identical(expected, recovered.batch_query(queries, k=5))
         recovered.close()
+
+
+# ----------------------------------------------------- WAL rotation durability
+ROTATE_DRIVER = textwrap.dedent(
+    """
+    import os, sys
+    import numpy as np
+    from repro.core import persistence
+    from repro.core.sdindex import SDIndex
+
+    path, fault_point = sys.argv[1], sys.argv[2]
+
+    def hook(point):
+        if point == fault_point:
+            os._exit(1)  # simulated crash mid-rotation: no flush, no cleanup
+
+    rng = np.random.default_rng(11)
+    data = rng.random((100, 4))
+    engine = SDIndex.build(data, repulsive=(0, 1), attractive=(2, 3))
+    durable = persistence.DurableIndex.create(engine, path, fsync="os")
+    for _ in range(12):
+        durable.insert(rng.random(4))
+    persistence.install_fault_hook(hook)
+    durable.checkpoint()  # rotates the WAL; the hook kills inside rotate()
+    os._exit(0)  # the fault point never fired
+    """
+)
+
+
+@pytest.mark.parametrize(
+    "fault_point",
+    ["wal.rotate.written", "wal.rotate.replaced", "wal.rotate.synced"],
+)
+def test_rotation_crash_never_resurrects_superseded_tail(tmp_path, fault_point):
+    """Kill during/right after WAL rotation under the ``fsync="os"`` policy.
+
+    The rotation hazard: the checkpoint's snapshot already covers the log
+    prefix, so if the crash leaves the *old* log (kill before the rename is
+    durable) recovery must skip every superseded record via the snapshot's
+    LSN, and if it leaves the *new* log (kill after) the base LSN must line
+    up exactly.  Either way the recovered answers equal the acknowledged
+    12-insert oracle — never a double-applied (resurrected) prefix, and
+    never a lost acknowledged write.
+    """
+    target = tmp_path / "dur"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    result = subprocess.run(
+        [sys.executable, "-c", ROTATE_DRIVER, str(target), fault_point],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1, (
+        f"fault point {fault_point!r} never fired: {result.stderr}"
+    )
+
+    recovered = DurableIndex.recover(target, fsync="os")
+    # All 12 inserts were acknowledged before the checkpoint began; the crash
+    # landed after the CURRENT flip, so the new snapshot plus the (old or
+    # rotated) WAL must reconstruct exactly that state.
+    assert recovered.last_recovery["recovered_lsn"] == 12
+    rng = np.random.default_rng(11)
+    data = rng.random((100, 4))
+    store = {row: data[row] for row in range(len(data))}
+    for step in range(12):
+        store[len(data) + step] = rng.random(4)
+    rows = sorted(store)
+    oracle = SequentialScan(
+        np.asarray([store[row] for row in rows], dtype=float),
+        REPULSIVE,
+        ATTRACTIVE,
+        row_ids=rows,
+    )
+    queries = np.random.default_rng(5).random((5, NUM_DIMS))
+    assert_bit_identical(
+        oracle.batch_query(queries, k=5), recovered.batch_query(queries, k=5)
+    )
+    # The log stays appendable and LSN-contiguous across another full cycle.
+    recovered.insert(np.full(NUM_DIMS, 0.25), row_id=20_000)
+    recovered.checkpoint()
+    recovered.close()
+    second = DurableIndex.recover(target, fsync="os")
+    assert second.point(20_000) is not None
+    assert not (target / "wal.log.tmp").exists()
+    second.close()

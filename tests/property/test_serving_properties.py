@@ -1,0 +1,134 @@
+"""Property tests for the serving front end (DESIGN.md section 8).
+
+The contract under hypothesis-driven interleavings of requests, flushes and
+index mutations:
+
+* **Per-epoch bit-identity.**  Every served response must equal — row ids
+  *and* bit-level scores — a :class:`SequentialScan` over the population
+  that was live at the epoch the response reports.  This subsumes cache
+  correctness: a cache entry served across an epoch publication would carry
+  the *new* epoch label with *old* answers and the oracle would catch it.
+* **Cache hits never cross epochs.**  Directly: a response flagged
+  ``cached`` must report an epoch at which the same query was previously
+  served fresh.
+* **No leaked pins.**  After every interleaving the engine's epoch ledger
+  drains to zero pinned readers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SequentialScan
+from repro.core.query import SDQuery
+from repro.core.sdindex import SDIndex
+from repro.serving.cache import ResultCache
+from repro.serving.coalescer import TickCoalescer, query_key
+
+REPULSIVE = (0, 1)
+ATTRACTIVE = (2, 3)
+
+# An op is one of: submit a query (with a derived seed), flush the pending
+# batch, insert a fresh row, or delete a live row.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("query"), st.integers(0, 9)),
+        st.tuples(st.just("flush"), st.just(0)),
+        st.tuples(st.just("insert"), st.integers(0, 2**16)),
+        st.tuples(st.just("delete"), st.integers(0, 2**16)),
+    ),
+    min_size=4,
+    max_size=24,
+)
+
+
+def _make_query(seed: int) -> SDQuery:
+    rng = np.random.default_rng(seed)
+    return SDQuery.simple(
+        point=rng.uniform(0, 1, size=4),
+        repulsive=REPULSIVE,
+        attractive=ATTRACTIVE,
+        k=int(rng.integers(1, 6)),
+        alpha=rng.uniform(0.1, 1.0, size=2),
+        beta=rng.uniform(0.1, 1.0, size=2),
+    )
+
+
+def _record_population(index, populations):
+    """Remember the live population at the index's current epoch."""
+    with index.snapshot() as snap:
+        rows, matrix = snap.frozen()
+        populations[snap.version] = (
+            [int(r) for r in rows],
+            np.array(matrix, copy=True),
+        )
+
+
+class TestServingInterleavings:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), ops=OPS)
+    def test_every_response_matches_the_oracle_at_its_epoch(self, seed, ops):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(0, 1, size=(50, 4))
+        index = SDIndex.build(data, repulsive=REPULSIVE, attractive=ATTRACTIVE)
+        populations = {}
+        _record_population(index, populations)
+        live = list(range(50))
+        next_row = 50
+
+        async def scenario():
+            nonlocal next_row
+            cache = ResultCache(capacity=32)
+            coalescer = TickCoalescer(index, tick_seconds=None, cache=cache)
+            in_flight = []  # (query, future)
+            for op, arg in ops:
+                if op == "query":
+                    query = _make_query(seed ^ (arg * 0x9E37))
+                    in_flight.append(
+                        (query, asyncio.ensure_future(coalescer.submit(query)))
+                    )
+                    await asyncio.sleep(0)  # let the submit enqueue
+                elif op == "flush":
+                    await coalescer.flush()
+                elif op == "insert":
+                    index.insert(rng.uniform(0, 1, size=4), row_id=next_row)
+                    live.append(next_row)
+                    next_row += 1
+                    _record_population(index, populations)
+                else:  # delete
+                    if len(live) > 2:
+                        victim = live.pop(arg % len(live))
+                        index.delete(victim)
+                        _record_population(index, populations)
+            await coalescer.flush()
+            served = []
+            for query, future in in_flight:
+                served.append((query, await future))
+            await coalescer.close()
+            return served
+
+        served = asyncio.run(scenario())
+
+        fresh_epochs = {}  # query_key -> set of epochs served without the cache
+        for query, response in served:
+            rows, matrix = populations[response.epoch]
+            oracle = SequentialScan(
+                matrix, REPULSIVE, ATTRACTIVE, row_ids=rows
+            ).query(query)
+            assert response.result.row_ids == oracle.row_ids
+            assert response.result.scores == oracle.scores
+            key = query_key(query)
+            if response.cached:
+                # A hit must come from a fresh answer at the *same* epoch —
+                # never from an entry written before a publication.
+                assert response.epoch in fresh_epochs.get(key, set())
+            else:
+                fresh_epochs.setdefault(key, set()).add(response.epoch)
+
+        report = index.query_session().epochs.leak_report()
+        assert report["pinned_readers"] == 0
+        assert report["live_epochs"] == 1

@@ -233,3 +233,29 @@ class TestDurableScripts:
         )
         with pytest.raises(ValueError, match="unknown script op"):
             run_update_script(index, [("upsert", 1, None)])
+
+
+class TestTimingDiscipline:
+    """Monotonic-clock tripwire for every timing site.
+
+    ``time_queries`` and the benchmarks must time with ``time.perf_counter``
+    — wall-clock (``time.time``) timing lets an NTP step mid-measurement
+    produce negative or skewed latencies in the BENCH JSONs.  The audit is
+    enforced as a source scan so a regression anywhere in the measurement
+    code trips immediately.
+    """
+
+    def test_no_wall_clock_timing_in_measurement_code(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        offenders = []
+        for base in ("src", "benchmarks", "examples"):
+            for path in sorted((root / base).rglob("*.py")):
+                source = path.read_text(encoding="utf-8")
+                if "time.time()" in source or "datetime.now(" in source:
+                    offenders.append(str(path.relative_to(root)))
+        assert offenders == [], (
+            f"wall-clock timing in measurement code (use time.perf_counter): "
+            f"{offenders}"
+        )
