@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Fault-storm benchmark: availability and latency under a single-shard storm.
+
+The scenario DESIGN.md section 9 exists for: one shard of a sharded serving
+engine turns flaky (its probes raise on a seeded coin), and the fault domain
+machinery — bounded retries with jittered backoff, per-shard circuit
+breakers, graceful partial-result degradation — must keep answering every
+request.  Two arms run identical open-loop traffic:
+
+* **baseline** — no faults installed: every answer must be bit-identical to
+  the sequential oracle.
+* **storm** — a :class:`repro.faults.FaultPlane` raising transient faults on
+  ``shard.probe`` for one shard at a seeded rate.  Every response must still
+  arrive (availability), and each one is verified: non-degraded answers bit
+  identical to the oracle, degraded answers carrying a shard-coverage report
+  whose ``score_bound`` dominates every score the answer could be missing.
+
+Gates (exit 1): storm availability >= 99%, zero verification failures, zero
+leaked epoch pins, storm p95 within a multiple of the baseline's p95 (an
+absolute ceiling is available but off by default — shared and 1-core
+runners saturate at rates that are comfortable on real serving hardware,
+so only the relative number is portable).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+
+Knobs (environment): ``REPRO_BENCH_FAULTS_POINTS`` (dataset size, default
+20000), ``REPRO_BENCH_FAULTS_REQUESTS`` (requests per run, default 400),
+``REPRO_BENCH_FAULTS_RATE`` (open-loop arrivals/second, default 2000),
+``REPRO_BENCH_FAULTS_STORM_RATE`` (per-probe injection probability on the
+stormed shard, default 0.6), ``REPRO_BENCH_FAULTS_SHARDS`` (default 4),
+``REPRO_BENCH_FAULTS_REPEAT`` (best-of repetitions, default 2),
+``REPRO_BENCH_FAULTS_MIN_AVAILABILITY`` (gate, default 0.99),
+``REPRO_BENCH_FAULTS_MAX_P95_RATIO`` (storm p95 as a multiple of the
+baseline p95, default 2.0), ``REPRO_BENCH_FAULTS_MAX_P95_MS`` (optional
+absolute storm p95 ceiling in ms, default inf).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import faults  # noqa: E402
+from repro.baselines.sequential import SequentialScan  # noqa: E402
+from repro.core.sharding import ShardedIndex  # noqa: E402
+from repro.data.generators import generate_dataset  # noqa: E402
+from repro.faults import FaultPlane, FaultRule  # noqa: E402
+from repro.serving.breaker import ResiliencePolicy, RetryPolicy  # noqa: E402
+from repro.serving.loadgen import run_open_loop  # noqa: E402
+from repro.serving.server import SDQueryServer, ServingConfig  # noqa: E402
+from repro.workloads.registry import build_workload  # noqa: E402
+
+NUM_POINTS = int(os.environ.get("REPRO_BENCH_FAULTS_POINTS", "20000"))
+NUM_REQUESTS = int(os.environ.get("REPRO_BENCH_FAULTS_REQUESTS", "400"))
+RATE = float(os.environ.get("REPRO_BENCH_FAULTS_RATE", "2000"))
+STORM_RATE = float(os.environ.get("REPRO_BENCH_FAULTS_STORM_RATE", "0.6"))
+NUM_SHARDS = int(os.environ.get("REPRO_BENCH_FAULTS_SHARDS", "4"))
+REPEAT = int(os.environ.get("REPRO_BENCH_FAULTS_REPEAT", "2"))
+MIN_AVAILABILITY = float(
+    os.environ.get("REPRO_BENCH_FAULTS_MIN_AVAILABILITY", "0.99")
+)
+MAX_P95_RATIO = float(os.environ.get("REPRO_BENCH_FAULTS_MAX_P95_RATIO", "2.0"))
+MAX_P95_MS = float(os.environ.get("REPRO_BENCH_FAULTS_MAX_P95_MS", "inf"))
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+REPULSIVE = (0, 1)
+ATTRACTIVE = (2, 3)
+NUM_DIMS = 4
+STORMED_SHARD = 1
+
+
+def leaked_pins(engine: ShardedIndex) -> int:
+    total = engine._topology.leak_report()["pinned_readers"]
+    for shard in engine._shards:
+        total += shard.serving_session().epochs.leak_report()["pinned_readers"]
+    return total
+
+
+def verify(report, queries, oracle, score_tables) -> dict:
+    """Check every collected response; returns mismatch/soundness counters."""
+    mismatches = unsound = degraded = 0
+    for j, served in report.responses:
+        result = served.result
+        if not result.degraded:
+            expect = oracle.query(queries[j])
+            if result.row_ids != expect.row_ids or result.scores != expect.scores:
+                mismatches += 1
+            continue
+        degraded += 1
+        table = score_tables(j)
+        bound = result.coverage.score_bound
+        returned = set(result.row_ids)
+        if any(table[row] != score for row, score in zip(result.row_ids, result.scores)):
+            unsound += 1
+            continue
+        top = sorted(table.items(), key=lambda item: (-item[1], item[0]))
+        for row, score in top[: queries[j].k]:
+            if row not in returned and score > bound + 1e-12:
+                unsound += 1
+                break
+    return {"mismatches": mismatches, "unsound": unsound, "degraded": degraded}
+
+
+async def run_arm(engine, workload, plane, oracle, score_tables) -> dict:
+    config = ServingConfig(tick_seconds=0.001, request_timeout=None)
+    async with SDQueryServer(engine, config) as server:
+        probe = workload.reads.queries()[0]
+        await server.submit(  # warm the sessions + executor off the clock
+            probe.point, k=probe.k, alpha=probe.alpha, beta=probe.beta
+        )
+        if plane is not None:
+            with faults.fault_plane(plane):
+                report = await run_open_loop(server, workload, collect=True)
+        else:
+            report = await run_open_loop(server, workload, collect=True)
+    queries = workload.reads.queries()
+    checks = verify(report, queries, oracle, score_tables)
+    stats = report.as_dict()
+    stats.update(checks)
+    stats["degraded_fraction"] = checks["degraded"] / max(1, report.issued)
+    stats["injections"] = plane.total_injections() if plane is not None else 0
+    stats["pinned_readers_after"] = leaked_pins(engine)
+    stats["breakers"] = engine.breaker_stats()
+    stats["verified"] = (
+        checks["mismatches"] == 0
+        and checks["unsound"] == 0
+        and stats["pinned_readers_after"] == 0
+    )
+    return stats
+
+
+def best_of(engine, workload, make_plane, oracle, score_tables) -> dict:
+    """Best p95 over ``REPEAT`` runs (every run must verify)."""
+    best = None
+    for repeat in range(max(1, REPEAT)):
+        plane = make_plane(repeat) if make_plane is not None else None
+        stats = asyncio.run(run_arm(engine, workload, plane, oracle, score_tables))
+        if not stats["verified"]:
+            return stats  # fail fast: a wrong or leaky run disqualifies the arm
+        if best is None or stats["p95"] < best["p95"]:
+            best = stats
+    return best
+
+
+def main() -> int:
+    print(
+        f"fault-storm benchmark: {NUM_POINTS} points over {NUM_SHARDS} shards, "
+        f"{NUM_REQUESTS} open-loop requests at ~{RATE:g}/s, storm rate "
+        f"{STORM_RATE:g} on shard {STORMED_SHARD}"
+    )
+    data = generate_dataset("uniform", NUM_POINTS, NUM_DIMS, seed=3).matrix
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=3, base_backoff=0.002, seed=5),
+        failure_threshold=5,
+        reset_timeout=0.05,
+        degrade=True,
+    )
+    engine = ShardedIndex(
+        data,
+        repulsive=REPULSIVE,
+        attractive=ATTRACTIVE,
+        num_shards=NUM_SHARDS,
+        resilience=policy,
+    )
+    oracle = SequentialScan(data, REPULSIVE, ATTRACTIVE)
+    workload = build_workload(
+        "serving",
+        REPULSIVE,
+        ATTRACTIVE,
+        num_requests=NUM_REQUESTS,
+        target_rate=RATE,
+        num_dims=NUM_DIMS,
+        seed=11,
+    )
+    queries = workload.reads.queries()
+
+    tables: dict = {}
+
+    def score_tables(j: int) -> dict:
+        key = id(queries[j])
+        if key not in tables:
+            full = oracle.query(queries[j].with_k(NUM_POINTS))
+            tables[key] = dict(zip(full.row_ids, full.scores))
+        return tables[key]
+
+    def make_plane(repeat: int) -> FaultPlane:
+        return FaultPlane(
+            [
+                FaultRule(
+                    "shard.probe",
+                    rate=STORM_RATE,
+                    key=STORMED_SHARD,
+                )
+            ],
+            seed=29 + repeat,
+        )
+
+    try:
+        baseline = best_of(engine, workload, None, oracle, score_tables)
+        storm = best_of(engine, workload, make_plane, oracle, score_tables)
+    finally:
+        engine.close()
+
+    p95_ratio = storm["p95"] / baseline["p95"] if baseline["p95"] > 0 else 0.0
+    ok = (
+        baseline["verified"]
+        and storm["verified"]
+        and baseline["availability"] == 1.0
+        and storm["availability"] >= MIN_AVAILABILITY
+        and p95_ratio <= MAX_P95_RATIO
+        and storm["p95"] <= MAX_P95_MS
+    )
+    payload = {
+        "benchmark": "faults",
+        "num_points": NUM_POINTS,
+        "num_requests": NUM_REQUESTS,
+        "num_shards": NUM_SHARDS,
+        "target_rate": RATE,
+        "storm_rate": STORM_RATE,
+        "stormed_shard": STORMED_SHARD,
+        "baseline": baseline,
+        "storm": storm,
+        "headline": {
+            "metric": "availability_under_single_shard_storm",
+            "availability": storm["availability"],
+            "degraded_fraction": storm["degraded_fraction"],
+            "p95_ms": storm["p95"],
+            "p95_vs_baseline": p95_ratio,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for name, stats in (("baseline", baseline), ("storm", storm)):
+        print(
+            f"{name:>9}: p50 {stats['p50']:7.2f}ms  p95 {stats['p95']:7.2f}ms  "
+            f"availability {stats['availability']:.4f}  "
+            f"degraded {stats['degraded']}/{stats['issued']}  "
+            f"injections {stats['injections']}"
+        )
+    print(f"gates passed: {ok}  storm p95 vs baseline: {p95_ratio:.2f}x")
+    print(f"wrote {OUTPUT}")
+
+    if not (baseline["verified"] and storm["verified"]):
+        print("FAIL: verification gate failed (bit-identity/soundness/pins)",
+              file=sys.stderr)
+        return 1
+    if storm["availability"] < MIN_AVAILABILITY:
+        print(
+            f"FAIL: storm availability {storm['availability']:.4f} below "
+            f"the {MIN_AVAILABILITY:g} bar",
+            file=sys.stderr,
+        )
+        return 1
+    if p95_ratio > MAX_P95_RATIO:
+        print(
+            f"FAIL: storm p95 {p95_ratio:.2f}x baseline, above the "
+            f"{MAX_P95_RATIO:g}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    if storm["p95"] > MAX_P95_MS:
+        print(
+            f"FAIL: storm p95 {storm['p95']:.2f}ms above the "
+            f"{MAX_P95_MS:g}ms ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

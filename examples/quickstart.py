@@ -148,9 +148,17 @@ def main() -> None:
     # bit-identical to the unsharded index.  partitioner="range" splits on the
     # first attractive dimension (locality makes whole shards prunable);
     # partitioner="hash" is the uniform default.
+    from repro.serving import ResiliencePolicy, RetryPolicy
+
     sharded = SDIndex.build_sharded(
         data, repulsive=repulsive, attractive=attractive,
         num_shards=4, partitioner="range", rebalance_threshold=1.2,
+        # Fault-domain config for the killed-shard demo further down: bounded
+        # retries, per-shard circuit breakers, degrade instead of failing.
+        resilience=ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3, base_backoff=0.001, seed=1),
+            failure_threshold=3, reset_timeout=0.05, degrade=True,
+        ),
     )
     sharded_batch = sharded.batch_query(batch_points, k=batch_ks,
                                         alpha=batch_alpha, beta=batch_beta)
@@ -196,6 +204,37 @@ def main() -> None:
     print(f"After release, {moved}/8 probe answers changed — live reads see "
           f"the storm immediately")
     sharded.bulk_delete(storm_rows)
+
+    # --- kill a shard: breakers, retries and graceful degradation ---------------
+    # Production shards fail.  The fault plane (repro.faults, DESIGN.md
+    # section 9) injects a seeded storm on one shard's probes; the resilience
+    # policy above retries transient faults, trips that shard's circuit
+    # breaker, and — rather than failing the query — returns a *degraded*
+    # answer that says exactly what it might be missing: every returned score
+    # is exact, and no missing row can beat ``coverage.score_bound``.
+    from repro import faults
+
+    storm = faults.FaultPlane(
+        [faults.FaultRule("shard.probe", action="raise", rate=1.0, key=1)],
+        seed=7,
+    )
+    with faults.fault_plane(storm):
+        survived = sharded.query(query_point, k=5)
+    cov = survived.coverage
+    print(f"\nShard 1 down hard: the query still answered, degraded="
+          f"{survived.degraded}, covered {cov.covered_fraction:.0%} of shards "
+          f"(skipped {[s for s, _ in cov.skipped]}), any missing row scores "
+          f"<= {cov.score_bound:+.4f}")
+    print(f"breaker states: "
+          f"{ {b['name']: b['state'] for b in sharded.breaker_stats()} }")
+    # Once the storm passes the breaker's reset timeout lets a trial probe
+    # through, the shard heals, and answers are full-coverage again —
+    # bit-identical to the healthy engine.
+    time.sleep(0.06)
+    healed = sharded.query(query_point, k=5)
+    print(f"after the storm: degraded={healed.degraded}, answers match the "
+          f"healthy engine:", healed.scores == sharded.query(query_point, k=5).scores)
+
     sharded.close()
 
     # --- persistence: snapshots, a write-ahead log and crash recovery -----------

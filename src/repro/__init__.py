@@ -11,21 +11,38 @@ The primary entry points are:
 * :mod:`repro.baselines` -- sequential scan, adapted TA, BRS and PE comparators,
 * :mod:`repro.data` -- synthetic dataset generators used by the experiments,
 * :mod:`repro.experiments` -- regeneration of every figure and table of the paper,
-* :mod:`repro.serving` -- the asyncio coalescing serving front end (HTTP + JSON).
+* :mod:`repro.serving` -- the asyncio coalescing serving front end (HTTP + JSON),
+* :mod:`repro.faults` -- the deterministic chaos-injection fault plane.
 """
 
 from repro.core.angles import AngleGrid
 from repro.core.batch import BatchQuerySpec, QuerySession, SessionSnapshot
+from repro.core.deadline import NO_TIMEOUT, Deadline, DeadlineExceeded
 from repro.core.epoch import Epoch, EpochManager
 from repro.core.geometry import Angle
 from repro.core.persistence import DurableIndex, SnapshotFormatError, WriteAheadLog
 from repro.core.query import DimensionRole, QueryWeights, SDQuery, sd_score, sd_scores
-from repro.core.results import BatchResult, IndexStats, Match, TopKResult
+from repro.core.results import (
+    BatchResult,
+    IndexStats,
+    Match,
+    ShardCoverage,
+    TopKResult,
+)
 from repro.core.sdindex import SDIndex
 from repro.core.sharding import ShardedIndex, ShardedXYIndex, ShardRouter
 from repro.core.top1 import Top1Index
 from repro.core.topk import TopKIndex
-from repro.serving import SDQueryServer, ServingClient, ServingConfig
+from repro.faults import FaultPlane, FaultRule, InjectedFault
+from repro.serving import (
+    BreakerOpen,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    SDQueryServer,
+    ServingClient,
+    ServingConfig,
+)
 
 __version__ = "0.1.0"
 
@@ -49,12 +66,23 @@ __all__ = [
     "SnapshotFormatError",
     "WriteAheadLog",
     "IndexStats",
+    "ShardCoverage",
     "SDIndex",
     "ShardedIndex",
     "ShardedXYIndex",
     "ShardRouter",
     "Top1Index",
     "TopKIndex",
+    "NO_TIMEOUT",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlane",
+    "FaultRule",
+    "InjectedFault",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "SDQueryServer",
     "ServingClient",
     "ServingConfig",

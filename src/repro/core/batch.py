@@ -64,10 +64,19 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import faults
+from repro.core.deadline import Deadline
 from repro.core.epoch import EpochManager, validate_concurrency
 from repro.core.geometry import Angle
 from repro.core.query import SDQuery
 from repro.core.results import BatchResult, Match, TopKResult
+
+#: Fault point at batch-kernel dispatch: fires once per ``_execute`` before
+#: any state is read, so an injected raise or stall models a stuck kernel
+#: without ever producing a torn result (DESIGN.md §9).
+_FP_KERNEL = faults.declare_fault_point(
+    "batch.kernel", "batch kernel dispatch over one pinned session state"
+)
 
 __all__ = ["BatchQuerySpec", "QuerySession", "SessionSnapshot", "SessionState"]
 
@@ -1552,6 +1561,7 @@ class QuerySession:
         alpha=None,
         beta=None,
         lower_bounds=None,
+        deadline: Optional[Deadline] = None,
         _label: str = "sd-index/batch",
     ) -> BatchResult:
         """Answer a batch of queries against the maintained session state.
@@ -1573,7 +1583,7 @@ class QuerySession:
         # one consistent state object end to end.
         state = self._fresh_state()
         spec = self._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
-        return self._execute(state, spec, lower_bounds, _label)
+        return self._execute(state, spec, lower_bounds, _label, deadline=deadline)
 
     def _execute(
         self,
@@ -1581,8 +1591,12 @@ class QuerySession:
         spec: BatchQuerySpec,
         lower_bounds,
         _label: str,
+        deadline: Optional[Deadline] = None,
     ) -> BatchResult:
         """The filter-and-verify pipeline over one pinned execution state."""
+        faults.fire(_FP_KERNEL)
+        if deadline is not None:
+            deadline.check()
         m = len(spec)
         n_live = state.num_live
         if m == 0:
@@ -1644,6 +1658,10 @@ class QuerySession:
 
         results: List[TopKResult] = []
         for j in range(m):
+            # Verification dominates the kernel; yield to the deadline between
+            # queries so a starved budget stops the batch at a clean boundary.
+            if deadline is not None:
+                deadline.check()
             positions, cand_bounds = candidates[j]
             k_eff = int(ks_eff[j])
             # Stage 2: tighten the threshold to the exact k-th best of the
@@ -1881,11 +1899,14 @@ class SessionSnapshot:
         alpha=None,
         beta=None,
         lower_bounds=None,
+        deadline: Optional[Deadline] = None,
         _label: str = "sd-index/snapshot",
     ) -> BatchResult:
         """Answer a batch against the pinned state (same contract as ``run``)."""
         spec = self._session._coerce_spec(queries, k=k, alpha=alpha, beta=beta)
-        return self._session._execute(self.state, spec, lower_bounds, _label)
+        return self._session._execute(
+            self.state, spec, lower_bounds, _label, deadline=deadline
+        )
 
     def run_one(self, query) -> TopKResult:
         """One SD-Query against the pinned state."""

@@ -34,7 +34,19 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, List, Optional
 
+from repro import faults
+
 __all__ = ["Epoch", "EpochManager", "validate_concurrency"]
+
+#: Fault points of the epoch lifecycle (DESIGN.md §9).  Both fire *before*
+#: any bookkeeping mutates, so an injected raise leaves the manager exactly
+#: as it was — readers keep their pins, the current epoch stays current.
+_FP_PIN = faults.declare_fault_point(
+    "epoch.pin", "reader about to pin the current epoch"
+)
+_FP_PUBLISH = faults.declare_fault_point(
+    "epoch.publish", "writer about to publish a successor epoch"
+)
 
 
 def validate_concurrency(mode: str) -> str:
@@ -134,6 +146,7 @@ class EpochManager:
         The previous current epoch is retired; if no reader holds it, it is
         reclaimed before ``publish`` returns.  Returns the new epoch.
         """
+        faults.fire(_FP_PUBLISH)
         to_reclaim: Optional[Epoch] = None
         with self._lock:
             self._version += 1
@@ -154,6 +167,7 @@ class EpochManager:
     # ------------------------------------------------------------------ readers
     def pin(self) -> Epoch:
         """Pin and return the current epoch (raises before the first publish)."""
+        faults.fire(_FP_PIN)
         with self._lock:
             if self._current is None:
                 raise RuntimeError("no epoch has been published yet")

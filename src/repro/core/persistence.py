@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.core.aggregate import SubproblemAggregator
 from repro.core.angles import AngleGrid
 from repro.core.batch import QuerySession, SessionState, _FlatTree
@@ -103,7 +104,27 @@ class SnapshotFormatError(RuntimeError):
 #: Test-only crash injection: when set, called with a named fault point at
 #: every durability-critical boundary (see ``_fault`` call sites).  The hook
 #: may raise or ``os._exit`` to simulate a crash between two specific writes.
+#: The same points are also registered with the general :mod:`repro.faults`
+#: plane, which fires *after* the legacy hook — ``install_fault_hook`` keeps
+#: its crash-test contract, while seed-driven chaos runs target these points
+#: through :func:`repro.faults.install_fault_plane` like any other.
 _FAULT_HOOK: Optional[Callable[[str], None]] = None
+
+#: Durability-boundary fault points (non-transient by default: a raise here
+#: simulates a torn write, and recovery — not a retry — is the mitigation).
+for _point, _about in (
+    ("snapshot.array.written", "one array file written, before its fsync"),
+    ("snapshot.manifest.before", "arrays durable, manifest not yet written"),
+    ("snapshot.manifest.written", "manifest written, before its fsync"),
+    ("wal.append.written", "WAL record appended, before the WAL fsync"),
+    ("wal.append.synced", "WAL record fsynced, before the caller resumes"),
+    ("wal.rotate.written", "rotated WAL written to its temp file"),
+    ("wal.rotate.replaced", "rotated WAL renamed over the live log"),
+    ("wal.rotate.synced", "rotated WAL and its directory fsynced"),
+    ("checkpoint.current.before", "snapshot durable, CURRENT not yet updated"),
+    ("checkpoint.current.written", "CURRENT written, before its fsync"),
+):
+    faults.declare_fault_point(_point, _about)
 
 
 def install_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
@@ -115,6 +136,7 @@ def install_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
 def _fault(point: str) -> None:
     if _FAULT_HOOK is not None:
         _FAULT_HOOK(point)
+    faults.fire(point)
 
 
 # -------------------------------------------------------------- small helpers
@@ -1054,7 +1076,18 @@ def _restore_sharded(
     engine._deleted = set(int(row) for row in arrays["deleted"])
     engine._max_row_id = int(payload["max_row_id"])
     engine.rebalances = int(payload["rebalances"])
-    engine.serve_stats = {"probes": 0, "pruned": 0, "rounds": 0}
+    engine.serve_stats = {
+        "probes": 0,
+        "pruned": 0,
+        "rounds": 0,
+        "skipped": 0,
+        "retries": 0,
+    }
+    # Resilience policy is runtime serving configuration, not index state:
+    # a restored engine starts in the legacy fail-fast mode until the owner
+    # attaches a policy, exactly like a freshly constructed one.
+    engine.resilience = None
+    engine._breakers = None
 
     router = ShardRouter(
         int(payload["num_shards"]),

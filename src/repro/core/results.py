@@ -7,7 +7,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Match", "TopKResult", "BatchResult", "IndexStats"]
+__all__ = ["Match", "ShardCoverage", "TopKResult", "BatchResult", "IndexStats"]
 
 
 @dataclass(frozen=True, order=True)
@@ -27,13 +27,54 @@ class Match:
         object.__setattr__(self, "sort_key", (-float(self.score), int(self.row_id)))
 
 
+@dataclass(frozen=True)
+class ShardCoverage:
+    """Which fault domains a degraded answer actually covered (DESIGN.md §9).
+
+    Attached to a :class:`TopKResult` whenever the sharded engine had to
+    skip a shard (fault, open breaker, or deadline).  The contract is
+    *never silently wrong, always explicitly partial*: every returned match
+    is a genuine row with its exact score, and any row the answer might be
+    missing has a true score of at most ``score_bound`` (the maximum
+    admissible upper bound over the skipped shards, the same bounds the
+    bound-ordered serving loop prunes with).  ``skipped`` records
+    ``(shard, reason)`` pairs with reason one of ``"fault"``,
+    ``"breaker_open"`` or ``"deadline"``; shards that were *pruned* by the
+    bound order are complete coverage, not skips.
+    """
+
+    total: int  #: shards in the serving topology
+    probed: Tuple[int, ...]  #: shards fully accounted for (probed or pruned)
+    skipped: Tuple[Tuple[int, str], ...]  #: (shard, reason) left uncovered
+    score_bound: float  #: no missing row can score above this
+
+    @property
+    def covered_fraction(self) -> float:
+        """Fraction of shards fully accounted for."""
+        if self.total <= 0:
+            return 1.0
+        return len(self.probed) / self.total
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (the serving payload embeds it)."""
+        return {
+            "total": self.total,
+            "probed": list(self.probed),
+            "skipped": [[shard, reason] for shard, reason in self.skipped],
+            "score_bound": self.score_bound,
+            "covered_fraction": self.covered_fraction,
+        }
+
+
 @dataclass
 class TopKResult:
     """The answer set of a top-k query plus execution counters.
 
     ``matches`` is always sorted best-first.  The counters are filled in by each
     algorithm and are used by the experiment harness to report pruning power in
-    addition to wall-clock time.
+    addition to wall-clock time.  ``degraded`` marks an explicitly partial
+    answer (some fault domain was skipped); ``coverage`` then reports which
+    shards were covered and the conservative bound on anything missing.
     """
 
     matches: List[Match]
@@ -41,6 +82,8 @@ class TopKResult:
     full_evaluations: int = 0
     nodes_visited: int = 0
     algorithm: str = ""
+    degraded: bool = False
+    coverage: Optional[ShardCoverage] = None
 
     def __post_init__(self) -> None:
         self.matches = sorted(self.matches)
@@ -133,6 +176,11 @@ class BatchResult:
     def scores(self) -> List[List[float]]:
         """Per-query scores, best first."""
         return [result.scores for result in self.results]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any query's answer in the batch is explicitly partial."""
+        return any(result.degraded for result in self.results)
 
     @property
     def candidates_examined(self) -> int:

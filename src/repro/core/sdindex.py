@@ -352,6 +352,9 @@ class SDIndexSnapshot:
     move it.  ``frozen()`` exposes the pinned population for oracle checks.
     """
 
+    #: The coalescer checks this before threading a request deadline through.
+    supports_deadline = True
+
     def __init__(self, index: SDIndex, view) -> None:
         self._index = index
         self._view = view
@@ -393,6 +396,6 @@ class SDIndexSnapshot:
         """Answer one SD-Query against the pinned epoch (fast engine only)."""
         return self._view.run_one(self._index._coerce_query(query, k, alpha, beta))
 
-    def batch_query(self, queries, k=None, alpha=None, beta=None):
+    def batch_query(self, queries, k=None, alpha=None, beta=None, deadline=None):
         """Answer a batch of SD-Queries against the pinned epoch."""
-        return self._view.run(queries, k=k, alpha=alpha, beta=beta)
+        return self._view.run(queries, k=k, alpha=alpha, beta=beta, deadline=deadline)

@@ -48,17 +48,29 @@ from __future__ import annotations
 import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import faults
 from repro.core.aggregate import SubproblemAggregator, claim_row_id
 from repro.core.batch import BatchQuerySpec, SessionSnapshot, _prune_bound
+from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.core.epoch import EpochManager, validate_concurrency
 from repro.core.query import SDQuery
-from repro.core.results import BatchResult, IndexStats, TopKResult
+from repro.core.results import BatchResult, IndexStats, ShardCoverage, TopKResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
+    from repro.serving.breaker import CircuitBreaker, ResiliencePolicy
 
 __all__ = ["ShardRouter", "ShardedIndex", "ShardedSnapshot", "ShardedXYIndex"]
+
+#: Fault point inside every shard probe attempt (``key`` = the integer shard
+#: id), fired before the shard kernel runs — the injection surface for
+#: per-shard fault storms (DESIGN.md §9).
+_FP_PROBE = faults.declare_fault_point(
+    "shard.probe", "one shard probe attempt in the bound-ordered serving loop"
+)
 
 #: splitmix64 stream increment and finalizer constants (Steele et al.).
 _SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
@@ -250,6 +262,7 @@ class ShardedIndex:
         max_workers: Optional[int] = None,
         row_ids: Optional[Sequence[int]] = None,
         concurrency: str = "snapshot",
+        resilience: Optional["ResiliencePolicy"] = None,
         **index_options,
     ) -> None:
         matrix = np.asarray(data, dtype=float)
@@ -299,8 +312,26 @@ class ShardedIndex:
         self.rebalances = 0
         #: Counters of the most recent serving call: ``probes`` and ``pruned``
         #: count (query, shard) pairs probed vs skipped by the bound order;
-        #: ``rounds`` counts the bound-ordered visit waves.
-        self.serve_stats: Dict[str, int] = {"probes": 0, "pruned": 0, "rounds": 0}
+        #: ``rounds`` counts the bound-ordered visit waves; ``skipped`` and
+        #: ``retries`` count shards abandoned vs re-probed by the resilience
+        #: policy.
+        self.serve_stats: Dict[str, int] = {
+            "probes": 0,
+            "pruned": 0,
+            "rounds": 0,
+            "skipped": 0,
+            "retries": 0,
+        }
+
+        #: Fault-domain policy (DESIGN.md §9).  ``None`` keeps the legacy
+        #: fail-fast contract: no retries, no breakers, every probe error
+        #: propagates, answers stay bit-identical to the flat engine.  The
+        #: policy builds its own breakers, so this module never imports the
+        #: serving layer at runtime.
+        self.resilience = resilience
+        self._breakers: Optional[List["CircuitBreaker"]] = (
+            None if resilience is None else resilience.build_breakers(int(num_shards))
+        )
 
         #: Epoch-published (router, shards) pairs; rebalance swaps whole
         #: topologies so in-flight probes never see a half-refitted router.
@@ -558,7 +589,9 @@ class ShardedIndex:
             self.repulsive, self.attractive, self.num_dims, [built]
         )
 
-    def batch_query(self, queries, k=None, alpha=None, beta=None) -> BatchResult:
+    def batch_query(
+        self, queries, k=None, alpha=None, beta=None, deadline=None
+    ) -> BatchResult:
         """Answer a batch of SD-Queries (same inputs as ``SDIndex.batch_query``)."""
         spec = BatchQuerySpec.coerce(
             self.repulsive,
@@ -569,7 +602,7 @@ class ShardedIndex:
             alpha=alpha,
             beta=beta,
         )
-        return self._serve(spec)
+        return self._serve(spec, deadline=deadline)
 
     def _executor_instance(self) -> ThreadPoolExecutor:
         if self._closed:
@@ -665,26 +698,53 @@ class ShardedIndex:
         epoch.release()
         return None
 
-    def _serve(self, spec: BatchQuerySpec) -> BatchResult:
+    def _serve(
+        self, spec: BatchQuerySpec, deadline: Optional[Deadline] = None
+    ) -> BatchResult:
         """Serve one batch against a freshly pinned snapshot."""
         if self._closed:
             raise RuntimeError("ShardedIndex is closed")
         with self.snapshot() as snap:
-            return self._serve_snapshot(snap, spec)
+            return self._serve_snapshot(snap, spec, deadline=deadline)
+
+    def breaker_stats(self) -> Optional[List[Dict[str, object]]]:
+        """Per-shard circuit-breaker counters (None without a resilience policy)."""
+        if self._breakers is None:
+            return None
+        return [breaker.stats() for breaker in self._breakers]
 
     def _serve_snapshot(
-        self, snap: "ShardedSnapshot", spec: BatchQuerySpec
+        self,
+        snap: "ShardedSnapshot",
+        spec: BatchQuerySpec,
+        deadline: Optional[Deadline] = None,
     ) -> BatchResult:
         """The serving loop: bound-ordered shard visits with global pruning.
 
         Runs entirely against the snapshot's pinned session views, so
         concurrent mutation (including a rebalance publishing a new topology)
         cannot shift bounds, masks or row sets mid-flight.
+
+        With a :class:`~repro.serving.breaker.ResiliencePolicy` installed,
+        transient probe failures are retried with jittered backoff, shards
+        behind an open breaker are refused without probing, and — under
+        ``degrade=True`` — any shard that still cannot be covered (fault,
+        open breaker, or exhausted ``deadline``) is *skipped*: the answer
+        comes back ``degraded=True`` with a :class:`ShardCoverage` whose
+        ``score_bound`` (the max admissible upper bound over the skipped
+        shards) bounds every row the answer could possibly be missing.  That
+        bound is sound even for rows *pruned* in healthy shards by a
+        threshold seeded from a skipped shard's samples: if the seeded k-th
+        lower bound exceeds the covered data's true k-th score, the sample
+        that raised it lives in a skipped shard, so the skipped shard's
+        upper bound dominates it — and therefore every pruned row too.
         """
         if self._closed:
             # Uniform with _serve: a pinned snapshot outliving close() still
             # refuses to serve, whether or not the probe executor is reached.
             raise RuntimeError("ShardedIndex is closed")
+        if deadline is not None:
+            deadline.check()
         m = len(spec)
         label = "sd-sharded/batch"
         if m == 0:
@@ -718,6 +778,12 @@ class ShardedIndex:
         pools: List[List] = [[] for _ in range(m)]
         examined = np.zeros(m, dtype=np.int64)
         probes = pruned = rounds = 0
+        policy = self.resilience
+        breakers = self._breakers
+        degrade = policy is not None and policy.degrade
+        #: ``(shard, j) -> reason`` for every query/shard pair left uncovered.
+        skipped: Dict[Tuple[int, int], str] = {}
+        retries = 0
 
         # Seed a *global* per-query lower bound on the k-th best score from a
         # cross-shard sample, so far shards can be pruned before any probe and
@@ -739,6 +805,22 @@ class ShardedIndex:
 
         for r in range(num_shards):
             skip_below = _prune_bound(kth_lower, weight_scale, magnitude)
+            if deadline is not None and deadline.expired:
+                # Budget gone at a round boundary: everything still standing
+                # (visitable and not prunable) becomes an explicit skip under
+                # degradation, or the deadline propagates.
+                if not degrade:
+                    raise DeadlineExceeded(deadline.budget)
+                for j in range(m):
+                    for rr in range(r, num_shards):
+                        shard = int(order[rr, j])
+                        if not np.isfinite(ubs[shard, j]):
+                            continue
+                        if ubs[shard, j] < skip_below[j]:
+                            pruned += 1
+                            continue
+                        skipped[(shard, j)] = "deadline"
+                break
             tasks: Dict[int, List[int]] = {}
             for j in range(m):
                 shard = int(order[r, j])
@@ -754,6 +836,7 @@ class ShardedIndex:
             probes += sum(len(js) for js in tasks.values())
 
             def probe(shard: int, js: List[int]):
+                faults.fire(_FP_PROBE, key=shard)
                 members = np.asarray(js, dtype=np.int64)
                 # skip_below already carries the pruning slack at the *global*
                 # magnitude, so a shard with small coordinates cannot
@@ -761,25 +844,82 @@ class ShardedIndex:
                 return views[shard].run(
                     spec.subset(members),
                     lower_bounds=skip_below[members],
+                    deadline=deadline,
                     _label=label,
                 )
+
+            def attempt(shard: int, js: List[int]):
+                """One shard's covered attempt: ``("ok", batch)`` or ``("skip", reason)``.
+
+                Applies the breaker gate, the bounded retry budget and the
+                deadline; with ``degrade=False`` (or no policy) the failure
+                propagates instead of returning a skip.
+                """
+                nonlocal retries
+                breaker = breakers[shard] if breakers is not None else None
+                last_exc: Optional[BaseException] = None
+
+                def give_up(reason: str):
+                    if degrade:
+                        return ("skip", reason)
+                    if reason == "breaker_open":
+                        from repro.serving.breaker import BreakerOpen
+
+                        raise BreakerOpen(breaker.name, breaker.retry_after())
+                    if reason == "deadline":
+                        raise DeadlineExceeded(deadline.budget)
+                    raise last_exc
+
+                attempts = policy.max_attempts if policy is not None else 1
+                for attempt_no in range(attempts):
+                    if deadline is not None and deadline.expired:
+                        return give_up("deadline")
+                    if breaker is not None and not breaker.allow():
+                        return give_up("breaker_open")
+                    try:
+                        batch = probe(shard, js)
+                    except DeadlineExceeded:
+                        # Not the shard's fault: no breaker verdict, just
+                        # return the half-open trial slot if one was taken.
+                        if breaker is not None:
+                            breaker.record_cancel()
+                        return give_up("deadline")
+                    except BaseException as exc:  # noqa: BLE001
+                        if breaker is not None:
+                            breaker.record_failure()
+                        if policy is None or not policy.is_transient(exc):
+                            raise
+                        last_exc = exc
+                        if attempt_no + 1 < attempts:
+                            retries += 1
+                            if policy.retry is not None:
+                                pause = policy.retry.backoff(attempt_no)
+                                if deadline is not None:
+                                    pause = min(pause, deadline.remaining())
+                                if pause > 0:
+                                    policy.sleep(pause)
+                        continue
+                    if breaker is not None:
+                        breaker.record_success()
+                    return ("ok", batch)
+                return give_up("fault")
 
             ordered = sorted(tasks.items())
             if self.parallel and len(ordered) > 1:
                 executor = self._executor_instance()
                 futures = [
-                    (js, executor.submit(probe, shard, js))
+                    (shard, js, executor.submit(attempt, shard, js))
                     for shard, js in ordered
                 ]
                 # Collect every future even if one fails: cancel what has not
                 # started, then re-raise the *first* probe error so a failing
                 # probe is never masked by a secondary shutdown error.
-                batches = []
+                outcomes = []
                 error: Optional[BaseException] = None
-                for js, future in futures:
+                for shard, js, future in futures:
                     if error is None:
                         try:
-                            batches.append((js, future.result()))
+                            outcomes.append((shard, js, future.result()))
                         except BaseException as exc:  # noqa: BLE001
                             error = exc
                     else:
@@ -787,7 +927,17 @@ class ShardedIndex:
                 if error is not None:
                     raise error
             else:
-                batches = [(js, probe(shard, js)) for shard, js in ordered]
+                outcomes = [
+                    (shard, js, attempt(shard, js)) for shard, js in ordered
+                ]
+
+            batches = []
+            for shard, js, (status, payload) in outcomes:
+                if status == "ok":
+                    batches.append((js, payload))
+                else:
+                    for j in js:
+                        skipped[(shard, j)] = payload
 
             # Merge in fixed shard order so results never depend on scheduling.
             for js, batch in batches:
@@ -799,16 +949,43 @@ class ShardedIndex:
                     if len(pools[j]) >= int(ks_global[j]):
                         kth_lower[j] = max(kth_lower[j], pools[j][-1].score)
 
-        self.serve_stats = {"probes": probes, "pruned": pruned, "rounds": rounds}
-        results = [
-            TopKResult(
-                matches=pools[j],
-                candidates_examined=int(examined[j]),
-                full_evaluations=int(examined[j]),
-                algorithm="sd-sharded",
+        self.serve_stats = {
+            "probes": probes,
+            "pruned": pruned,
+            "rounds": rounds,
+            "skipped": len(skipped),
+            "retries": retries,
+        }
+        results = []
+        for j in range(m):
+            skips = tuple(
+                sorted(
+                    (shard, reason)
+                    for (shard, jj), reason in skipped.items()
+                    if jj == j
+                )
             )
-            for j in range(m)
-        ]
+            coverage: Optional[ShardCoverage] = None
+            if skips:
+                uncovered = {shard for shard, _ in skips}
+                coverage = ShardCoverage(
+                    total=num_shards,
+                    probed=tuple(
+                        s for s in range(num_shards) if s not in uncovered
+                    ),
+                    skipped=skips,
+                    score_bound=max(float(ubs[shard, j]) for shard, _ in skips),
+                )
+            results.append(
+                TopKResult(
+                    matches=pools[j],
+                    candidates_examined=int(examined[j]),
+                    full_evaluations=int(examined[j]),
+                    algorithm="sd-sharded",
+                    degraded=coverage is not None,
+                    coverage=coverage,
+                )
+            )
         return BatchResult(results=results, algorithm=label)
 
     # ------------------------------------------------------------- persistence
@@ -861,6 +1038,9 @@ class ShardedSnapshot:
     inserts, deletes and rebalances cannot change the answers until the
     snapshot is closed and a new one pinned.
     """
+
+    #: The coalescer checks this before threading a request deadline through.
+    supports_deadline = True
 
     def __init__(self, engine: ShardedIndex, topology_epoch, views: List[SessionSnapshot]) -> None:
         self._engine = engine
@@ -948,7 +1128,9 @@ class ShardedSnapshot:
         spec = self._engine._coerce_single(query, k, alpha, beta)
         return self._engine._serve_snapshot(self, spec).results[0]
 
-    def batch_query(self, queries, k=None, alpha=None, beta=None) -> BatchResult:
+    def batch_query(
+        self, queries, k=None, alpha=None, beta=None, deadline=None
+    ) -> BatchResult:
         """Answer a batch of SD-Queries against the pinned cut."""
         spec = BatchQuerySpec.coerce(
             self._engine.repulsive,
@@ -959,7 +1141,7 @@ class ShardedSnapshot:
             alpha=alpha,
             beta=beta,
         )
-        return self._engine._serve_snapshot(self, spec)
+        return self._engine._serve_snapshot(self, spec, deadline=deadline)
 
 
 class ShardedXYIndex:

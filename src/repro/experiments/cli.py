@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Sequence
 
+from repro import faults
 from repro.experiments import ablations, figure7, figure8, serving, sharding
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.table1 import format_table1, run_table1
@@ -99,6 +101,18 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         "--branching", type=int, default=ExperimentConfig.branching,
         help="branching factor of the SD-Index projection tree",
     )
+    parser.add_argument(
+        "--faults", action="append", default=[], metavar="SPEC",
+        help=(
+            "install a fault rule for the run (repeatable), e.g. "
+            "'shard.probe:raise:0.3:key=1' or 'coalescer.flush:delay:delay=0.002'; "
+            "see repro.faults.FaultPlane.from_specs"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plane's injection streams (same seed, same storm)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -120,17 +134,48 @@ def main(argv: Sequence[str] = None) -> int:
             print(name)
         return 0
     config = _config_from_args(args)
-    if args.command == "run":
-        print(EXPERIMENTS[args.experiment](config))
-        return 0
-    if args.command == "all":
-        for name in sorted(EXPERIMENTS):
-            print(f"==== {name} " + "=" * max(0, 60 - len(name)))
-            print(EXPERIMENTS[name](config))
-            print()
-        return 0
+    plane = _plane_from_args(args)
+    with _installed(plane):
+        if args.command == "run":
+            print(EXPERIMENTS[args.experiment](config))
+            _report_fault_plane(plane)
+            return 0
+        if args.command == "all":
+            for name in sorted(EXPERIMENTS):
+                print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+                print(EXPERIMENTS[name](config))
+                print()
+            _report_fault_plane(plane)
+            return 0
     parser.error(f"unknown command {args.command!r}")
     return 2
+
+
+def _plane_from_args(args: argparse.Namespace):
+    if not args.faults:
+        return None
+    return faults.FaultPlane.from_specs(args.faults, seed=args.fault_seed)
+
+
+@contextmanager
+def _installed(plane):
+    """Scoped fault-plane installation (a no-op without ``--faults``)."""
+    if plane is None:
+        yield None
+    else:
+        with faults.fault_plane(plane):
+            yield plane
+
+
+def _report_fault_plane(plane) -> None:
+    if plane is None:
+        return
+    stats = plane.stats()
+    print(
+        f"fault plane (seed {plane.seed}): "
+        f"hits {sum(stats['hits'].values())} "
+        f"injections {sum(stats['injections'].values())}"
+    )
 
 
 if __name__ == "__main__":

@@ -1,10 +1,19 @@
 """Async coalescing serving front end over the epoch-snapshot engine.
 
-See DESIGN.md section 8 for the tick/coalesce/pin lifecycle and the
-admission + cache rules; ``examples/quickstart.py`` has a runnable demo.
+See DESIGN.md section 8 for the tick/coalesce/pin lifecycle, section 9 for
+the failure model (fault plane, deadlines, circuit breakers, graceful
+degradation) and the admission + cache rules; ``examples/quickstart.py``
+has a runnable demo.
 """
 
+from repro.core.deadline import NO_TIMEOUT, Deadline, DeadlineExceeded
 from repro.serving.admission import AdmissionController, AdmissionError, TokenBucket
+from repro.serving.breaker import (
+    BreakerOpen,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.serving.cache import ResultCache
 from repro.serving.coalescer import (
     RequestTimeout,
@@ -20,6 +29,13 @@ __all__ = [
     "AdmissionController",
     "AdmissionError",
     "TokenBucket",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "NO_TIMEOUT",
+    "Deadline",
+    "DeadlineExceeded",
     "ResultCache",
     "RequestTimeout",
     "ServedResult",

@@ -61,7 +61,11 @@ class TokenBucket:
         elapsed = now - self._updated
         if elapsed > 0:
             self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
-        self._updated = now
+            # Advance the high-water mark only on forward progress: a clock
+            # that regresses (a broken injected clock, a suspend glitch)
+            # must not move it backwards, or the same interval would refill
+            # the bucket twice once the clock catches back up.
+            self._updated = now
 
     @property
     def tokens(self) -> float:

@@ -1,0 +1,283 @@
+"""Per-shard circuit breakers and the resilience policy (DESIGN.md section 9).
+
+A transient shard fault is worth a retry; a shard that has failed five
+probes in a row is not — hammering it burns the deadline budget of every
+request that routes there.  The classic answer is the circuit breaker
+(Nygard's *Release It!* pattern, standard in production serving stacks):
+
+* **closed** — probes flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  trips: probes are refused outright (the sharded engine skips the shard
+  and degrades the response) until ``reset_timeout`` has elapsed.
+* **half-open** — after the timeout, a limited number of trial probes are
+  let through.  One success closes the breaker; one failure re-opens it
+  and restarts the timeout.
+
+The clock is injectable (monotonic only) so tests step through the state
+machine deterministically; all transitions are guarded by a lock because
+probe outcomes are recorded from executor threads.
+
+:class:`RetryPolicy` is the companion knob: bounded attempts with
+exponential, *deterministically jittered* backoff (seeded stream, so a
+chaos run replays exactly).  :class:`ResiliencePolicy` bundles breakers,
+retry and the graceful-degradation switch into the single object
+:class:`repro.core.sharding.ShardedIndex` accepts — the policy builds its
+own breakers, so the core engine never has to import this module.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults import InjectedFault
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ResiliencePolicy",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BreakerOpen(Exception):
+    """A probe was refused because the target's circuit breaker is open."""
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        self.name = name
+        self.retry_after = max(0.0, float(retry_after))
+        super().__init__(
+            f"circuit breaker {name!r} is open; retry after {self.retry_after:.3f}s"
+        )
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker on an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0  # consecutive failures while closed
+        self._opened_at = 0.0
+        self._trial_in_flight = 0  # half-open probes currently outstanding
+        self.opens = 0
+        self.refusals = 0
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def state(self) -> str:
+        """Current state, after applying any due open -> half-open transition."""
+        with self._lock:
+            self._tick_locked()
+            return self._state
+
+    def _tick_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._trial_in_flight = 0
+
+    def allow(self) -> bool:
+        """May one probe proceed right now?
+
+        In the half-open state each ``allow`` consumes one trial slot, so a
+        thundering herd cannot all probe a barely-recovered target at once;
+        the slot is returned by :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._tick_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._trial_in_flight < self.half_open_probes:
+                    self._trial_in_flight += 1
+                    return True
+                self.refusals += 1
+                return False
+            self.refusals += 1
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would next admit a probe (0 if it would now)."""
+        with self._lock:
+            self._tick_locked()
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0, self.reset_timeout - (self._clock() - self._opened_at)
+            )
+
+    # ------------------------------------------------------------------ outcomes
+    def record_success(self) -> None:
+        """A probe succeeded: close from half-open, clear the failure run."""
+        with self._lock:
+            self._tick_locked()
+            if self._state == HALF_OPEN:
+                self._trial_in_flight = max(0, self._trial_in_flight - 1)
+                self._state = CLOSED
+            self._failures = 0
+
+    def record_cancel(self) -> None:
+        """A probe was abandoned (deadline ran out): return the trial slot.
+
+        Neither a success nor a failure — the target never got to answer, so
+        the breaker records no verdict and a half-open breaker keeps waiting
+        for a trial that actually completes.
+        """
+        with self._lock:
+            self._tick_locked()
+            if self._state == HALF_OPEN:
+                self._trial_in_flight = max(0, self._trial_in_flight - 1)
+
+    def record_failure(self) -> None:
+        """A probe failed: count toward the threshold, or re-open from half-open."""
+        with self._lock:
+            self._tick_locked()
+            if self._state == HALF_OPEN:
+                self._trial_in_flight = max(0, self._trial_in_flight - 1)
+                self._trip_locked()
+                return
+            if self._state == OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._failures = 0
+        self._opened_at = self._clock()
+        self.opens += 1
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            self._tick_locked()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "refusals": self.refusals,
+            }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential, deterministically jittered backoff.
+
+    ``backoff(attempt)`` for attempt ``0, 1, 2, ...`` returns
+    ``base * 2**attempt`` capped at ``max_backoff``, multiplied by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1]`` out of a stream seeded
+    by ``seed`` — the same seed replays the same backoff schedule, so chaos
+    runs are reproducible while concurrent retries still decorrelate.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.005
+    max_backoff: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        # A private jitter stream (object.__setattr__: the dataclass is frozen).
+        object.__setattr__(self, "_stream", random.Random(self.seed))
+        object.__setattr__(self, "_stream_lock", threading.Lock())
+
+    def backoff(self, attempt: int) -> float:
+        """The sleep before retry number ``attempt + 1`` (attempt counts from 0)."""
+        raw = min(self.max_backoff, self.base_backoff * (2.0 ** attempt))
+        with self._stream_lock:  # type: ignore[attr-defined]
+            factor = 1.0 - self.jitter * self._stream.random()  # type: ignore[attr-defined]
+        return raw * factor
+
+
+@dataclass
+class ResiliencePolicy:
+    """The fault-domain configuration of a :class:`~repro.core.sharding.ShardedIndex`.
+
+    * ``retry`` — per-probe retry budget for transient failures (None
+      disables retries).
+    * ``breakers=True`` — one :class:`CircuitBreaker` per shard (built by
+      :meth:`build_breakers` so the core engine never imports this module);
+      the breaker knobs below apply to each.
+    * ``degrade=True`` — tripped, failed-out and deadline-starved shards
+      are *skipped* and the response is returned explicitly partial
+      (``degraded=True`` with a shard-coverage report and a conservative
+      score bound) instead of erroring the whole query.  With
+      ``degrade=False`` the first unrecoverable shard failure propagates.
+
+    Only *transient* failures (see :meth:`is_transient`) are retried or
+    degraded over; anything else is a bug and always raises.  ``clock`` and
+    ``sleep`` are injectable for deterministic tests.
+    """
+
+    retry: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
+    breakers: bool = True
+    failure_threshold: int = 5
+    reset_timeout: float = 1.0
+    half_open_probes: int = 1
+    degrade: bool = True
+    transient_types: Tuple[type, ...] = (TimeoutError, ConnectionError, OSError)
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    def build_breakers(self, num_shards: int) -> Optional[List[CircuitBreaker]]:
+        """One breaker per shard (None when breakers are disabled)."""
+        if not self.breakers:
+            return None
+        return [
+            CircuitBreaker(
+                name=f"shard-{shard}",
+                failure_threshold=self.failure_threshold,
+                reset_timeout=self.reset_timeout,
+                half_open_probes=self.half_open_probes,
+                clock=self.clock,
+            )
+            for shard in range(num_shards)
+        ]
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Is this failure retryable/degradable (vs a bug that must raise)?"""
+        if isinstance(exc, InjectedFault):
+            return exc.transient
+        return isinstance(exc, self.transient_types)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retry.max_attempts if self.retry is not None else 1

@@ -38,6 +38,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.rejected_degraded = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -53,7 +54,17 @@ class ResultCache:
         return entry
 
     def put(self, query_key: Hashable, epoch_key: Hashable, result: Any) -> None:
-        """Remember ``result`` for this query at this epoch (LRU-evicting)."""
+        """Remember ``result`` for this query at this epoch (LRU-evicting).
+
+        Degraded (explicitly partial) results are refused: a cached entry
+        outlives the fault that degraded it, and the epoch key does not
+        change when a shard recovers — so caching one would keep serving a
+        partial answer at a fully healthy epoch.  The coalescer already
+        skips them; this guard keeps the invariant local to the cache.
+        """
+        if getattr(result, "degraded", False):
+            self.rejected_degraded += 1
+            return
         key = (query_key, epoch_key)
         self._entries[key] = result
         self._entries.move_to_end(key)
@@ -72,4 +83,5 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "rejected_degraded": self.rejected_degraded,
         }

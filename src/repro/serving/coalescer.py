@@ -36,6 +36,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
 
+from repro import faults
+from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.core.query import SDQuery
 from repro.core.results import TopKResult
 from repro.serving.cache import ResultCache
@@ -47,6 +49,12 @@ __all__ = [
     "TickCoalescer",
     "query_key",
 ]
+
+#: Fault point at the head of every batch-worker flush, before the epoch pin
+#: — an injected raise fails the whole batch without ever stranding a pin.
+_FP_FLUSH = faults.declare_fault_point(
+    "coalescer.flush", "batch worker about to pin and serve one coalesced batch"
+)
 
 
 class RequestTimeout(Exception):
@@ -69,6 +77,11 @@ class ServedResult:
     epoch: Hashable  #: version (or sharded version tuple) of the pinned epoch
     batch_size: int  #: how many requests shared this coalesced batch
     cached: bool  #: served from the (query, epoch) cache without kernel work
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is explicitly partial (see ``result.coverage``)."""
+        return self.result.degraded
 
 
 def query_key(query: SDQuery) -> Tuple:
@@ -96,6 +109,7 @@ class _Pending:
     query: SDQuery
     key: Tuple
     future: "asyncio.Future[ServedResult]"
+    deadline: Optional[Deadline] = None
 
 
 class TickCoalescer:
@@ -141,6 +155,7 @@ class TickCoalescer:
         self.served = 0
         self.timeouts = 0
         self.errors = 0
+        self.degraded_served = 0
         self.batch_sizes: Counter = Counter()
 
     # ------------------------------------------------------------- lifecycle
@@ -200,13 +215,26 @@ class TickCoalescer:
         cancelled (its batch slot is simply skipped at delivery) and
         :class:`RequestTimeout` is raised.  The pinned epoch is unaffected —
         the batch worker owns it, not the requester.
+
+        The timeout is also carried into the batch as a :class:`Deadline`
+        budget: engines that support it stop the kernel work cooperatively
+        (degrading the answer, or raising — which comes back here as
+        :class:`RequestTimeout`) instead of burning executor time on an
+        answer nobody is waiting for.  The *batch* budget is the maximum of
+        its members' remaining budgets — unbounded if any member is — so a
+        short-deadline member can never starve a patient one.
         """
         if self._closed:
             raise ServerClosedError("serving front end closed")
         self._ensure_started()
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[ServedResult]" = loop.create_future()
-        item = _Pending(query=query, key=query_key(query), future=future)
+        item = _Pending(
+            query=query,
+            key=query_key(query),
+            future=future,
+            deadline=Deadline.after(timeout),
+        )
         self.submitted += 1
         if not self._coalesce:
             # Per-request baseline: a batch of one through the same machinery.
@@ -258,6 +286,14 @@ class TickCoalescer:
         loop = asyncio.get_running_loop()
         queries = [item.query for item in batch]
         cache = self.cache
+        # The batch budget: unbounded if any member is, else the most patient
+        # member's remaining budget (so coalescing never tightens anyone's
+        # own deadline — the impatient members' futures simply time out).
+        batch_deadline: Optional[Deadline] = None
+        if all(item.deadline is not None for item in batch):
+            batch_deadline = max(
+                (item.deadline for item in batch), key=lambda d: d.remaining()
+            )
 
         def run_pinned() -> Tuple[Hashable, Dict[int, Any], List[Optional[TopKResult]]]:
             # Pin -> (cache-partition) -> kernels -> release, all inside this
@@ -265,6 +301,7 @@ class TickCoalescer:
             # no cancellation can strand the epoch.  The cache is only read
             # and written under the pin, keyed by the pinned epoch, so a
             # publication between batches naturally misses.
+            faults.fire(_FP_FLUSH)
             snapshot = self._index.snapshot()
             try:
                 epoch = _epoch_key(snapshot)
@@ -281,10 +318,20 @@ class TickCoalescer:
                     misses = list(range(len(batch)))
                 fresh: Dict[int, Any] = {}
                 if misses:
-                    computed = snapshot.batch_query([queries[j] for j in misses])
+                    kwargs: Dict[str, Any] = {}
+                    if batch_deadline is not None and getattr(
+                        snapshot, "supports_deadline", False
+                    ):
+                        kwargs["deadline"] = batch_deadline
+                    computed = snapshot.batch_query(
+                        [queries[j] for j in misses], **kwargs
+                    )
                     for j, result in zip(misses, computed.results):
                         fresh[j] = result
-                        if cache is not None:
+                        # Degraded answers are one fault story's artifact —
+                        # never cache them, or one storm would keep serving
+                        # partial answers long after the shards recovered.
+                        if cache is not None and not result.degraded:
                             cache.put(batch[j].key, epoch, result)
                 return epoch, fresh, from_cache
             finally:
@@ -294,6 +341,14 @@ class TickCoalescer:
             epoch, fresh, from_cache = await loop.run_in_executor(
                 self._executor, run_pinned
             )
+        except DeadlineExceeded as exc:
+            # The engine stopped cooperatively (no degradation configured):
+            # to the requester that is a timeout, not a server error.
+            for item in batch:
+                if not item.future.done():
+                    self.timeouts += 1
+                    item.future.set_exception(RequestTimeout(exc.budget))
+            return
         except Exception as exc:  # deliver the failure to every requester
             self.errors += 1
             for item in batch:
@@ -308,6 +363,8 @@ class TickCoalescer:
             cached = result is not None
             if not cached:
                 result = fresh[j]
+            if result.degraded:
+                self.degraded_served += 1
             item.future.set_result(
                 ServedResult(
                     result=result,
@@ -325,6 +382,7 @@ class TickCoalescer:
             "served": self.served,
             "timeouts": self.timeouts,
             "errors": self.errors,
+            "degraded_served": self.degraded_served,
             "backlog": len(self._pending),
             "batch_size_histogram": {
                 str(size): count for size, count in sorted(self.batch_sizes.items())

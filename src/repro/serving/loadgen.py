@@ -7,6 +7,11 @@ are still in flight, and its latency is measured from that scheduled arrival
 percentiles instead of being silently absorbed, exactly the failure mode a
 closed-loop "send, wait, send" script hides.  This is the harness behind
 ``benchmarks/bench_serving.py`` and the ``serving-latency`` experiment.
+
+Every fired request lands in exactly one outcome bucket (``ok``,
+``degraded``, ``timeout``, ``rejected``, ``error``), and the report keeps
+the explicit denominator ``issued`` — so availability is a real fraction
+with a visible denominator, never "whatever did not get dropped".
 """
 
 from __future__ import annotations
@@ -24,30 +29,70 @@ from repro.workloads.runner import latency_percentiles
 
 __all__ = ["LoadReport", "run_open_loop"]
 
+#: The outcome buckets a fired request lands in, exactly one each:
+#: ``ok`` (complete answer), ``degraded`` (explicitly partial answer),
+#: ``timeout`` (RequestTimeout), ``rejected`` (admission), ``error``
+#: (anything else, including a closed server).
+OUTCOMES = ("ok", "degraded", "timeout", "rejected", "error")
+
 
 @dataclass
 class LoadReport:
-    """Outcome of one open-loop run: latencies plus the failure tallies."""
+    """Outcome of one open-loop run: latencies plus per-outcome tallies."""
 
-    latencies: np.ndarray  #: seconds, successful requests only, arrival order
-    rejected: int
-    timeouts: int
-    errors: int
+    latencies: np.ndarray  #: seconds, answered requests only, arrival order
+    outcomes: Dict[str, int]  #: per-outcome counts (see :data:`OUTCOMES`)
+    issued: int  #: the denominator: every request the run fired
     elapsed_seconds: float
     #: ``(request_index, ServedResult)`` pairs when collected (oracle checks).
     responses: List[Tuple[int, ServedResult]] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
+        """Requests that got an answer back (complete or degraded)."""
         return len(self.latencies)
 
+    @property
+    def rejected(self) -> int:
+        return self.outcomes.get("rejected", 0)
+
+    @property
+    def timeouts(self) -> int:
+        return self.outcomes.get("timeout", 0)
+
+    @property
+    def errors(self) -> int:
+        return self.outcomes.get("error", 0)
+
+    @property
+    def degraded(self) -> int:
+        return self.outcomes.get("degraded", 0)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of issued requests that got *an* answer (ok or degraded).
+
+        Degraded answers count as available — that is the whole point of
+        graceful degradation — but they are tallied separately, so a gate
+        can also bound how partial the service got.
+        """
+        if self.issued == 0:
+            return 1.0
+        return (self.outcomes.get("ok", 0) + self.outcomes.get("degraded", 0)) / (
+            self.issued
+        )
+
     def percentiles(self) -> Dict[str, float]:
-        """p50/p95/p99 (seconds) of the successful latencies."""
+        """p50/p95/p99 (seconds) of the answered-request latencies."""
         return latency_percentiles(self.latencies)
 
     def as_dict(self) -> Dict[str, Any]:
         summary: Dict[str, Any] = {
+            "issued": self.issued,
             "completed": self.completed,
+            "outcomes": {name: self.outcomes.get(name, 0) for name in OUTCOMES},
+            "availability": self.availability,
+            # Legacy flat keys, kept so existing reports keep reading.
             "rejected": self.rejected,
             "timeouts": self.timeouts,
             "errors": self.errors,
@@ -73,13 +118,21 @@ async def run_open_loop(
     parser).  ``time_scale`` stretches (>1) or compresses (<1) the arrival
     schedule; ``collect=True`` keeps every response for oracle verification.
     Latency is measured from *scheduled* arrival, open-loop style.
+
+    Every request is accounted for exactly once: answered requests split
+    into ``ok`` versus ``degraded``, failures into ``timeout`` /
+    ``rejected`` / ``error`` — an unexpected exception is *counted* (and
+    remembered) rather than silently folded into dropped samples, but it is
+    not swallowed: the first one is re-raised after the run completes so a
+    bug cannot hide inside an availability number.
     """
     queries = workload.reads.queries()
     offsets = np.asarray(workload.arrival_offsets, dtype=float) * float(time_scale)
     tenants = list(workload.tenants)
     latencies: List[Tuple[int, float]] = []
     responses: List[Tuple[int, ServedResult]] = []
-    tallies = {"rejected": 0, "timeouts": 0, "errors": 0}
+    outcomes = {name: 0 for name in OUTCOMES}
+    unexpected: List[BaseException] = []
     start = time.perf_counter()
 
     async def fire(j: int) -> None:
@@ -98,26 +151,32 @@ async def run_open_loop(
                 timeout=timeout,
             )
         except AdmissionError:
-            tallies["rejected"] += 1
+            outcomes["rejected"] += 1
             return
         except RequestTimeout:
-            tallies["timeouts"] += 1
+            outcomes["timeout"] += 1
             return
         except ServerClosedError:
-            tallies["errors"] += 1
+            outcomes["error"] += 1
             return
+        except Exception as exc:  # noqa: BLE001 - tallied, then re-raised
+            outcomes["error"] += 1
+            unexpected.append(exc)
+            return
+        outcomes["degraded" if served.result.degraded else "ok"] += 1
         latencies.append((j, time.perf_counter() - scheduled))
         if collect:
             responses.append((j, served))
 
     await asyncio.gather(*(fire(j) for j in range(len(queries))))
     elapsed = time.perf_counter() - start
+    if unexpected:
+        raise unexpected[0]
     latencies.sort(key=lambda pair: pair[0])
     return LoadReport(
         latencies=np.asarray([lat for _j, lat in latencies], dtype=float),
-        rejected=tallies["rejected"],
-        timeouts=tallies["timeouts"],
-        errors=tallies["errors"],
+        outcomes=outcomes,
+        issued=len(queries),
         elapsed_seconds=elapsed,
         responses=responses,
     )

@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.core.deadline import NO_TIMEOUT
 from repro.core.query import SDQuery
 from repro.serving.admission import AdmissionController, AdmissionError
 from repro.serving.cache import ResultCache
@@ -134,17 +135,27 @@ class SDQueryServer:
         alpha: Optional[Sequence[float]] = None,
         beta: Optional[Sequence[float]] = None,
         tenant: str = "default",
-        timeout: Optional[float] = None,
+        timeout=None,
     ) -> ServedResult:
         """Admit, coalesce and answer one query (the sans-HTTP entry point).
 
-        Raises :class:`AdmissionError` (rejected), :class:`RequestTimeout`
-        (deadline elapsed) or :class:`ServerClosedError`.
+        ``timeout=None`` means "use the configured default"
+        (``config.request_timeout``); pass the
+        :data:`~repro.core.deadline.NO_TIMEOUT` sentinel to wait unbounded
+        even on a server with a default deadline — ``None`` used to shadow
+        that case silently.  Raises :class:`AdmissionError` (rejected),
+        :class:`RequestTimeout` (deadline elapsed) or
+        :class:`ServerClosedError`.
         """
         query = self._coerce(point, k, alpha, beta)
         self.admission.admit(tenant)
         try:
-            deadline = timeout if timeout is not None else self.config.request_timeout
+            if timeout is NO_TIMEOUT:
+                deadline = None
+            elif timeout is None:
+                deadline = self.config.request_timeout
+            else:
+                deadline = float(timeout)
             return await self.coalescer.submit(query, timeout=deadline)
         finally:
             self.admission.release(tenant)
@@ -230,6 +241,13 @@ class SDQueryServer:
         except (ValueError, KeyError, UnicodeDecodeError) as exc:
             return 400, {"error": f"malformed query request: {exc}"}
         tenant = str(payload.get("tenant") or headers.get("x-tenant") or "default")
+        # Over the wire, an *explicit* JSON ``"timeout": null`` asks for an
+        # unbounded wait (the NO_TIMEOUT sentinel); omitting the field keeps
+        # the server's configured default.
+        if "timeout" in payload and payload["timeout"] is None:
+            timeout = NO_TIMEOUT
+        else:
+            timeout = payload.get("timeout")
         try:
             served = await self.submit(
                 point,
@@ -237,7 +255,7 @@ class SDQueryServer:
                 alpha=payload.get("alpha"),
                 beta=payload.get("beta"),
                 tenant=tenant,
-                timeout=payload.get("timeout"),
+                timeout=timeout,
             )
         except AdmissionError as exc:
             return 429, {
@@ -258,14 +276,18 @@ def _result_payload(served: ServedResult) -> Dict[str, Any]:
     # json round-trips Python floats exactly (repr), so scores stay
     # bit-identical through the wire — the oracle tests rely on it.
     epoch = served.epoch
-    return {
+    payload = {
         "row_ids": [match.row_id for match in served.result.matches],
         "scores": [match.score for match in served.result.matches],
         "epoch": list(epoch) if isinstance(epoch, tuple) else epoch,
         "batch_size": served.batch_size,
         "cached": served.cached,
         "candidates_examined": served.result.candidates_examined,
+        "degraded": served.result.degraded,
     }
+    if served.result.coverage is not None:
+        payload["coverage"] = served.result.coverage.as_dict()
+    return payload
 
 
 # --------------------------------------------------------------- HTTP plumbing
@@ -395,9 +417,14 @@ class ServingClient:
         alpha: Optional[Sequence[float]] = None,
         beta: Optional[Sequence[float]] = None,
         tenant: Optional[str] = None,
-        timeout: Optional[float] = None,
+        timeout=None,
     ) -> Tuple[int, Dict[str, Any]]:
-        """POST one top-k query; returns ``(status, response_json)``."""
+        """POST one top-k query; returns ``(status, response_json)``.
+
+        ``timeout=None`` omits the field (server default applies);
+        ``timeout=NO_TIMEOUT`` sends an explicit JSON null, asking the
+        server for an unbounded wait.
+        """
         payload: Dict[str, Any] = {"point": list(map(float, point))}
         if k is not None:
             payload["k"] = int(k)
@@ -407,6 +434,8 @@ class ServingClient:
             payload["beta"] = list(map(float, beta))
         if tenant is not None:
             payload["tenant"] = tenant
-        if timeout is not None:
+        if timeout is NO_TIMEOUT:
+            payload["timeout"] = None
+        elif timeout is not None:
             payload["timeout"] = float(timeout)
         return await self.request("POST", "/query", payload)

@@ -316,10 +316,10 @@ class TestRebalanceRace:
             originals = [session._execute for session in old_sessions]
 
             def gate(session, original):
-                def gated(state, spec, lower_bounds, label):
+                def gated(state, spec, lower_bounds, label, **kwargs):
                     started.set()
                     assert release.wait(timeout=60), "probe gate never released"
-                    return original(state, spec, lower_bounds, label)
+                    return original(state, spec, lower_bounds, label, **kwargs)
 
                 return gated
 

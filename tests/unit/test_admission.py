@@ -1,0 +1,111 @@
+"""Focused tests for admission-control timing edges.
+
+The broad admission behavior (per-tenant isolation, in-flight caps, typed
+rejections) lives in ``test_serving.py``; this file pins down the token
+bucket's *clock* edge cases — refill exactly at the burst boundary, and a
+regressing clock, which must neither refund spent tokens nor double-refill
+the same interval once the clock catches back up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.admission import AdmissionController, AdmissionError, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+class TestBurstBoundary:
+    def test_refill_saturates_exactly_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(4))
+        # Exactly burst/rate seconds refills to exactly the burst — not less
+        # (no float drift shorting the tenant) and not more.
+        clock.advance(2.0)
+        assert bucket.tokens == 4.0
+        clock.advance(100.0)
+        assert bucket.tokens == 4.0
+
+    def test_fractional_tokens_accumulate_across_reads(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        # Two half-refills must add up: polling may observe the fraction but
+        # must not round it away.
+        clock.advance(0.5)
+        assert not bucket.try_acquire()
+        assert bucket.tokens == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.try_acquire()
+
+    def test_acquire_at_the_boundary_is_all_or_nothing(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2.0)  # the full burst in one acquire
+        assert bucket.tokens == 0.0
+        clock.advance(1.0)
+        assert not bucket.try_acquire(2.0)  # short by one: nothing taken
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_seconds_until_spans_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=2.0, clock=clock)
+        bucket.try_acquire(2.0)
+        assert bucket.seconds_until() == pytest.approx(0.25)
+        assert bucket.seconds_until(2.0) == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.seconds_until() == 0.0
+
+
+class TestClockRegression:
+    def test_backward_step_does_not_refund_tokens(self):
+        clock = FakeClock(now=100.0)
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        clock.advance(-50.0)
+        assert bucket.tokens == 0.0
+        assert not bucket.try_acquire()
+
+    def test_no_double_refill_when_the_clock_catches_up(self):
+        """The regression window must not be credited twice.
+
+        A refill observed at t=100, then a regression to t=90, then recovery
+        to t=101 is *one* second of real forward progress — a bucket that
+        moved its high-water mark backwards at t=90 would credit eleven.
+        """
+        clock = FakeClock(now=100.0)
+        bucket = TokenBucket(rate=1.0, burst=20.0, clock=clock)
+        bucket.try_acquire(20.0)
+        clock.advance(-10.0)
+        assert bucket.tokens == 0.0  # observes the regressed clock: no refill
+        clock.advance(11.0)  # back past the high-water mark by one second
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_retry_after_stays_finite_and_nonnegative_under_regression(self):
+        clock = FakeClock(now=100.0)
+        controller = AdmissionController(rate=1.0, burst=1.0, clock=clock)
+        controller.admit("t")
+        clock.advance(-30.0)
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit("t")
+        assert excinfo.value.reason == "rate"
+        assert 0.0 <= excinfo.value.retry_after <= 1.0
+
+    def test_frozen_clock_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1000.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        for _ in range(5):
+            assert not bucket.try_acquire()
+        assert bucket.tokens == 0.0

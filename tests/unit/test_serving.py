@@ -502,3 +502,218 @@ class TestHTTPServer:
         assert payload["scores"] == expect.scores
         assert isinstance(payload["epoch"], list)  # (topology, *shard versions)
         assert len(payload["epoch"]) == 4
+
+
+class TestNoTimeoutSentinel:
+    """``timeout=None`` means "use the configured default"; the NO_TIMEOUT
+    sentinel is the only way to ask for an unbounded wait (the old API
+    silently fell back to the default for both)."""
+
+    def test_none_falls_back_to_config_default(self, small_index):
+        index, _oracle, _data = small_index
+
+        async def scenario():
+            # Manual-tick mode never serves on its own: only the default
+            # deadline can end the wait.
+            config = ServingConfig(tick_seconds=None, request_timeout=0.05)
+            async with SDQueryServer(index, config) as server:
+                q = _query(index, 30)
+                with pytest.raises(RequestTimeout) as excinfo:
+                    await server.submit(q.point, k=q.k)
+                return excinfo.value
+
+        err = asyncio.run(scenario())
+        assert err.timeout == pytest.approx(0.05)
+
+    def test_sentinel_outlives_the_default_deadline(self, small_index):
+        index, oracle, _data = small_index
+
+        async def scenario():
+            from repro.core.deadline import NO_TIMEOUT
+
+            config = ServingConfig(tick_seconds=None, request_timeout=0.05)
+            async with SDQueryServer(index, config) as server:
+                q = _query(index, 30)
+                future = asyncio.ensure_future(
+                    server.submit(
+                        q.point,
+                        k=q.k,
+                        alpha=q.alpha,
+                        beta=q.beta,
+                        timeout=NO_TIMEOUT,
+                    )
+                )
+                await asyncio.sleep(0.1)  # well past the default deadline
+                assert not future.done()  # unbounded: still patiently queued
+                await server.coalescer.flush()
+                served = await future
+                return served, oracle.query(q)
+
+        served, expect = asyncio.run(scenario())
+        assert served.result.row_ids == expect.row_ids
+        assert served.result.scores == expect.scores
+
+    def test_http_null_timeout_means_unbounded(self, small_index):
+        index, _oracle, _data = small_index
+
+        async def scenario():
+            from repro.core.deadline import NO_TIMEOUT
+
+            config = ServingConfig(tick_seconds=None, request_timeout=0.05)
+            async with SDQueryServer(index, config) as server:
+                host, port = await server.start()
+
+                async def flush_later():
+                    await asyncio.sleep(0.1)
+                    await server.coalescer.flush()
+
+                flusher = asyncio.ensure_future(flush_later())
+                async with ServingClient(host, port) as client:
+                    q = _query(index, 31)
+                    # The client maps the sentinel to JSON ``"timeout": null``.
+                    status, payload = await client.query(
+                        q.point, k=q.k, timeout=NO_TIMEOUT
+                    )
+                await flusher
+            return status, payload
+
+        status, payload = asyncio.run(scenario())
+        assert status == 200
+        assert payload["degraded"] is False
+        assert "coverage" not in payload
+
+    def test_http_omitted_timeout_uses_the_default(self, small_index):
+        index, _oracle, _data = small_index
+
+        async def scenario():
+            config = ServingConfig(tick_seconds=None, request_timeout=0.05)
+            async with SDQueryServer(index, config) as server:
+                host, port = await server.start()
+                async with ServingClient(host, port) as client:
+                    q = _query(index, 31)
+                    return await client.query(q.point, k=q.k)
+
+        status, payload = asyncio.run(scenario())
+        assert status == 504
+        assert payload["timeout"] == pytest.approx(0.05)
+
+
+class TestLoadReportOutcomes:
+    """Every fired request lands in exactly one outcome bucket, and
+    availability has the explicit ``issued`` denominator."""
+
+    @staticmethod
+    def _workload(num_requests=16, seed=3):
+        from repro.workloads.workload import make_serving_workload
+
+        return make_serving_workload(
+            REPULSIVE,
+            ATTRACTIVE,
+            num_requests=num_requests,
+            target_rate=50_000.0,
+            k=(3, 5),
+            num_tenants=2,
+            seed=seed,
+        )
+
+    def test_clean_run_is_all_ok(self, small_index):
+        from repro.serving.loadgen import run_open_loop
+
+        index, _oracle, _data = small_index
+        workload = self._workload()
+
+        async def scenario():
+            async with SDQueryServer(index, ServingConfig(tick_seconds=0.0)) as server:
+                return await run_open_loop(server, workload, collect=True)
+
+        report = asyncio.run(scenario())
+        assert report.issued == 16
+        assert report.outcomes == {
+            "ok": 16, "degraded": 0, "timeout": 0, "rejected": 0, "error": 0
+        }
+        assert report.availability == 1.0
+        assert report.completed == 16
+        assert len(report.responses) == 16
+        assert sum(report.outcomes.values()) == report.issued
+
+    def test_rejections_are_counted_not_dropped(self, small_index):
+        from repro.serving.loadgen import run_open_loop
+
+        index, _oracle, _data = small_index
+        workload = self._workload(num_requests=12)
+
+        async def scenario():
+            config = ServingConfig(tick_seconds=0.0, rate=0.001, burst=1.0)
+            async with SDQueryServer(index, config) as server:
+                return await run_open_loop(server, workload)
+
+        report = asyncio.run(scenario())
+        # One token per tenant (two tenants), no refill at this rate: every
+        # other request is a counted rejection, not a vanished sample.
+        assert report.outcomes["ok"] == 2
+        assert report.outcomes["rejected"] == 10
+        assert sum(report.outcomes.values()) == report.issued == 12
+        assert report.availability == pytest.approx(2 / 12)
+        assert report.rejected == 10  # legacy property still reads
+
+    def test_timeouts_are_counted_with_denominator(self, small_index):
+        from repro.serving.loadgen import run_open_loop
+
+        index, _oracle, _data = small_index
+        workload = self._workload(num_requests=6)
+
+        async def scenario():
+            # Manual tick: nothing ever flushes, every request times out.
+            async with SDQueryServer(index, ServingConfig(tick_seconds=None)) as server:
+                return await run_open_loop(server, workload, timeout=0.02)
+
+        report = asyncio.run(scenario())
+        assert report.outcomes["timeout"] == 6
+        assert report.availability == 0.0
+        assert report.completed == 0
+        assert sum(report.outcomes.values()) == report.issued == 6
+
+    def test_unexpected_exceptions_are_tallied_then_reraised(self):
+        from repro.serving.loadgen import run_open_loop
+
+        workload = self._workload(num_requests=3)
+
+        class BrokenServer:
+            async def submit(self, *args, **kwargs):
+                raise ValueError("kernel bug")
+
+        with pytest.raises(ValueError, match="kernel bug"):
+            asyncio.run(run_open_loop(BrokenServer(), workload))
+
+    def test_as_dict_reports_outcomes_and_availability(self):
+        import numpy as np
+
+        from repro.serving.loadgen import LoadReport
+
+        report = LoadReport(
+            latencies=np.asarray([0.001, 0.002]),
+            outcomes={"ok": 1, "degraded": 1, "timeout": 1, "rejected": 2, "error": 0},
+            issued=5,
+            elapsed_seconds=0.5,
+        )
+        summary = report.as_dict()
+        assert summary["issued"] == 5
+        assert summary["availability"] == pytest.approx(0.4)
+        assert summary["outcomes"]["degraded"] == 1
+        # Legacy flat keys stay for existing report readers.
+        assert summary["rejected"] == 2
+        assert summary["timeouts"] == 1
+        assert summary["errors"] == 0
+
+    def test_empty_run_availability_is_one(self):
+        import numpy as np
+
+        from repro.serving.loadgen import LoadReport
+
+        report = LoadReport(
+            latencies=np.asarray([]),
+            outcomes={},
+            issued=0,
+            elapsed_seconds=0.0,
+        )
+        assert report.availability == 1.0
