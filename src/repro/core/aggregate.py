@@ -176,6 +176,7 @@ class SubproblemAggregator:
         #: backing the single-query fast path and ``batch_query``.
         self._sessions: List[weakref.ref] = []
         self._serving_session = None
+        self._closed = False
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -258,6 +259,7 @@ class SubproblemAggregator:
         """
         vector = self._validate_new_point(point)
         with self._write_lock:
+            self._check_closed()
             row_id = self._claim_row_id(row_id)
             self._extra_points[row_id] = vector
             for index, (rep_dim, att_dim) in zip(self._pair_indexes, self.pairing.pairs):
@@ -286,6 +288,7 @@ class SubproblemAggregator:
                 f"points must have shape (m, {self._num_dims}), got {matrix.shape}"
             )
         with self._write_lock:
+            self._check_closed()
             if row_ids is None:
                 ids = [self._claim_row_id(None) for _ in range(len(matrix))]
             else:
@@ -317,6 +320,7 @@ class SubproblemAggregator:
         """
         row_id = int(row_id)
         with self._write_lock:
+            self._check_closed()
             if row_id in self._deleted or (
                 row_id not in self._base_rows and row_id not in self._extra_points
             ):
@@ -335,6 +339,7 @@ class SubproblemAggregator:
         if len(set(ids)) != len(ids):
             raise ValueError("row ids must be unique")
         with self._write_lock:
+            self._check_closed()
             for row_id in ids:
                 if row_id in self._deleted or (
                     row_id not in self._base_rows and row_id not in self._extra_points
@@ -461,6 +466,7 @@ class SubproblemAggregator:
         Built on first use and then kept valid across updates by in-place
         patching; it only reflattens once its garbage threshold trips.
         """
+        self._check_closed()
         if self._serving_session is None:
             with self._write_lock:
                 if self._serving_session is None:
@@ -527,3 +533,61 @@ class SubproblemAggregator:
             memory_bytes=total_memory,
             build_seconds=build_seconds,
         )
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has torn the aggregator down."""
+        return getattr(self, "_closed", False)
+
+    def _check_closed(self) -> None:
+        if self.closed:
+            raise RuntimeError("aggregator is closed")
+
+    def close(self) -> None:
+        """Tear down the aggregator and release any memory-mapped snapshot.
+
+        Idempotent.  Engines restored with ``load(..., mmap=True)`` keep the
+        snapshot's ``.npy`` files mapped; close drops every internal reference
+        to the mapped arrays (serving state, lazy pair builders, sorted
+        columns) and then releases the maps through the attached
+        :class:`~repro.core.persistence.MmapGuard`, so worker recycling and
+        snapshot-directory pruning never race an open file handle.  A pending
+        reflatten is materialized first: the rebuild copies the mapped data
+        into RAM, leaving any still-pinned reader a consistent world after
+        the files are gone.  Pinned readers keep their mappings alive (and
+        are reported through the guard's leak count) rather than having the
+        pages unmapped beneath them.
+        """
+        if self.closed:
+            return
+        with self._write_lock:
+            if self.closed:
+                return
+            guard = getattr(self, "_mmap_guard", None)
+            session = self._serving_session
+            if guard is not None and session is not None and session.needs_reflatten:
+                session.reflatten()
+            self._closed = True
+            for ref in self._sessions:
+                live = ref()
+                if live is not None:
+                    # Retire the published state; unpinned epochs reclaim at
+                    # once, pinned readers keep theirs until they unpin.
+                    live.epochs.publish(None)
+            self._sessions = []
+            self._serving_session = None
+            self._pair_indexes = []
+            self._columns = {}
+            self._base_matrix = np.empty((0, self._num_dims), dtype=float)
+            self._base_rows = {}
+            self._extra_points = {}
+        if guard is not None:
+            guard.close()
+
+    def __enter__(self) -> "SubproblemAggregator":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False

@@ -44,11 +44,13 @@ answer.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import shutil
 import struct
 import threading
+import weakref
 import zlib
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -72,10 +74,12 @@ from repro.substrates.sorted_column import SortedColumn
 __all__ = [
     "FORMAT_VERSION",
     "SnapshotFormatError",
+    "MmapGuard",
     "WriteAheadLog",
     "DurableIndex",
     "save_engine",
     "load_engine",
+    "read_wal_tail",
     "recover",
     "install_fault_hook",
 ]
@@ -354,6 +358,80 @@ def _read_manifest(path: Path) -> Dict[str, Any]:
     return manifest
 
 
+class MmapGuard:
+    """Tracks the ``mmap.mmap`` handles behind one ``load_engine(mmap=True)``.
+
+    ``np.load(mmap_mode="r")`` keeps a file descriptor and an address-space
+    mapping alive for every array, and on this platform ``mmap.close()``
+    succeeds even while a numpy view still points into the mapping — a later
+    read through such a view is a dangling-pointer crash, not an exception.
+    The guard therefore holds *weak* references to the loaded arrays next to
+    their raw maps: :meth:`close` only unmaps regions whose arrays are
+    provably dead (after a ``gc.collect()`` to break the epoch/session
+    reference cycles) and counts every still-referenced mapping as *leaked*
+    instead of pulling the pages out from under a live reader.
+
+    Engines loaded with ``mmap=True`` carry their guard as ``_mmap_guard``
+    and close it from their own ``close()``; calling :meth:`close` twice is
+    a no-op.
+    """
+
+    def __init__(self) -> None:
+        self._maps: List[Tuple[Any, Any]] = []  # (weakref-to-array, mmap.mmap)
+        self._closed = False
+        self._registered = 0
+        self.leaked = 0
+
+    def register(self, array: np.ndarray) -> None:
+        """Track one freshly-mapped array (no-op for non-memmap arrays)."""
+        handle = getattr(array, "_mmap", None)
+        if handle is not None:
+            self._maps.append((weakref.ref(array), handle))
+            self._registered += 1
+
+    @property
+    def num_maps(self) -> int:
+        """Mappings registered over the guard's lifetime (stable after close)."""
+        return self._registered
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> int:
+        """Drop every mapping whose array is dead; returns the leak count.
+
+        Callers must first release their own references to the mapped arrays
+        (dispose sessions, clear caches): anything still reachable keeps its
+        mapping open — reported via ``leaked`` — because unmapping under a
+        live array would turn the next read into undefined behavior.
+        """
+        if self._closed:
+            return self.leaked
+        self._closed = True
+        # The session/epoch graph is cyclic (EpochManager <-> Epoch), so the
+        # final references to mapped arrays often die only on a cycle sweep.
+        gc.collect()
+        leaked = 0
+        for ref, handle in self._maps:
+            if ref() is not None:
+                leaked += 1
+                continue
+            try:
+                handle.close()
+            except (BufferError, ValueError):
+                leaked += 1
+        self.leaked = leaked
+        self._maps = []
+        return leaked
+
+
+#: Guard collecting the maps of the ``load_engine`` call running on this
+#: thread; ``_restore_sharded`` loads its per-shard children through nested
+#: ``_load_arrays`` calls, which register into the same (outermost) guard.
+_ACTIVE_GUARD = threading.local()
+
+
 def _load_arrays(
     path: Path, manifest: Dict[str, Any], mmap: bool, verify: Optional[bool]
 ) -> Dict[str, np.ndarray]:
@@ -389,6 +467,10 @@ def _load_arrays(
             # maintenance through the copy-on-write path — exactly the same
             # contract a memory-mapped (read-only) load has.
             array.setflags(write=False)
+        else:
+            guard = getattr(_ACTIVE_GUARD, "guard", None)
+            if guard is not None:
+                guard.register(array)
         arrays[name] = array
     return arrays
 
@@ -706,6 +788,57 @@ class WriteAheadLog:
                     yield lsn, op, ids, matrix
 
 
+def read_wal_tail(path, after_lsn: int = 0):
+    """Yield ``(lsn, op, row_ids, matrix)`` past ``after_lsn``, read-only.
+
+    The follower-side counterpart of :meth:`WriteAheadLog.replay`: opening a
+    :class:`WriteAheadLog` *mutates* the file (it truncates a torn tail), so
+    a process that merely tails a log another process is appending to must
+    never construct one.  This reader validates the same checksums but stops
+    at the first invalid record — under a live writer that is simply an
+    append racing the read (or an unacknowledged torn tail after a crash),
+    and every record at or below the writer's flushed ``end_lsn`` is
+    guaranteed intact before it.  Checksum damage with provably intact
+    records beyond it is still corruption and raises.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        head_size = len(_WAL_MAGIC) + _WAL_BASE.size
+        head = handle.read(head_size)
+        if len(head) < head_size or head[: len(_WAL_MAGIC)] != _WAL_MAGIC:
+            raise SnapshotFormatError(f"not a WAL file: {path}")
+        (lsn,) = _WAL_BASE.unpack(head[len(_WAL_MAGIC) :])
+        offset = head_size
+        while True:
+            start = offset
+            header = handle.read(_RECORD.size)
+            if len(header) < _RECORD.size:
+                return  # end of log (or torn header)
+            rec_lsn, length, crc, head_crc = _RECORD.unpack(header)
+            bad = zlib.crc32(header[:-4]) != head_crc or rec_lsn != lsn + 1
+            if not bad:
+                payload = handle.read(length)
+                if len(payload) < length:
+                    return  # torn payload
+                bad = zlib.crc32(payload) != crc
+                resync_from = start + _RECORD.size + length
+            else:
+                resync_from = start + 1
+            if bad:
+                if WriteAheadLog._valid_record_follows(handle, resync_from, lsn):
+                    raise SnapshotFormatError(
+                        f"WAL corruption at offset {start} (record after "
+                        f"lsn {lsn}, with intact records beyond it)"
+                    )
+                return
+            lsn = rec_lsn
+            offset = start + _RECORD.size + length
+            handle.seek(offset)
+            if lsn > after_lsn:
+                op, ids, matrix = _decode_record(payload)
+                yield lsn, op, ids, matrix
+
+
 # ------------------------------------------------------- aggregator snapshots
 def _capture_aggregator(agg: SubproblemAggregator) -> _Capture:
     """Pin a consistent cut of one aggregator plus its serving session.
@@ -907,6 +1040,7 @@ def _restore_aggregator(
     ]
     agg._sessions = []
     agg._serving_session = None
+    agg._closed = False
 
     # Serving session: the checkpointed execution state, republished verbatim.
     meta = payload["session"]
@@ -1353,9 +1487,17 @@ _CAPTURE_BY_TYPE: List[Tuple[type, Callable]] = [
     (Top1Index, _capture_top1),
 ]
 
+def _restore_aggregator_kind(payload, arrays, _path, _mmap, _verify):
+    # Shard children are written with kind="aggregator"; exposing the kind
+    # through load_engine lets a worker process mmap-load exactly one shard's
+    # sub-snapshot without restoring its siblings.
+    return _restore_aggregator(payload, arrays)
+
+
 _RESTORE_BY_KIND: Dict[str, Callable] = {
     "sdindex": _restore_sdindex,
     "sharded": _restore_sharded,
+    "aggregator": _restore_aggregator_kind,
     "topk": _restore_topk,
     "top1": _restore_top1,
 }
@@ -1404,8 +1546,21 @@ def load_engine(path, mmap: bool = False, verify: Optional[bool] = None, expect:
         restore = _RESTORE_BY_KIND[kind]
     except KeyError:
         raise SnapshotFormatError(f"unknown engine kind {kind!r} in {path}") from None
-    arrays = _load_arrays(path, manifest, mmap, verify)
-    return restore(manifest["payload"], arrays, path, mmap, verify)
+    if not mmap:
+        arrays = _load_arrays(path, manifest, mmap, verify)
+        return restore(manifest["payload"], arrays, path, mmap, verify)
+    # Collect every mapping (including nested per-shard loads) into one guard
+    # so the engine's close() can release the file handles afterwards.
+    guard = MmapGuard()
+    previous = getattr(_ACTIVE_GUARD, "guard", None)
+    _ACTIVE_GUARD.guard = guard
+    try:
+        arrays = _load_arrays(path, manifest, mmap, verify)
+        engine = restore(manifest["payload"], arrays, path, mmap, verify)
+    finally:
+        _ACTIVE_GUARD.guard = previous
+    engine._mmap_guard = guard
+    return engine
 
 
 # ------------------------------------------------------------ durable engine

@@ -343,6 +343,38 @@ class SDIndex:
         """The underlying aggregator (for benchmarking and tests)."""
         return self._aggregator
 
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._aggregator.closed
+
+    def close(self) -> None:
+        """Release the index's resources; idempotent.
+
+        For an index restored with ``load(..., mmap=True)`` this drops the
+        memory-mapped snapshot files (see
+        :meth:`repro.core.aggregate.SubproblemAggregator.close`); afterwards
+        the snapshot directory can be pruned and queries raise
+        ``RuntimeError``.
+        """
+        guard = getattr(self, "_mmap_guard", None)
+        if guard is not None and getattr(self._aggregator, "_mmap_guard", None) is None:
+            # load() attaches the guard to the facade; hand it down so the
+            # aggregator can materialize a pending reflatten before the maps
+            # are released.
+            self._aggregator._mmap_guard = guard
+        self._aggregator.close()
+        if guard is not None:
+            guard.close()
+
+    def __enter__(self) -> "SDIndex":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
+
 
 class SDIndexSnapshot:
     """A pinned, immutable read view of one :class:`SDIndex` serving epoch.

@@ -628,6 +628,17 @@ class ShardedIndex:
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        guard = getattr(self, "_mmap_guard", None)
+        if guard is not None and not guard.closed:
+            # An mmap-restored topology: tear down the per-shard aggregators
+            # (each drops its sessions' epoch states) and retire the topology
+            # epoch, then release the snapshot file mappings.
+            topology = self._topology.current_state()
+            if topology is not None:
+                for shard in topology.shards:
+                    shard.close()
+            self._topology.publish(None)
+            guard.close()
 
     @property
     def closed(self) -> bool:

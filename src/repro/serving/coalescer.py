@@ -56,6 +56,13 @@ _FP_FLUSH = faults.declare_fault_point(
     "coalescer.flush", "batch worker about to pin and serve one coalesced batch"
 )
 
+#: Bounded batch members share one kernel run only while their remaining
+#: budgets sit within this factor of the group's tightest member.  Every run
+#: executes under the group's *minimum* deadline, so without the split a
+#: 5 ms request coalesced behind 2 s requests would force the whole batch to
+#: stop at 5 ms; beyond the spread the batch splits instead.
+_DEADLINE_SPREAD = 4.0
+
 
 class RequestTimeout(Exception):
     """The per-request deadline elapsed before its batch was served."""
@@ -220,9 +227,11 @@ class TickCoalescer:
         budget: engines that support it stop the kernel work cooperatively
         (degrading the answer, or raising — which comes back here as
         :class:`RequestTimeout`) instead of burning executor time on an
-        answer nobody is waiting for.  The *batch* budget is the maximum of
-        its members' remaining budgets — unbounded if any member is — so a
-        short-deadline member can never starve a patient one.
+        answer nobody is waiting for.  Each kernel run executes under the
+        **minimum** remaining budget of the members it serves — the drained
+        batch splits into deadline groups first (see :meth:`_serve_batch`),
+        so a tight deadline neither overruns waiting for patient peers nor
+        starves them of their own budget.
         """
         if self._closed:
             raise ServerClosedError("serving front end closed")
@@ -282,18 +291,61 @@ class TickCoalescer:
                     await self._serve_batch(batch)
 
     async def _serve_batch(self, batch: List[_Pending]) -> None:
-        """Serve one coalesced batch; delivery never raises out of the drainer."""
+        """Serve one coalesced batch; delivery never raises out of the drainer.
+
+        Heterogeneous deadlines split the batch: every kernel run executes
+        under the **minimum** deadline of its members, so a tight-timeout
+        request coalesced behind lax ones can never overrun its own budget
+        waiting for peers (the old policy ran the whole batch under the most
+        patient member).  Members are grouped by remaining budget (within a
+        :data:`_DEADLINE_SPREAD` factor of the group's tightest member, so
+        one impatient request cannot starve a patient one of its full
+        budget), and when a group's run stops at its anchor's deadline the
+        members that still have budget of their own are re-served in a
+        following pass instead of being timed out with it.
+        """
+        pending = list(batch)
+        while pending:
+            groups = self._deadline_groups(pending)
+            pending = []
+            for group, group_deadline in groups:
+                pending.extend(await self._serve_group(group, group_deadline))
+
+    @staticmethod
+    def _deadline_groups(
+        batch: List[_Pending],
+    ) -> List[Tuple[List[_Pending], Optional[Deadline]]]:
+        """Partition by deadline: unbounded members together, bounded members
+        into runs of comparable remaining budget, each anchored (served) at
+        its *minimum* member deadline."""
+        unbounded = [item for item in batch if item.deadline is None]
+        bounded = sorted(
+            (item for item in batch if item.deadline is not None),
+            key=lambda item: item.deadline.remaining(),
+        )
+        groups: List[Tuple[List[_Pending], Optional[Deadline]]] = []
+        if unbounded:
+            groups.append((unbounded, None))
+        start = 0
+        while start < len(bounded):
+            anchor = bounded[start].deadline
+            limit = max(anchor.remaining(), 1e-9) * _DEADLINE_SPREAD
+            end = start + 1
+            while end < len(bounded) and bounded[end].deadline.remaining() <= limit:
+                end += 1
+            groups.append((bounded[start:end], anchor))
+            start = end
+        return groups
+
+    async def _serve_group(
+        self, batch: List[_Pending], batch_deadline: Optional[Deadline]
+    ) -> List[_Pending]:
+        """Run one deadline-homogeneous group; returns the members to re-serve
+        (still-solvent requests whose group run stopped at the anchor's
+        deadline)."""
         loop = asyncio.get_running_loop()
         queries = [item.query for item in batch]
         cache = self.cache
-        # The batch budget: unbounded if any member is, else the most patient
-        # member's remaining budget (so coalescing never tightens anyone's
-        # own deadline — the impatient members' futures simply time out).
-        batch_deadline: Optional[Deadline] = None
-        if all(item.deadline is not None for item in batch):
-            batch_deadline = max(
-                (item.deadline for item in batch), key=lambda d: d.remaining()
-            )
 
         def run_pinned() -> Tuple[Hashable, Dict[int, Any], List[Optional[TopKResult]]]:
             # Pin -> (cache-partition) -> kernels -> release, all inside this
@@ -342,19 +394,32 @@ class TickCoalescer:
                 self._executor, run_pinned
             )
         except DeadlineExceeded as exc:
-            # The engine stopped cooperatively (no degradation configured):
-            # to the requester that is a timeout, not a server error.
+            # The engine stopped cooperatively at the group's *anchor*
+            # deadline.  That is a timeout only for members whose own budget
+            # is spent; members still solvent go back to the worklist for a
+            # re-serve under their own (later) anchor.  Progress is
+            # guaranteed: the anchor itself is never re-served.
+            survivors: List[_Pending] = []
             for item in batch:
-                if not item.future.done():
-                    self.timeouts += 1
-                    item.future.set_exception(RequestTimeout(exc.budget))
-            return
+                if item.future.done():
+                    continue
+                if (
+                    batch_deadline is not None
+                    and item.deadline is not None
+                    and item.deadline is not batch_deadline
+                    and not item.deadline.expired
+                ):
+                    survivors.append(item)
+                    continue
+                self.timeouts += 1
+                item.future.set_exception(RequestTimeout(exc.budget))
+            return survivors
         except Exception as exc:  # deliver the failure to every requester
             self.errors += 1
             for item in batch:
                 if not item.future.done():
                     item.future.set_exception(exc)
-            return
+            return []
         self.batch_sizes[len(batch)] += 1
         for j, item in enumerate(batch):
             if item.future.done():  # timed out / cancelled while batched
@@ -374,6 +439,7 @@ class TickCoalescer:
                 )
             )
             self.served += 1
+        return []
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, Any]:

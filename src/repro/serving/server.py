@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -57,6 +58,19 @@ class ServingConfig:
     max_in_flight: Optional[int] = None  #: per-tenant concurrent requests
     default_k: int = 10  #: ``k`` when the request omits it
     max_k: int = 1000  #: reject absurd ``k`` before it reaches the kernels
+    backend: str = "thread"  #: "thread" serves the index as-is; "process"
+    #: wraps a ShardedIndex in a ProcessShardedIndex (one worker process per
+    #: shard over mmap'd snapshots) that the server owns and closes.
+    data_dir: Optional[str] = None  #: snapshot/WAL dir for backend="process"
+    #: (None = private tempdir, removed on close)
+
+
+def _format_retry_after(seconds: float) -> str:
+    """``Retry-After`` header value: the bucket's actual refill time rounded
+    **up** at millisecond granularity, so a client sleeping exactly the header
+    value is never rejected again by the same bucket (``%.3f`` alone rounds to
+    *nearest* and could understate the wait by half a millisecond)."""
+    return f"{math.ceil(max(0.0, float(seconds)) * 1000.0) / 1000.0:.3f}"
 
 
 class SDQueryServer:
@@ -69,8 +83,29 @@ class SDQueryServer:
     """
 
     def __init__(self, index, config: Optional[ServingConfig] = None) -> None:
-        self.index = index
         self.config = config or ServingConfig()
+        self._owned_engine = None
+        if self.config.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {self.config.backend!r}"
+            )
+        if self.config.backend == "process":
+            # Local import: the serving layer stays importable without the
+            # multiprocessing machinery, and "thread" servers never pay for it.
+            from repro.core.procserving import ProcessShardedIndex
+            from repro.core.sharding import ShardedIndex
+
+            if not isinstance(index, ProcessShardedIndex):
+                if not isinstance(index, ShardedIndex):
+                    raise TypeError(
+                        "backend='process' requires a ShardedIndex (or an "
+                        f"already-built ProcessShardedIndex), got {type(index).__name__}"
+                    )
+                index = ProcessShardedIndex.from_engine(
+                    index, path=self.config.data_dir
+                )
+                self._owned_engine = index
+        self.index = index
         cache = (
             ResultCache(self.config.cache_capacity)
             if self.config.cache_capacity
@@ -120,6 +155,9 @@ class SDQueryServer:
             await self._server.wait_closed()
             self._server = None
         await self.coalescer.close()
+        if self._owned_engine is not None:
+            self._owned_engine.close()
+            self._owned_engine = None
 
     async def __aenter__(self) -> "SDQueryServer":
         return self
@@ -196,7 +234,7 @@ class SDQueryServer:
                 status, payload = await self._dispatch(method, path, headers, body)
                 extra = {}
                 if status == 429 and "retry_after" in payload:
-                    extra["Retry-After"] = f"{payload['retry_after']:.3f}"
+                    extra["Retry-After"] = _format_retry_after(payload["retry_after"])
                 writer.write(_http_response(status, payload, keep_alive, extra))
                 await writer.drain()
                 if not keep_alive:
@@ -216,7 +254,10 @@ class SDQueryServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except ConnectionResetError:
+            except (ConnectionResetError, asyncio.CancelledError):
+                # All the work is done; being cancelled here means the loop
+                # is tearing down mid-close — finishing quietly is correct,
+                # re-raising only litters shutdown with spurious tracebacks.
                 pass
 
     async def _dispatch(
@@ -384,6 +425,14 @@ class ServingClient:
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Tuple[int, Dict[str, Any]]:
         """One round trip; returns ``(status, decoded_json)``."""
+        status, _headers, decoded = await self.request_full(method, path, payload)
+        return status, decoded
+
+    async def request_full(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        """One round trip; returns ``(status, headers, decoded_json)`` with
+        header names lower-cased (for tests that assert on ``Retry-After``)."""
         if self._writer is None:
             await self.connect()
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
@@ -408,7 +457,8 @@ class ServingClient:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", 0) or 0)
         blob = await self._reader.readexactly(length) if length else b""
-        return status, (json.loads(blob.decode("utf-8")) if blob else {})
+        decoded = json.loads(blob.decode("utf-8")) if blob else {}
+        return status, headers, decoded
 
     async def query(
         self,

@@ -25,10 +25,12 @@ the sharded serving engine.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import SequentialScan
+from repro.core.procserving import ProcessShardedIndex
 from repro.core.query import SDQuery
 from repro.core.sdindex import SDIndex
 from repro.core.sharding import ShardedIndex
@@ -40,9 +42,18 @@ SHARD_COUNTS = (1, 2, 4, 8)
 
 
 class Harness:
-    """One flat index, four sharded engines and a dict-backed oracle in lockstep."""
+    """One flat index, four sharded engines and a dict-backed oracle in lockstep.
 
-    def __init__(self, seed: int, initial_rows: int) -> None:
+    ``process_shards`` adds multi-process sharded engines (one spawned worker
+    per shard over mmap'd snapshots) to the comparison set.  They are opt-in:
+    spawning a fleet per example is far too slow for the hypothesis test, so
+    only the deterministic scenarios pay for it.  A harness with process
+    members must be ``close()``d (worker processes and tempdirs).
+    """
+
+    def __init__(
+        self, seed: int, initial_rows: int, process_shards: tuple = ()
+    ) -> None:
         self.rng = np.random.default_rng(seed)
         data = self.rng.random((initial_rows, NUM_DIMS))
         self.store = {row: data[row].copy() for row in range(initial_rows)}
@@ -58,9 +69,27 @@ class Harness:
             )
             for num_shards in SHARD_COUNTS
         ]
+        self.process = [
+            ProcessShardedIndex(
+                data,
+                repulsive=REPULSIVE,
+                attractive=ATTRACTIVE,
+                num_shards=num_shards,
+                partitioner="range" if num_shards == 2 else "hash",
+            )
+            for num_shards in process_shards
+        ]
         self.next_row = initial_rows
         #: Ids deleted so far — fodder for the delete-of-tombstone rule.
         self.deleted_rows: list = []
+
+    def close(self) -> None:
+        for engine in self.process:
+            engine.close()
+
+    @property
+    def _mutable_engines(self) -> list:
+        return [*self.sharded, *self.process]
 
     # ------------------------------------------------------------------ ops
     def insert(self) -> None:
@@ -69,7 +98,7 @@ class Harness:
         self.next_row += 1
         self.store[row] = vector
         self.flat.insert(vector, row_id=row)
-        for engine in self.sharded:
+        for engine in self._mutable_engines:
             engine.insert(vector, row_id=row)
 
     def bulk_insert(self, count: int) -> None:
@@ -79,7 +108,7 @@ class Harness:
         for row, vector in zip(rows, matrix):
             self.store[row] = vector
         self.flat.bulk_insert(matrix, row_ids=rows)
-        for engine in self.sharded:
+        for engine in self._mutable_engines:
             engine.bulk_insert(matrix, row_ids=rows)
 
     def delete(self) -> None:
@@ -88,7 +117,7 @@ class Harness:
         row = int(self.rng.choice(sorted(self.store)))
         del self.store[row]
         self.flat.delete(row)
-        for engine in self.sharded:
+        for engine in self._mutable_engines:
             engine.delete(row)
         self.deleted_rows.append(row)
 
@@ -101,7 +130,7 @@ class Harness:
         for row in rows:
             del self.store[row]
         self.flat.bulk_delete(rows)
-        for engine in self.sharded:
+        for engine in self._mutable_engines:
             engine.bulk_delete(rows)
         self.deleted_rows.extend(rows)
 
@@ -117,9 +146,11 @@ class Harness:
         targets = [self.next_row + 1_000_000]  # never allocated
         if self.deleted_rows:
             targets.append(self.deleted_rows[-1])  # tombstoned earlier
-        engines = [("flat", self.flat)] + [
-            (f"sharded/{engine.num_shards}", engine) for engine in self.sharded
-        ]
+        engines = (
+            [("flat", self.flat)]
+            + [(f"sharded/{engine.num_shards}", engine) for engine in self.sharded]
+            + [(f"process/{engine.num_shards}", engine) for engine in self.process]
+        )
         live = sorted(self.store)
         for target in targets:
             for label, engine in engines:
@@ -164,6 +195,10 @@ class Harness:
             engine.batch_query(points, k=ks, alpha=alphas, beta=betas)
             for engine in self.sharded
         ]
+        process_batches = [
+            engine.batch_query(points, k=ks, alpha=alphas, beta=betas)
+            for engine in self.process
+        ]
         for j in range(num_queries):
             reference = expected[j]
             spec_query = SDQuery.simple(
@@ -184,6 +219,10 @@ class Harness:
                     (f"sharded/{engine.num_shards}", batch[j])
                     for engine, batch in zip(self.sharded, shard_batches)
                 ),
+                *(
+                    (f"process/{engine.num_shards}", batch[j])
+                    for engine, batch in zip(self.process, process_batches)
+                ),
             ):
                 assert result.row_ids == reference.row_ids, (
                     f"{label} rows diverged at query {j}: "
@@ -196,7 +235,7 @@ class Harness:
 
     def check_population(self) -> None:
         assert len(self.flat) == len(self.store)
-        for engine in self.sharded:
+        for engine in self._mutable_engines:
             assert len(engine) == len(self.store)
 
 
@@ -256,3 +295,45 @@ def test_thousand_interleaved_updates_stay_identical():
             harness.delete_invalid()
     harness.check_population()
     harness.check_queries(num_queries=5)
+
+
+@pytest.mark.procserve
+def test_process_sharded_engines_agree_exactly():
+    """2- and 4-worker process fleets join the exact-agreement comparison set.
+
+    The same lockstep harness, now with multi-process engines: every update
+    flows through the WAL and is caught up by tail replay in the workers, and
+    snapshot flips (checkpoint, rebalance) happen mid-stream — answers must
+    stay bit-identical to the flat engine and the sequential-scan oracle
+    throughout, including the ``(-score, row_id)`` tie-break order.
+    """
+    harness = Harness(seed=20260808, initial_rows=120, process_shards=(2, 4))
+    try:
+        harness.check_queries()
+        rng = np.random.default_rng(7)
+        for step in range(12):
+            op = step % 4
+            if op == 0:
+                harness.bulk_insert(int(rng.integers(5, 20)))
+            elif op == 1:
+                harness.delete()
+            elif op == 2:
+                harness.insert()
+            else:
+                harness.bulk_delete(int(rng.integers(2, 8)))
+            if step % 3 == 0:
+                harness.check_queries(num_queries=2)
+        harness.delete_invalid()
+        # Snapshot flips mid-stream: checkpoint truncates the WAL tail the
+        # workers replay from; rebalance reshuffles shard membership.  Both
+        # are published as version flips and must not perturb any answer.
+        for engine in harness.process:
+            engine.checkpoint()
+        harness.check_queries(num_queries=3)
+        for engine in harness.process:
+            engine.rebalance()
+        harness.bulk_insert(10)
+        harness.check_queries(num_queries=3)
+        harness.check_population()
+    finally:
+        harness.close()

@@ -758,3 +758,137 @@ class TestDurableIndex:
             (m.row_id, m.score) for m in got.matches
         ]
         recovered.close()
+
+
+# -------------------------------------------------------------- mmap lifecycle
+class TestMmapLifecycle:
+    """File-handle discipline of mmap-loaded snapshots: ``close()`` drops the
+    maps (idempotently), so worker recycling / snapshot pruning never hits a
+    file-still-mapped error — and never unmaps under a live reader."""
+
+    def _saved(self, dataset, tmp_path):
+        index = SDIndex.build(dataset, repulsive=REPULSIVE, attractive=ATTRACTIVE)
+        save_engine(index, tmp_path / "snap")
+        return tmp_path / "snap"
+
+    def test_close_releases_all_maps(self, dataset, queries, tmp_path):
+        import shutil
+
+        snap = self._saved(dataset, tmp_path)
+        loaded = load_engine(snap, mmap=True)
+        guard = loaded._mmap_guard
+        assert guard.num_maps > 0 and not guard.closed
+        loaded.query(queries[0], k=3)  # exercise the maps before closing
+        loaded.close()
+        assert guard.closed and guard.leaked == 0
+        # The point of the exercise: the snapshot files are unmapped and the
+        # directory can be pruned out from under the (closed) engine.
+        shutil.rmtree(snap)
+
+    def test_close_is_idempotent_and_context_managed(self, dataset, tmp_path):
+        snap = self._saved(dataset, tmp_path)
+        with load_engine(snap, mmap=True) as loaded:
+            assert not loaded.closed
+        assert loaded.closed
+        loaded.close()  # second close is a no-op
+        assert loaded._mmap_guard.leaked == 0
+
+    def test_queries_after_close_raise(self, dataset, queries, tmp_path):
+        snap = self._saved(dataset, tmp_path)
+        loaded = load_engine(snap, mmap=True)
+        loaded.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            loaded.query(queries[0], k=3)
+        with pytest.raises(RuntimeError, match="closed"):
+            loaded.insert(np.full(4, 0.5), row_id=77_000)
+
+    def test_pinned_reader_survives_close(self, dataset, queries, tmp_path):
+        """close() must never unmap under a live pin: the pinned snapshot's
+        arrays stay readable and are *counted* as leaked, not torn down."""
+        from repro.core.batch import BatchQuerySpec
+        from repro.core.query import SDQuery
+
+        snap = self._saved(dataset, tmp_path)
+        loaded = load_engine(snap, mmap=True)
+        view = loaded.aggregator.serving_session().snapshot()
+        spec = BatchQuerySpec.coerce(
+            REPULSIVE,
+            ATTRACTIVE,
+            4,
+            [
+                SDQuery.simple(
+                    point=queries[0],
+                    repulsive=REPULSIVE,
+                    attractive=ATTRACTIVE,
+                    k=3,
+                )
+            ],
+        )
+        before = view.run(spec)
+        loaded.close()
+        assert loaded._mmap_guard.leaked > 0  # live pin kept its maps
+        after = view.run(spec)
+        same_answers(before, after)
+        view.close()
+
+    def test_pending_reflatten_materializes_before_unmap(self, dataset, tmp_path):
+        """A dirty session (reflatten pending) must be materialized into RAM
+        before the maps drop — closing can't invalidate the flattened views
+        the next serve would rebuild from."""
+        snap = self._saved(dataset, tmp_path)
+        loaded = load_engine(snap, mmap=True)
+        loaded.insert(np.full(4, 0.25), row_id=50_000)  # dirties the session
+        loaded.close()
+        assert loaded._mmap_guard.closed
+
+    def test_non_mmap_load_has_no_guard(self, dataset, tmp_path):
+        snap = self._saved(dataset, tmp_path)
+        loaded = load_engine(snap)
+        assert getattr(loaded, "_mmap_guard", None) is None
+        loaded.close()  # still closeable without a guard
+        assert loaded.closed
+
+    def test_sharded_close_releases_maps(self, dataset, tmp_path):
+        sharded = ShardedIndex(
+            dataset, repulsive=REPULSIVE, attractive=ATTRACTIVE, num_shards=2
+        )
+        save_engine(sharded, tmp_path / "snap")
+        loaded = load_engine(tmp_path / "snap", mmap=True)
+        guard = loaded._mmap_guard
+        assert guard.num_maps > 0
+        loaded.close()
+        assert guard.closed and guard.leaked == 0
+
+
+class TestReadWalTail:
+    def test_tail_after_lsn(self, tmp_path):
+        from repro.core.persistence import read_wal_tail
+
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        point = np.asarray([[1.0, 2.0, 3.0, 4.0]])
+        wal.append(OP_INSERT, [7], point)
+        wal.append(OP_DELETE, [7])
+        wal.append(OP_BULK_INSERT, [8, 9], np.vstack([point, point * 2]))
+        wal.close()
+        records = list(read_wal_tail(tmp_path / "wal.log", after_lsn=1))
+        assert [(lsn, op, list(ids)) for lsn, op, ids, _m in records] == [
+            (2, OP_DELETE, [7]),
+            (3, OP_BULK_INSERT, [8, 9]),
+        ]
+        assert records[1][3].shape == (2, 4)
+
+    def test_reader_does_not_mutate_the_log(self, tmp_path):
+        """Unlike opening a WriteAheadLog (which truncates a torn tail), the
+        tail reader leaves the file bytes untouched — vital for workers that
+        replay the primary's live log."""
+        from repro.core.persistence import read_wal_tail
+
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(OP_INSERT, [1], np.asarray([[1.0, 2.0, 3.0, 4.0]]))
+        wal.close()
+        blob = (tmp_path / "wal.log").read_bytes()
+        # A torn half-written record at the end: the reader stops cleanly.
+        (tmp_path / "wal.log").write_bytes(blob + b"\x01\x02\x03")
+        records = list(read_wal_tail(tmp_path / "wal.log", after_lsn=0))
+        assert [lsn for lsn, *_rest in records] == [1]
+        assert (tmp_path / "wal.log").read_bytes() == blob + b"\x01\x02\x03"

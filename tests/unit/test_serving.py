@@ -717,3 +717,200 @@ class TestLoadReportOutcomes:
             elapsed_seconds=0.0,
         )
         assert report.availability == 1.0
+
+
+class TestDeadlineGroups:
+    """The coalescer's min-deadline batching (a batch never runs under a
+    budget looser than any member's own)."""
+
+    @staticmethod
+    def _pending(index, seed, deadline):
+        from repro.serving.coalescer import _Pending
+
+        query = _query(index, seed)
+        loop = asyncio.get_event_loop_policy().new_event_loop()
+        try:
+            future = loop.create_future()
+        finally:
+            loop.close()
+        return _Pending(query=query, key=query_key(query), future=future, deadline=deadline)
+
+    def test_unbounded_members_form_their_own_group(self, small_index):
+        from repro.core.deadline import Deadline
+
+        index, _oracle, _data = small_index
+        clock = FakeClock()
+        tight = Deadline(0.05, clock=clock)
+        lax = Deadline(0.06, clock=clock)
+        items = [
+            self._pending(index, 0, None),
+            self._pending(index, 1, lax),
+            self._pending(index, 2, tight),
+            self._pending(index, 3, None),
+        ]
+        groups = TickCoalescer._deadline_groups(items)
+        assert [deadline for _members, deadline in groups] == [None, tight]
+        assert groups[0][0] == [items[0], items[3]]
+        # Bounded members sort tightest-first and share the tight anchor
+        # (0.06 is within the spread factor of 0.05).
+        assert groups[1][0] == [items[2], items[1]]
+
+    def test_wide_spread_splits_into_anchored_groups(self, small_index):
+        from repro.core.deadline import Deadline
+
+        index, _oracle, _data = small_index
+        clock = FakeClock()
+        tight = Deadline(0.01, clock=clock)
+        mid = Deadline(0.03, clock=clock)  # within 4x of 0.01
+        far = Deadline(2.0, clock=clock)  # beyond the spread: its own group
+        items = [
+            self._pending(index, 0, far),
+            self._pending(index, 1, tight),
+            self._pending(index, 2, mid),
+        ]
+        groups = TickCoalescer._deadline_groups(items)
+        assert [deadline for _members, deadline in groups] == [tight, far]
+        assert groups[0][0] == [items[1], items[2]]
+        assert groups[1][0] == [items[0]]
+
+    def test_each_group_runs_under_its_minimum_deadline(self, small_index):
+        """A mixed-deadline drain issues one kernel run per group, each under
+        the group's *tightest* member — never the most patient one."""
+        from repro.core.deadline import Deadline
+
+        index, _oracle, _data = small_index
+        recorded = []
+
+        class RecordingSnapshot:
+            supports_deadline = True
+            version = 1
+
+            def batch_query(self, queries, deadline=None):
+                recorded.append(deadline)
+                return index.batch_query(queries)
+
+            def close(self):
+                pass
+
+        class RecordingIndex:
+            def snapshot(self):
+                return RecordingSnapshot()
+
+        async def scenario():
+            coalescer = TickCoalescer(RecordingIndex(), tick_seconds=None)
+            clock = FakeClock()
+            tight = Deadline(0.05, clock=clock)
+            lax = Deadline(10.0, clock=clock)
+            futures = [
+                asyncio.ensure_future(coalescer.submit(_query(index, 0))),
+                asyncio.ensure_future(coalescer.submit(_query(index, 1))),
+            ]
+            await asyncio.sleep(0)
+            # Attach heterogeneous deadlines directly (submit's timeout maps
+            # to a wall-clock Deadline; the fake clock keeps this exact).
+            coalescer._pending[0].deadline = lax
+            coalescer._pending[1].deadline = tight
+            await coalescer.flush()
+            served = await asyncio.gather(*futures)
+            await coalescer.close()
+            return served, tight, lax
+
+        served, tight, lax = asyncio.run(scenario())
+        assert len(served) == 2 and all(s.result is not None for s in served)
+        # Two kernel runs: the tight request under its own deadline, the lax
+        # one under its own — the lax budget never governs the tight member.
+        assert recorded == [tight, lax]
+
+    def test_anchor_expiry_requeues_solvent_members(self, small_index):
+        """When a group run stops at its anchor's deadline, members that
+        still have budget are re-served instead of timing out with it."""
+        from repro.core.deadline import Deadline, DeadlineExceeded
+
+        index, _oracle, _data = small_index
+        calls = []
+
+        class ExpiringSnapshot:
+            supports_deadline = True
+            version = 1
+
+            def batch_query(self, queries, deadline=None):
+                calls.append((len(queries), deadline))
+                # The first run burns through the anchor's budget mid-kernel.
+                clock.advance(0.06)
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceeded(deadline.budget)
+                return index.batch_query(queries)
+
+            def close(self):
+                pass
+
+        class ExpiringIndex:
+            def snapshot(self):
+                return ExpiringSnapshot()
+
+        clock = FakeClock()
+
+        async def scenario():
+            coalescer = TickCoalescer(ExpiringIndex(), tick_seconds=None)
+            anchor = Deadline(0.05, clock=clock)
+            solvent = Deadline(0.15, clock=clock)  # within the spread: grouped
+            futures = [
+                asyncio.ensure_future(coalescer.submit(_query(index, 0))),
+                asyncio.ensure_future(coalescer.submit(_query(index, 1))),
+            ]
+            await asyncio.sleep(0)
+            coalescer._pending[0].deadline = anchor
+            coalescer._pending[1].deadline = solvent
+            await coalescer.flush()
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            await coalescer.close()
+            return results, coalescer.timeouts, coalescer.served
+
+        results, timeouts, served = asyncio.run(scenario())
+        # The expired anchor gets RequestTimeout; the solvent member was
+        # re-served in a follow-up pass and still got its answer.
+        assert isinstance(results[0], RequestTimeout)
+        assert not isinstance(results[1], Exception)
+        assert timeouts == 1 and served == 1
+        # First run grouped both under the expired anchor; the retry ran the
+        # solvent member alone under its own deadline.
+        assert [count for count, _d in calls] == [2, 1]
+
+
+class TestRetryAfterHeader:
+    def test_formats_round_up_at_millisecond(self):
+        from repro.serving.server import _format_retry_after
+
+        assert _format_retry_after(0.5) == "0.500"
+        assert _format_retry_after(0.4996) == "0.500"
+        assert _format_retry_after(0.50001) == "0.501"  # never understates
+        assert _format_retry_after(0.0) == "0.000"
+        assert _format_retry_after(-1.0) == "0.000"  # clamped, not negative
+
+    def test_header_is_at_least_the_bucket_refill(self, small_index):
+        """The 429's Retry-After header must round the bucket's actual refill
+        time *up*: a client sleeping exactly the header value is admitted."""
+        index, _oracle, _data = small_index
+
+        async def scenario():
+            config = ServingConfig(
+                tick_seconds=None, coalesce=False, rate=3.0, burst=1.0
+            )
+            async with SDQueryServer(index, config) as server:
+                host, port = await server.start()
+                async with ServingClient(host, port) as client:
+                    point = [0.5, 0.5, 0.5, 0.5]
+                    first = await client.query(point, k=3)
+                    status, headers, payload = await client.request_full(
+                        "POST", "/query", {"point": point, "k": 3}
+                    )
+                    return first, status, headers, payload
+
+        first, status, headers, payload = asyncio.run(scenario())
+        assert first[0] == 200
+        assert status == 429
+        header = headers["retry-after"]
+        # Exact refill time in the JSON body; the header is the ceil at ms.
+        assert float(header) >= payload["retry_after"]
+        assert float(header) - payload["retry_after"] < 0.001 + 1e-9
+        assert len(header.split(".")[1]) == 3
