@@ -17,7 +17,11 @@ Knobs (environment): ``REPRO_BENCH_BATCH_POINTS`` (dataset size, default
 50000), ``REPRO_BENCH_BATCH_QUERIES`` (batch size, default 100),
 ``REPRO_BENCH_BATCH_REPEAT`` (timing repetitions, default 3, best-of),
 ``REPRO_BENCH_BATCH_MIN_SPEEDUP`` (exit-1 bar, default 5.0; set to 0 on
-noisy shared runners to gate on correctness only).
+noisy shared runners to gate on correctness only),
+``REPRO_BENCH_BATCH_MAX_OVERFETCH`` (exit-1 bar on the batch-vs-sequential
+candidates-per-query ratio, default 8.0 — deterministic, so it stays on even
+on noisy runners; the healthy ratio is ~5x from the shared pooled-threshold
+sampling, and a pruning regression shows up here long before wall clock).
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ NUM_POINTS = int(os.environ.get("REPRO_BENCH_BATCH_POINTS", "50000"))
 NUM_QUERIES = int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", "100"))
 REPEAT = int(os.environ.get("REPRO_BENCH_BATCH_REPEAT", "3"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_BATCH_MIN_SPEEDUP", "5.0"))
+MAX_OVERFETCH = float(os.environ.get("REPRO_BENCH_BATCH_MAX_OVERFETCH", "8.0"))
 REPULSIVE = (0, 1)
 ATTRACTIVE = (2, 3)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
@@ -103,6 +108,9 @@ def main() -> int:
             sum(result.candidates_examined for result in singles) / NUM_QUERIES
         ),
     }
+    point["overfetch_ratio"] = point["batch_candidates_per_query"] / max(
+        point["sequential_candidates_per_query"], 1e-9
+    )
     OUTPUT.write_text(json.dumps(point, indent=2) + "\n")
 
     print(f"sequential: {sequential_seconds:.3f}s "
@@ -110,10 +118,23 @@ def main() -> int:
     print(f"batch:      {batch_seconds:.3f}s "
           f"({point['batch_ms_per_query']:.2f} ms/query)")
     print(f"speedup:    {speedup:.1f}x   bit-identical: {identical}")
+    print(
+        f"candidates: batch {point['batch_candidates_per_query']:.0f}/query vs "
+        f"sequential {point['sequential_candidates_per_query']:.0f}/query "
+        f"(over-fetch {point['overfetch_ratio']:.1f}x)"
+    )
     print(f"wrote {OUTPUT}")
 
     if not identical:
         print("FAIL: batch answers differ from the sequential path", file=sys.stderr)
+        return 1
+    if MAX_OVERFETCH > 0 and point["overfetch_ratio"] > MAX_OVERFETCH:
+        print(
+            f"FAIL: batch over-fetches {point['overfetch_ratio']:.1f}x the "
+            f"sequential candidates per query (bar: {MAX_OVERFETCH:g}x) — "
+            "the pooled threshold has stopped pruning",
+            file=sys.stderr,
+        )
         return 1
     if speedup < MIN_SPEEDUP:
         print(

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""LSM maintenance benchmark: layered write path vs the reflatten baseline.
+
+Drives the registered ``write_heavy`` workload's deterministic update script
+through two flat indexes over the same seeded uniform dataset:
+
+* ``compaction="size_tiered"`` (the default): bounded mutable delta over
+  immutable levels, flushes and tier merges in place of any stop-the-world
+  rebuild;
+* ``compaction="legacy"``: the in-place splice session that reflattens the
+  whole world once garbage crosses its threshold.
+
+Per-update wall times are recorded individually, so the legacy engine's
+reflatten spikes land in its tail latency rather than vanishing into a mean.
+After the stream, both engines answer the workload's read batch and must be
+bit-identical to a sequential-scan oracle over the surviving population, the
+LSM engine must have performed zero reflattens, and its epoch manager must
+hold exactly one live epoch with no pinned readers.  A trajectory point goes
+to ``BENCH_lsm.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_lsm.py
+
+Knobs (environment): ``REPRO_BENCH_LSM_POINTS`` (dataset size, default
+10000), ``REPRO_BENCH_LSM_UPDATES`` (update-script length, default 10000 —
+long enough that the legacy baseline's deletes cross its garbage threshold
+and it really reflattens), ``REPRO_BENCH_LSM_QUERIES`` (read batch, default
+16),
+``REPRO_BENCH_LSM_MIN_P95_IMPROVEMENT`` (exit-1 bar on legacy-p95 /
+lsm-p95, default 2.0; set to 0 on noisy shared runners to gate on the
+deterministic checks only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines import SequentialScan  # noqa: E402
+from repro.core.sdindex import SDIndex  # noqa: E402
+from repro.data.generators import generate_dataset  # noqa: E402
+from repro.workloads.registry import build_workload  # noqa: E402
+
+NUM_POINTS = int(os.environ.get("REPRO_BENCH_LSM_POINTS", "10000"))
+NUM_UPDATES = int(os.environ.get("REPRO_BENCH_LSM_UPDATES", "10000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_LSM_QUERIES", "16"))
+MIN_P95_IMPROVEMENT = float(
+    os.environ.get("REPRO_BENCH_LSM_MIN_P95_IMPROVEMENT", "2.0")
+)
+REPULSIVE = (0, 1)
+ATTRACTIVE = (2, 3)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_lsm.json"
+
+
+def run_engine(data, script, workload, compaction: str):
+    """Apply the update script, timing each op; return (stats, answers)."""
+    index = SDIndex.build(
+        data, repulsive=REPULSIVE, attractive=ATTRACTIVE, compaction=compaction
+    )
+    # Materialize the serving session so updates exercise the publish path
+    # (sessions are created lazily on first read).
+    index.batch_query(workload.reads)
+    latencies = np.empty(len(script), dtype=float)
+    for i, (op, row, point) in enumerate(script):
+        started = time.perf_counter()
+        if op == "insert":
+            index.insert(point, row_id=row)
+        else:
+            index.delete(row)
+        latencies[i] = time.perf_counter() - started
+    index.quiesce_maintenance()
+    answers = index.batch_query(workload.reads)
+    counters = index.maintenance_stats()
+    session = index._aggregator.serving_session()
+    stats = {
+        "write_p50_us": float(np.percentile(latencies, 50) * 1e6),
+        "write_p95_us": float(np.percentile(latencies, 95) * 1e6),
+        "write_p99_us": float(np.percentile(latencies, 99) * 1e6),
+        "write_max_us": float(latencies.max() * 1e6),
+        "reflattens": counters["reflattens"],
+        "maintenance": counters,
+        "live_epochs": counters["epochs_live"],
+        "pinned_readers": session.epochs.pinned_readers,
+    }
+    return stats, answers
+
+
+def main() -> int:
+    print(
+        f"dataset: uniform, {NUM_POINTS} points, 4 dims; "
+        f"{NUM_UPDATES} updates then {NUM_QUERIES} reads"
+    )
+    data = generate_dataset("uniform", NUM_POINTS, 4, seed=0).matrix
+    workload = build_workload(
+        "write_heavy",
+        REPULSIVE,
+        ATTRACTIVE,
+        num_queries=NUM_QUERIES,
+        num_updates=NUM_UPDATES,
+        num_dims=4,
+        seed=1,
+    )
+    script = workload.script(range(NUM_POINTS))
+
+    lsm_stats, lsm_answers = run_engine(data, script, workload, "size_tiered")
+    legacy_stats, legacy_answers = run_engine(data, script, workload, "legacy")
+
+    # Oracle over the surviving population after the full script.
+    store = {row: data[row] for row in range(NUM_POINTS)}
+    for op, row, point in script:
+        if op == "insert":
+            store[row] = np.asarray(point, dtype=float)
+        else:
+            del store[row]
+    rows = sorted(store)
+    oracle = SequentialScan(
+        np.asarray([store[row] for row in rows], dtype=float),
+        REPULSIVE,
+        ATTRACTIVE,
+        row_ids=rows,
+    )
+    expected = oracle.batch_query(workload.reads)
+    identical = all(
+        got.row_ids == want.row_ids and got.scores == want.scores
+        for answers in (lsm_answers, legacy_answers)
+        for got, want in zip(answers, expected)
+    )
+
+    improvement = legacy_stats["write_p95_us"] / max(
+        lsm_stats["write_p95_us"], 1e-9
+    )
+    point = {
+        "benchmark": "lsm_maintenance",
+        "distribution": "uniform",
+        "num_points": NUM_POINTS,
+        "num_dims": 4,
+        "repulsive": list(REPULSIVE),
+        "attractive": list(ATTRACTIVE),
+        "num_updates": NUM_UPDATES,
+        "num_queries": NUM_QUERIES,
+        "lsm": lsm_stats,
+        "legacy": legacy_stats,
+        "p95_improvement": improvement,
+        "bit_identical": identical,
+    }
+    OUTPUT.write_text(json.dumps(point, indent=2) + "\n")
+
+    maint = lsm_stats["maintenance"]
+    print(
+        f"lsm:    p50 {lsm_stats['write_p50_us']:.0f}us  "
+        f"p95 {lsm_stats['write_p95_us']:.0f}us  "
+        f"max {lsm_stats['write_max_us']:.0f}us  "
+        f"({maint['flushes']} flushes, {maint['compactions']} compactions, "
+        f"{maint['levels']} levels, {lsm_stats['reflattens']} reflattens)"
+    )
+    print(
+        f"legacy: p50 {legacy_stats['write_p50_us']:.0f}us  "
+        f"p95 {legacy_stats['write_p95_us']:.0f}us  "
+        f"max {legacy_stats['write_max_us']:.0f}us  "
+        f"({legacy_stats['reflattens']} reflattens)"
+    )
+    print(f"p95 improvement: {improvement:.1f}x   bit-identical: {identical}")
+    print(f"wrote {OUTPUT}")
+
+    if not identical:
+        print(
+            "FAIL: layered answers differ from the oracle or the legacy path",
+            file=sys.stderr,
+        )
+        return 1
+    if lsm_stats["reflattens"] != 0:
+        print(
+            f"FAIL: the default write path reflattened "
+            f"{lsm_stats['reflattens']} time(s) — the LSM engine must never "
+            "rebuild stop-the-world",
+            file=sys.stderr,
+        )
+        return 1
+    if lsm_stats["live_epochs"] != 1 or lsm_stats["pinned_readers"] != 0:
+        print(
+            f"FAIL: leaked epochs after quiesce: "
+            f"{lsm_stats['live_epochs']} live, "
+            f"{lsm_stats['pinned_readers']} pinned readers",
+            file=sys.stderr,
+        )
+        return 1
+    if improvement < MIN_P95_IMPROVEMENT:
+        print(
+            f"FAIL: write-path p95 only {improvement:.1f}x better than the "
+            f"reflatten baseline (bar: {MIN_P95_IMPROVEMENT:g}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -112,11 +112,32 @@ class SubproblemAggregator:
         leaf_capacity: int = 32,
         row_ids: Optional[Sequence[int]] = None,
         concurrency: str = "snapshot",
+        compaction: str = "size_tiered",
+        flush_rows: Optional[int] = None,
+        fanout: Optional[int] = None,
+        background_compaction: bool = True,
     ) -> None:
         matrix = np.asarray(data, dtype=float)
         if matrix.ndim != 2:
             raise ValueError("data must be an (n, m) matrix")
         validate_concurrency(concurrency)
+        from repro.core.lsm import validate_compaction
+
+        validate_compaction(compaction)
+        #: Maintenance shape of the sessions this aggregator creates:
+        #: ``"size_tiered"`` (default) gives LSM sessions — delta absorbs
+        #: writes, immutable levels serve the bulk, a compactor folds them
+        #: down (DESIGN.md section 11); ``"legacy"`` keeps the in-place
+        #: patch + 25%-garbage reflatten behavior.  LSM requires snapshot
+        #: publication, so ``concurrency="unsafe"`` always gets legacy
+        #: sessions regardless of this knob.
+        self.compaction = compaction
+        self._lsm_options: Dict[str, object] = {}
+        if flush_rows is not None:
+            self._lsm_options["flush_rows"] = int(flush_rows)
+        if fanout is not None:
+            self._lsm_options["fanout"] = int(fanout)
+        self._lsm_options["background"] = bool(background_compaction)
         #: Concurrency mode inherited by every session this aggregator creates:
         #: ``"snapshot"`` (default) publishes copy-on-write epochs so reads
         #: under writes are safe; ``"unsafe"`` patches in place (legacy,
@@ -235,6 +256,23 @@ class SubproblemAggregator:
             alive.append(ref)
         self._sessions = alive
 
+    def _maintain_sessions(self) -> None:
+        """Post-write LSM trigger: let every layered session schedule work.
+
+        Called by the mutators while still holding the write lock; LSM
+        sessions either hand the due flush/merge to their background
+        compactor thread or (inline mode) perform it now under the already
+        held reentrant lock.  Legacy sessions have no such hook and are
+        skipped.
+        """
+        for ref in self._sessions:
+            session = ref()
+            if session is None:
+                continue
+            trigger = getattr(session, "maybe_maintain", None)
+            if trigger is not None:
+                trigger()
+
     def _validate_new_point(self, point) -> np.ndarray:
         vector = np.asarray(point, dtype=float)
         if vector.shape != (self._num_dims,):
@@ -268,6 +306,7 @@ class SubproblemAggregator:
                 self._columns_dirty = True
             self._mutations += 1
             self._patch_sessions("apply_insert", row_id, vector)
+            self._maintain_sessions()
             return row_id
 
     def bulk_insert(
@@ -310,6 +349,7 @@ class SubproblemAggregator:
             self._patch_sessions(
                 "apply_bulk_insert", np.asarray(ids, dtype=np.int64), matrix
             )
+            self._maintain_sessions()
             return ids
 
     def delete(self, row_id: int) -> None:
@@ -332,6 +372,7 @@ class SubproblemAggregator:
                 self._columns_dirty = True
             self._mutations += 1
             self._patch_sessions("apply_delete", row_id)
+            self._maintain_sessions()
 
     def bulk_delete(self, row_ids: Sequence[int]) -> None:
         """Delete many rows at once (validated up front, one session patch)."""
@@ -355,6 +396,7 @@ class SubproblemAggregator:
                 self._columns_dirty = True
             self._mutations += 1
             self._patch_sessions("apply_bulk_delete", np.asarray(ids, dtype=np.int64))
+            self._maintain_sessions()
 
     def _refresh_columns(self) -> None:
         with self._write_lock:
@@ -490,10 +532,25 @@ class SubproblemAggregator:
         this returns the shared serving session; pass ``cached=False`` (or a
         custom ``seed_pool``) for a private one.
         """
-        from repro.core.batch import QuerySession
-
         if cached and seed_pool is None:
             return self.serving_session()
+        return self._make_session(seed_pool)
+
+    def _make_session(self, seed_pool: Optional[int] = None):
+        """Construct a fresh session of the configured maintenance shape.
+
+        ``compaction="size_tiered"`` under snapshot publication yields an
+        LSM session (:class:`repro.core.lsm.LsmSession`); ``"legacy"`` — or
+        any mode under ``concurrency="unsafe"``, which cannot publish the
+        copy-on-write worlds LSM maintenance is defined by — yields the
+        in-place :class:`repro.core.batch.QuerySession`.
+        """
+        if self.compaction != "legacy" and self.concurrency == "snapshot":
+            from repro.core.lsm import LsmSession
+
+            return LsmSession(self, seed_pool=seed_pool, **self._lsm_options)
+        from repro.core.batch import QuerySession
+
         if seed_pool is None:
             return QuerySession(self)
         return QuerySession(self, seed_pool=seed_pool)
@@ -508,6 +565,64 @@ class SubproblemAggregator:
         Returns a :class:`repro.core.results.BatchResult` in query order.
         """
         return self.serving_session().run(queries, k=k, alpha=alpha, beta=beta)
+
+    # ------------------------------------------------------------- maintenance
+    def lsm_maintain(self) -> List[Tuple]:
+        """Run every due LSM flush/merge on the serving session, synchronously.
+
+        Returns the structure ops performed, in apply order — each entry is
+        ``("flush",)`` or ``("compact", seqs)``, the shape
+        :class:`~repro.core.persistence.DurableIndex` journals as WAL records
+        so ``recover()`` can replay the exact level layout.  No-op (empty
+        list) for legacy sessions or when nothing is due.
+        """
+        session = self._serving_session
+        if session is None or not hasattr(session, "maintain"):
+            return []
+        return session.maintain()
+
+    def lsm_flush(self) -> bool:
+        """Force the serving session's delta into a fresh level (False if empty)."""
+        session = self.serving_session()
+        if not hasattr(session, "flush"):
+            return False
+        return session.flush()
+
+    def lsm_compact(self, seqs: Optional[Sequence[int]] = None):
+        """Merge the serving session's levels (all by default); returns the seqs."""
+        session = self.serving_session()
+        if not hasattr(session, "compact"):
+            return None
+        return session.compact(seqs)
+
+    def set_auto_compaction(self, enabled: bool) -> None:
+        """Enable/disable self-scheduled maintenance on the serving session.
+
+        A durability wrapper disables it so every flush/compact happens
+        through :meth:`lsm_maintain` — synchronously, in journal order.
+        """
+        session = self.serving_session()
+        if hasattr(session, "auto_compaction"):
+            session.auto_compaction = bool(enabled)
+
+    def quiesce_maintenance(self) -> None:
+        """Join any in-flight background compaction across live sessions."""
+        for ref in list(self._sessions):
+            session = ref()
+            if session is None:
+                continue
+            quiesce = getattr(session, "quiesce", None)
+            if quiesce is not None:
+                quiesce()
+
+    def maintenance_stats(self) -> Dict[str, int]:
+        """The serving session's maintenance counters.
+
+        LSM sessions add their layering counters (``levels``, ``delta_live``,
+        ``flushes``, ``compactions``, ``delta_absorbed_deletes``) to the base
+        patch/reflatten/epoch counters every session reports.
+        """
+        return self.serving_session().maintenance_stats()
 
     # ------------------------------------------------------------------ stats
     def stats(self):
@@ -561,6 +676,12 @@ class SubproblemAggregator:
         """
         if self.closed:
             return
+        # Drain background compactors before taking the lock (they need it to
+        # publish); a maintenance failure must not block teardown.
+        try:
+            self.quiesce_maintenance()
+        except RuntimeError:
+            pass
         with self._write_lock:
             if self.closed:
                 return

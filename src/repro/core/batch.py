@@ -1049,6 +1049,15 @@ class QuerySession:
 
     def _build(self) -> None:
         """(Re)build the flattened execution state from the aggregator."""
+        self.epochs.publish(self._flatten_state())
+
+    def _flatten_state(self) -> SessionState:
+        """Flatten the aggregator's live structures into one execution state.
+
+        Shared by the in-place session (:meth:`_build` publishes it directly)
+        and the LSM session (:mod:`repro.core.lsm`), which wraps it as the
+        initial immutable level of its layered world.
+        """
         aggregator = self._aggregator
         if aggregator._columns_dirty:
             aggregator._refresh_columns()
@@ -1121,7 +1130,7 @@ class QuerySession:
             column = aggregator._columns[dim]
             state.col_values[dim] = np.array(column.values)
             state.col_positions[dim] = state.positions_of(np.asarray(column.row_ids))
-        self.epochs.publish(state)
+        return state
 
     # -------------------------------------------------------------- maintenance
     @property

@@ -64,6 +64,7 @@ from repro.core.batch import QuerySession, SessionState, _FlatTree
 from repro.core.epoch import EpochManager
 from repro.core.geometry import Angle
 from repro.core.isoline import Envelope, EnvelopeSide
+from repro.core.lsm import DeltaState, Level, LsmSession, LsmWorld
 from repro.core.pairing import DimensionPairing
 from repro.core.sdindex import SDIndex
 from repro.core.sharding import ShardedIndex, ShardRouter, _ShardTopology
@@ -482,6 +483,13 @@ OP_BULK_INSERT = 3
 OP_BULK_DELETE = 4
 OP_REBALANCE = 5
 OP_REBUILD = 6
+#: LSM structure ops (DESIGN.md section 11).  A flush carries no payload; a
+#: compact carries the merged level seqs in the row-id field.  Journaling them
+#: lets ``recover()`` rebuild the exact delta+levels layout, not just the
+#: logical row set — the level seq space is deterministic given the snapshot's
+#: ``next_seq`` and the replayed op order.
+OP_FLUSH = 7
+OP_COMPACT = 8
 
 _OP_NAMES = {
     OP_INSERT: "insert",
@@ -490,6 +498,8 @@ _OP_NAMES = {
     OP_BULK_DELETE: "bulk_delete",
     OP_REBALANCE: "rebalance",
     OP_REBUILD: "rebuild",
+    OP_FLUSH: "lsm_flush",
+    OP_COMPACT: "lsm_compact",
 }
 
 _WAL_MAGIC = b"SDWAL001"
@@ -859,6 +869,8 @@ def _capture_aggregator(agg: SubproblemAggregator) -> _Capture:
         state = view.state
         capture.meta = {
             "concurrency": agg.concurrency,
+            "compaction": agg.compaction,
+            "lsm_options": dict(agg._lsm_options),
             "repulsive": list(agg.repulsive),
             "attractive": list(agg.attractive),
             "num_dims": int(agg._num_dims),
@@ -881,7 +893,51 @@ def _capture_aggregator(agg: SubproblemAggregator) -> _Capture:
                 "appended": int(state.appended),
                 "tombstoned": int(state.tombstoned),
             },
-            "pair_flats": [
+        }
+        if isinstance(state, LsmWorld):
+            # A layered world: per-level execution states plus the delta.
+            # Everything below the meta is immutable once pinned, so the
+            # array assembly streams after the lock drops.
+            capture.meta["session"].update(
+                {
+                    "kind": "lsm",
+                    "flush_rows": int(session.flush_rows),
+                    "fanout": int(session.fanout),
+                    "background": bool(session.background),
+                    "flushes": int(session.flushes),
+                    "compactions": int(session.compactions),
+                    "delta_absorbed_deletes": int(session.delta_absorbed_deletes),
+                    "next_seq": int(session._next_seq),
+                }
+            )
+            capture.meta["levels"] = [
+                {
+                    "seq": int(level.seq),
+                    "num_live": int(level.state.num_live),
+                    "appended": int(level.state.appended),
+                    "tombstoned": int(level.state.tombstoned),
+                    "pair_flats": [
+                        {
+                            "rep_dim": int(rep),
+                            "att_dim": int(att),
+                            "num_leaves": int(flat.num_leaves),
+                            "appended": int(flat.appended),
+                            "dead": int(flat.dead),
+                        }
+                        for rep, att, flat in level.state.pairs
+                    ],
+                }
+                for level in state.levels
+            ]
+            column_dims = (
+                [int(dim) for dim in state.levels[0].state.col_values]
+                if state.levels
+                else [int(dim) for dim in agg._column_dims]
+            )
+            capture.meta["column_dims"] = column_dims
+        else:
+            capture.meta["session"]["kind"] = "flat"
+            capture.meta["pair_flats"] = [
                 {
                     "rep_dim": int(rep),
                     "att_dim": int(att),
@@ -890,9 +946,8 @@ def _capture_aggregator(agg: SubproblemAggregator) -> _Capture:
                     "dead": int(flat.dead),
                 }
                 for rep, att, flat in state.pairs
-            ],
-            "column_dims": [int(dim) for dim in state.col_values],
-        }
+            ]
+            capture.meta["column_dims"] = [int(dim) for dim in state.col_values]
         deleted = np.fromiter(
             sorted(agg._deleted), dtype=np.int64, count=len(agg._deleted)
         )
@@ -906,28 +961,80 @@ def _capture_aggregator(agg: SubproblemAggregator) -> _Capture:
         agg.write_lock.release()
     arrays = capture.arrays
     arrays["deleted"] = deleted
+    if isinstance(state, LsmWorld):
+        _capture_lsm_arrays(agg, state, arrays)
+        return capture
     arrays["rows"] = state.rows
     arrays["matrix"] = state.matrix
     arrays["live"] = state.live
     arrays["row_order"] = state.row_order
     arrays["sorted_rows"] = state.sorted_rows
     for p, (_rep, _att, flat) in enumerate(state.pairs):
-        arrays[f"pair{p}_rows"] = flat.rows
-        arrays[f"pair{p}_x"] = flat.x
-        arrays[f"pair{p}_y"] = flat.y
-        arrays[f"pair{p}_live"] = flat.live
-        arrays[f"pair{p}_leaf_bounds"] = flat.leaf_bounds
-        arrays[f"pair{p}_leaf_min_x"] = flat.leaf_min_x
-        arrays[f"pair{p}_leaf_max_x"] = flat.leaf_max_x
-        arrays[f"pair{p}_leaf_of_pos"] = flat.leaf_of_pos
-        arrays[f"pair{p}_grid_cos"] = flat.grid_cos
-        arrays[f"pair{p}_grid_sin"] = flat.grid_sin
-        arrays[f"pair{p}_grid_rad"] = flat.grid_rad
-        arrays[f"pair{p}_leaf_of_position"] = state.pair_leaf_of_position[p]
+        _capture_pair_arrays(arrays, f"pair{p}", flat, state.pair_leaf_of_position[p])
     for dim in state.col_values:
         arrays[f"col{dim}_values"] = state.col_values[dim]
         arrays[f"col{dim}_positions"] = state.col_positions[dim]
     return capture
+
+
+def _capture_pair_arrays(
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+    flat: _FlatTree,
+    leaf_of_position: np.ndarray,
+) -> None:
+    arrays[f"{prefix}_rows"] = flat.rows
+    arrays[f"{prefix}_x"] = flat.x
+    arrays[f"{prefix}_y"] = flat.y
+    arrays[f"{prefix}_live"] = flat.live
+    arrays[f"{prefix}_leaf_bounds"] = flat.leaf_bounds
+    arrays[f"{prefix}_leaf_min_x"] = flat.leaf_min_x
+    arrays[f"{prefix}_leaf_max_x"] = flat.leaf_max_x
+    arrays[f"{prefix}_leaf_of_pos"] = flat.leaf_of_pos
+    arrays[f"{prefix}_grid_cos"] = flat.grid_cos
+    arrays[f"{prefix}_grid_sin"] = flat.grid_sin
+    arrays[f"{prefix}_grid_rad"] = flat.grid_rad
+    arrays[f"{prefix}_leaf_of_position"] = leaf_of_position
+
+
+def _capture_lsm_arrays(
+    agg: SubproblemAggregator, world: LsmWorld, arrays: Dict[str, np.ndarray]
+) -> None:
+    """Arrays of one pinned :class:`LsmWorld` (levels verbatim, delta verbatim).
+
+    The top-level ``rows``/``matrix`` are the world's *live* rows concatenated
+    in level order — the aggregator's row bookkeeping, sorted-column seeds and
+    deferred tree builders all restore from that flat view, exactly as they do
+    from a legacy single-state snapshot whose rows happen to be all live.
+    """
+    live_rows = world.live_row_ids()
+    live_matrix = world.live_matrix() if world.num_live else np.empty(
+        (0, agg._num_dims), dtype=float
+    )
+    arrays["rows"] = live_rows
+    arrays["matrix"] = live_matrix
+    arrays["live"] = np.ones(len(live_rows), dtype=bool)
+    for dim in agg._column_dims:
+        order = np.argsort(live_matrix[:, dim], kind="stable").astype(np.int64)
+        arrays[f"col{dim}_values"] = np.ascontiguousarray(live_matrix[order, dim])
+        arrays[f"col{dim}_positions"] = order
+    for i, level in enumerate(world.levels):
+        state = level.state
+        arrays[f"lvl{i}_rows"] = state.rows
+        arrays[f"lvl{i}_matrix"] = state.matrix
+        arrays[f"lvl{i}_live"] = state.live
+        arrays[f"lvl{i}_row_order"] = state.row_order
+        arrays[f"lvl{i}_sorted_rows"] = state.sorted_rows
+        for p, (_rep, _att, flat) in enumerate(state.pairs):
+            _capture_pair_arrays(
+                arrays, f"lvl{i}_pair{p}", flat, state.pair_leaf_of_position[p]
+            )
+        for dim in state.col_values:
+            arrays[f"lvl{i}_col{dim}_values"] = state.col_values[dim]
+            arrays[f"lvl{i}_col{dim}_positions"] = state.col_positions[dim]
+    arrays["delta_rows"] = world.delta.rows
+    arrays["delta_matrix"] = world.delta.matrix
+    arrays["delta_live"] = world.delta.live
 
 
 def _restore_flat_tree(
@@ -970,6 +1077,10 @@ def _restore_aggregator(
     """
     agg = SubproblemAggregator.__new__(SubproblemAggregator)
     agg.concurrency = payload["concurrency"]
+    # Pre-LSM snapshots (format v1 golden fixtures) carry no compaction key:
+    # they restore as legacy in-place sessions, bit-identical to before.
+    agg.compaction = payload.get("compaction", "legacy")
+    agg._lsm_options = dict(payload.get("lsm_options", {"background": True}))
     agg._write_lock = threading.RLock()
     agg._num_dims = int(payload["num_dims"])
     agg.repulsive = tuple(int(d) for d in payload["repulsive"])
@@ -1044,6 +1155,12 @@ def _restore_aggregator(
 
     # Serving session: the checkpointed execution state, republished verbatim.
     meta = payload["session"]
+    scored = set(agg.repulsive) | set(agg.attractive)
+    if meta.get("kind", "flat") == "lsm":
+        session = _restore_lsm_session(agg, payload, arrays, scored)
+        agg._serving_session = session
+        agg._register_session(session)
+        return agg
     session = QuerySession.__new__(QuerySession)
     session._aggregator = agg
     session._seed_pool = int(meta["seed_pool"])
@@ -1056,36 +1173,127 @@ def _restore_aggregator(
     session._dirty = False
     session._generation = agg._mutations
 
-    scored = set(agg.repulsive) | set(agg.attractive)
-    pairs: List[Tuple[int, int, _FlatTree]] = []
-    leaf_of_position: List[np.ndarray] = []
-    for p, flat_meta in enumerate(payload["pair_flats"]):
-        flat = _restore_flat_tree(agg.angle_grid.angles, arrays, f"pair{p}", flat_meta)
-        pairs.append((int(flat_meta["rep_dim"]), int(flat_meta["att_dim"]), flat))
-        leaf_of_position.append(arrays[f"pair{p}_leaf_of_position"])
-    state = SessionState(
-        rows=rows,
-        matrix=matrix,
-        live=live,
-        num_live=int(meta["num_live"]),
-        row_order=arrays["row_order"],
-        sorted_rows=arrays["sorted_rows"],
-        columns_by_dim={dim: matrix[:, dim] for dim in scored},
-        pairs=pairs,
-        pair_leaf_of_position=leaf_of_position,
-        col_values={
-            int(dim): arrays[f"col{dim}_values"] for dim in payload["column_dims"]
-        },
-        col_positions={
-            int(dim): arrays[f"col{dim}_positions"] for dim in payload["column_dims"]
-        },
-        appended=int(meta["appended"]),
-        tombstoned=int(meta["tombstoned"]),
+    state = _restore_session_state(
+        agg,
+        payload["pair_flats"],
+        arrays,
+        "",
+        {**meta, "column_dims": payload["column_dims"]},
+        scored,
     )
     session.epochs.publish(state)
     agg._serving_session = session
     agg._register_session(session)
     return agg
+
+
+def _restore_session_state(
+    agg: SubproblemAggregator,
+    pair_flats: List[Dict[str, Any]],
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+    meta: Dict[str, Any],
+    scored: set,
+) -> SessionState:
+    """One frozen execution state from ``{prefix}rows``/``{prefix}pair{p}_*``."""
+    rows = arrays[f"{prefix}rows"]
+    matrix = arrays[f"{prefix}matrix"]
+    pairs: List[Tuple[int, int, _FlatTree]] = []
+    leaf_of_position: List[np.ndarray] = []
+    for p, flat_meta in enumerate(pair_flats):
+        flat = _restore_flat_tree(
+            agg.angle_grid.angles, arrays, f"{prefix}pair{p}", flat_meta
+        )
+        pairs.append((int(flat_meta["rep_dim"]), int(flat_meta["att_dim"]), flat))
+        leaf_of_position.append(arrays[f"{prefix}pair{p}_leaf_of_position"])
+    return SessionState(
+        rows=rows,
+        matrix=matrix,
+        live=arrays[f"{prefix}live"],
+        num_live=int(meta["num_live"]),
+        row_order=arrays[f"{prefix}row_order"],
+        sorted_rows=arrays[f"{prefix}sorted_rows"],
+        columns_by_dim={dim: matrix[:, dim] for dim in scored},
+        pairs=pairs,
+        pair_leaf_of_position=leaf_of_position,
+        col_values={
+            int(dim): arrays[f"{prefix}col{dim}_values"] for dim in meta["column_dims"]
+        },
+        col_positions={
+            int(dim): arrays[f"{prefix}col{dim}_positions"]
+            for dim in meta["column_dims"]
+        },
+        appended=int(meta["appended"]),
+        tombstoned=int(meta["tombstoned"]),
+    )
+
+
+def _restore_lsm_session(
+    agg: SubproblemAggregator,
+    payload: Dict[str, Any],
+    arrays: Dict[str, np.ndarray],
+    scored: set,
+) -> LsmSession:
+    """Rebuild an :class:`LsmSession` publishing the checkpointed world.
+
+    Every level's arrays restore verbatim (mmap-able, immutable); the delta's
+    row-id lookup structures are recomputed from its arrays (cheap — the delta
+    is bounded by the flush threshold).
+    """
+    meta = payload["session"]
+    session = LsmSession.__new__(LsmSession)
+    session._aggregator = agg
+    session._seed_pool = int(meta["seed_pool"])
+    session.reflatten_threshold = float(meta["reflatten_threshold"])
+    session.concurrency = agg.concurrency
+    session.epochs = EpochManager()
+    session.reflattens = int(meta["reflattens"])
+    session.patched_inserts = int(meta["patched_inserts"])
+    session.patched_deletes = int(meta["patched_deletes"])
+    session._dirty = False
+    session._generation = agg._mutations
+    session.flush_rows = int(meta["flush_rows"])
+    session.fanout = int(meta["fanout"])
+    session.background = bool(meta["background"])
+    session.auto_compaction = True
+    session.flushes = int(meta["flushes"])
+    session.compactions = int(meta["compactions"])
+    session.delta_absorbed_deletes = int(meta["delta_absorbed_deletes"])
+    session._next_seq = int(meta["next_seq"])
+    session._maintain_lock = threading.Lock()
+    session._compactor = None
+    session._maintenance_error = None
+
+    column_dims = payload["column_dims"]
+    levels = []
+    for i, level_meta in enumerate(payload["levels"]):
+        state = _restore_session_state(
+            agg,
+            level_meta["pair_flats"],
+            arrays,
+            f"lvl{i}_",
+            {**level_meta, "column_dims": column_dims},
+            scored,
+        )
+        levels.append(Level(int(level_meta["seq"]), state))
+
+    delta_rows = np.asarray(arrays["delta_rows"], dtype=np.int64)
+    delta_matrix = np.asarray(arrays["delta_matrix"], dtype=float)
+    delta_live = np.asarray(arrays["delta_live"], dtype=bool)
+    order = np.argsort(delta_rows, kind="stable").astype(np.int64)
+    delta = DeltaState(
+        rows=delta_rows,
+        matrix=delta_matrix,
+        live=delta_live,
+        num_live=int(delta_live.sum()),
+        sorted_rows=delta_rows[order],
+        row_order=order,
+        columns_by_dim={
+            dim: np.ascontiguousarray(delta_matrix[:, dim]) for dim in scored
+        },
+    )
+    session.epochs.publish(LsmWorld(tuple(levels), delta))
+    return session
 
 
 # ----------------------------------------------------------- engine captures
@@ -1567,6 +1775,22 @@ def load_engine(path, mmap: bool = False, verify: Optional[bool] = None, expect:
 _KIND_2D = ("topk", "top1")
 
 
+def _take_over_maintenance(engine) -> None:
+    """Claim LSM maintenance scheduling from an engine that self-schedules.
+
+    Joins any in-flight background compaction first, so no unjournaled
+    structure flip races the takeover; no-op for engines without LSM
+    maintenance (legacy aggregators, 2D indexes, sharded engines).
+    """
+    disable = getattr(engine, "set_auto_compaction", None)
+    if disable is None:
+        return
+    disable(False)
+    quiesce = getattr(engine, "quiesce_maintenance", None)
+    if quiesce is not None:
+        quiesce()
+
+
 def _engine_kind(engine) -> str:
     if isinstance(engine, SDIndex):
         return "sdindex"
@@ -1604,6 +1828,10 @@ def _apply_record(engine, kind: str, op: int, ids: np.ndarray, matrix) -> None:
         engine.rebalance()
     elif op == OP_REBUILD:
         engine.rebuild()
+    elif op == OP_FLUSH:
+        engine.flush()
+    elif op == OP_COMPACT:
+        engine.compact([int(s) for s in ids])
     else:  # pragma: no cover - decode already validated the op byte
         raise SnapshotFormatError(f"unknown WAL op {op}")
 
@@ -1645,6 +1873,12 @@ class DurableIndex:
         #: would make the divergence durable.  Reads stay allowed.
         self._poisoned: Optional[str] = None
         self.last_recovery = dict(last_recovery or {})
+        # LSM engines: the wrapper takes over maintenance scheduling so every
+        # flush/compact lands in the journal, in apply order — recover() then
+        # rebuilds the exact delta+levels structure, not just the row set.
+        # (Sharded engines keep their own per-shard auto compaction: structure
+        # ops never change answers, so replay stays exact either way.)
+        _take_over_maintenance(engine)
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -1693,6 +1927,11 @@ class DurableIndex:
         if not wal_path.exists():
             raise SnapshotFormatError(f"missing write-ahead log: {wal_path}")
         wal = WriteAheadLog(wal_path, fsync=fsync)
+        # Claim maintenance before replaying: a replayed insert must not let
+        # the engine self-schedule a flush the journal knows nothing about —
+        # the journaled OP_FLUSH/OP_COMPACT records alone drive structure, so
+        # the recovered delta+levels layout is exactly the pre-crash one.
+        _take_over_maintenance(engine)
         replayed = 0
         started = time.perf_counter()
         for _lsn, op, ids, matrix in wal.replay(after_lsn=snapshot_lsn):
@@ -1788,6 +2027,23 @@ class DurableIndex:
             )
             raise
 
+    def _maintain_engine(self) -> None:
+        """Run due LSM maintenance and journal each structure op it applied.
+
+        Called after every journaled mutation (the engine's own post-write
+        trigger is disabled by the wrapper): apply-then-journal per op, the
+        same acknowledged-write contract as the mutations themselves — a
+        crash between the two loses an op recovery simply re-plans.
+        """
+        maintain = getattr(self._engine, "lsm_maintain", None)
+        if maintain is None:
+            return
+        for op in maintain():
+            if op[0] == "flush":
+                self._journal(OP_FLUSH, [])
+            else:
+                self._journal(OP_COMPACT, [int(seq) for seq in op[1]])
+
     def insert(self, *point, row_id: Optional[int] = None) -> int:
         # Mirror the wrapped engines' signatures exactly, including the
         # positional row_id they all accept: (point[, row_id]) for the n-dim
@@ -1811,6 +2067,7 @@ class DurableIndex:
                 row = self._engine.insert(vector_in, row_id=row_id)
                 vector = np.asarray(vector_in, dtype=float)[None, :]
             self._journal(OP_INSERT, [row], vector)
+            self._maintain_engine()
             return row
 
     def delete(self, row_id: int) -> None:
@@ -1818,6 +2075,7 @@ class DurableIndex:
             self._check_poison()
             self._engine.delete(row_id)
             self._journal(OP_DELETE, [int(row_id)])
+            self._maintain_engine()
 
     def bulk_insert(self, points, row_ids: Optional[Sequence[int]] = None) -> List[int]:
         with self._lock:
@@ -1825,6 +2083,7 @@ class DurableIndex:
             ids = self._engine.bulk_insert(points, row_ids=row_ids)
             if ids:
                 self._journal(OP_BULK_INSERT, ids, np.asarray(points, dtype=float))
+                self._maintain_engine()
             return ids
 
     def bulk_delete(self, row_ids: Sequence[int]) -> None:
@@ -1833,6 +2092,7 @@ class DurableIndex:
             self._engine.bulk_delete(row_ids)
             if len(row_ids):
                 self._journal(OP_BULK_DELETE, [int(r) for r in row_ids])
+                self._maintain_engine()
 
     def rebalance(self) -> bool:
         with self._lock:
@@ -1853,6 +2113,36 @@ class DurableIndex:
             self._check_poison()
             self._engine.rebuild()
             self._journal(OP_REBUILD, [])
+
+    def lsm_maintain(self) -> List[Tuple]:
+        """Journaled explicit LSM maintenance; returns the ops applied."""
+        with self._lock:
+            self._check_poison()
+            ops = self._engine.lsm_maintain()
+            for op in ops:
+                if op[0] == "flush":
+                    self._journal(OP_FLUSH, [])
+                else:
+                    self._journal(OP_COMPACT, [int(seq) for seq in op[1]])
+            return ops
+
+    def flush(self) -> bool:
+        """Journaled explicit delta flush (False when the delta was empty)."""
+        with self._lock:
+            self._check_poison()
+            flushed = self._engine.flush()
+            if flushed:
+                self._journal(OP_FLUSH, [])
+            return flushed
+
+    def compact(self, seqs: Optional[Sequence[int]] = None):
+        """Journaled explicit level merge; returns the seqs actually merged."""
+        with self._lock:
+            self._check_poison()
+            merged = self._engine.compact(seqs)
+            if merged is not None:
+                self._journal(OP_COMPACT, [int(seq) for seq in merged])
+            return merged
 
     def maybe_rebalance(self) -> bool:
         # Delegate the trigger policy to the engine (never duplicate it); the

@@ -81,7 +81,9 @@ from repro.core.persistence import (
     CURRENT_NAME,
     OP_BULK_DELETE,
     OP_BULK_INSERT,
+    OP_COMPACT,
     OP_DELETE,
+    OP_FLUSH,
     OP_INSERT,
     WAL_NAME,
     DurableIndex,
@@ -182,6 +184,11 @@ class _WorkerState:
             if mine:
                 self.engine.bulk_delete(mine)
                 self.members.difference_update(mine)
+        elif op in (OP_FLUSH, OP_COMPACT):
+            # LSM structure ops are local to the engine that ran them (level
+            # seqs name *that* engine's levels); the worker's own aggregator
+            # schedules its own maintenance, and answers are structure-blind.
+            pass
         else:
             # Rebalance/rebuild reshuffle rows across shards; the coordinator
             # always ships those as a snapshot flip, never as tail records.

@@ -89,6 +89,10 @@ class SDIndex:
         pairing: str = "order",
         row_ids: Optional[Sequence[int]] = None,
         concurrency: str = "snapshot",
+        compaction: str = "size_tiered",
+        flush_rows: Optional[int] = None,
+        fanout: Optional[int] = None,
+        background_compaction: bool = True,
     ) -> None:
         matrix = np.asarray(data, dtype=float)
         if matrix.ndim != 2:
@@ -113,6 +117,10 @@ class SDIndex:
             leaf_capacity=leaf_capacity,
             row_ids=row_ids,
             concurrency=concurrency,
+            compaction=compaction,
+            flush_rows=flush_rows,
+            fanout=fanout,
+            background_compaction=background_compaction,
         )
 
     @property
@@ -259,6 +267,38 @@ class SDIndex:
         session = self._aggregator._serving_session
         if session is not None:
             session.reflatten()
+
+    # ------------------------------------------------------------- maintenance
+    @property
+    def compaction(self) -> str:
+        """``"size_tiered"`` (LSM maintenance) or ``"legacy"`` (in-place)."""
+        return self._aggregator.compaction
+
+    def lsm_maintain(self):
+        """Run due LSM flushes/merges now; returns the structure ops applied."""
+        return self._aggregator.lsm_maintain()
+
+    def flush(self) -> bool:
+        """Fold the serving session's delta into a fresh immutable level."""
+        return self._aggregator.lsm_flush()
+
+    def compact(self, seqs: Optional[Sequence[int]] = None):
+        """Merge the serving session's levels (all by default)."""
+        return self._aggregator.lsm_compact(seqs)
+
+    def set_auto_compaction(self, enabled: bool) -> None:
+        """Toggle self-scheduled maintenance (a durability wrapper disables it)."""
+        self._aggregator.set_auto_compaction(enabled)
+
+    def quiesce_maintenance(self) -> None:
+        """Join in-flight background compaction (raises its stored failure)."""
+        self._aggregator.quiesce_maintenance()
+
+    def maintenance_stats(self):
+        """The serving session's maintenance counters (patches, reflattens,
+        epochs; plus ``levels``/``flushes``/``compactions``/``delta_live``
+        when the default LSM session is in charge)."""
+        return self._aggregator.maintenance_stats()
 
     def snapshot(self) -> "SDIndexSnapshot":
         """Pin the current serving epoch: a repeatable-read view of the index.

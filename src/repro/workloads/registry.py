@@ -168,6 +168,23 @@ def _build_concurrent_serving(repulsive, attractive, **options) -> ConcurrentWor
     return make_concurrent_workload(repulsive, attractive, **options)
 
 
+def _build_write_heavy(repulsive, attractive, **options) -> ConcurrentWorkload:
+    """The write-heavy workload: update-dominated traffic for LSM maintenance.
+
+    The same deterministic serve-while-mutate shape as ``concurrent_serving``
+    but with the ratio inverted — a long insert/delete stream against a small
+    read batch — so the scenario spends its life in the delta/flush/merge
+    machinery: deltas fill and fold into levels, tiers merge, and reads hit
+    the layered (delta + levels) merge path at every checkpoint.  Drives the
+    ``write_heavy`` golden fixture and ``benchmarks/bench_lsm.py``.
+    """
+    options.setdefault("k", (1, 10))
+    options.setdefault("num_queries", 8)
+    options.setdefault("num_updates", 400)
+    options.setdefault("delete_fraction", 0.3)
+    return make_concurrent_workload(repulsive, attractive, **options)
+
+
 def _build_serving(repulsive, attractive, **options) -> ServingWorkload:
     """The front-end serving workload: open-loop arrivals for the coalescer.
 
@@ -185,6 +202,7 @@ WORKLOAD_BUILDERS: Dict[str, Callable] = {
     "batch_serving": _build_batch_serving,
     "sharded_serving": _build_sharded_serving,
     "concurrent_serving": _build_concurrent_serving,
+    "write_heavy": _build_write_heavy,
     "serving": _build_serving,
 }
 

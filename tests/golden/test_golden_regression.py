@@ -106,6 +106,26 @@ CONCURRENT_NUM_QUERIES = 10
 CONCURRENT_NUM_UPDATES = 120
 CONCURRENT_CHECKPOINTS = (0, 40, 80, 120)
 
+#: The write-heavy snapshot: the registered ``write_heavy`` workload (an
+#: update-dominated stream against a small read batch) frozen at checkpoints
+#: chosen to land mid-layering.  The replay drives the LSM engine with a tiny
+#: flush threshold, so the frozen answers pin the delta + levels merge path
+#: — flushes, tier merges, tombstone collection — against the oracle, next
+#: to the ``compaction="legacy"`` engine on the same script.
+WRITE_HEAVY_SCENARIO = {
+    "distribution": "uniform",
+    "num_points": 300,
+    "num_dims": 4,
+    "data_seed": 601,
+    "repulsive": (0, 1),
+    "attractive": (2, 3),
+    "workload_seed": 602,
+}
+WRITE_HEAVY_NUM_QUERIES = 8
+WRITE_HEAVY_NUM_UPDATES = 400
+WRITE_HEAVY_CHECKPOINTS = (0, 90, 210, 400)
+WRITE_HEAVY_LSM_OPTIONS = dict(flush_rows=16, fanout=2, background_compaction=False)
+
 
 def _sharded_inputs():
     config = SHARDED_SCENARIO
@@ -146,14 +166,15 @@ def _concurrent_inputs():
     return data, workload
 
 
-def _concurrent_expected(data, workload):
+def _concurrent_expected(data, workload, config=None, checkpoints=None):
     """Oracle answers of the read batch at every update-script checkpoint."""
-    config = CONCURRENT_SCENARIO
+    config = CONCURRENT_SCENARIO if config is None else config
+    checkpoints = CONCURRENT_CHECKPOINTS if checkpoints is None else checkpoints
     store = {row: data[row] for row in range(len(data))}
     script = workload.script(sorted(store))
     expected = []
     applied = 0
-    for checkpoint in CONCURRENT_CHECKPOINTS:
+    for checkpoint in checkpoints:
         while applied < checkpoint:
             op, row, point = script[applied]
             if op == "insert":
@@ -180,6 +201,26 @@ def _concurrent_expected(data, workload):
             }
         )
     return expected
+
+
+def _write_heavy_inputs():
+    config = WRITE_HEAVY_SCENARIO
+    data = generate_dataset(
+        config["distribution"],
+        config["num_points"],
+        config["num_dims"],
+        seed=config["data_seed"],
+    ).matrix
+    workload = build_workload(
+        "write_heavy",
+        config["repulsive"],
+        config["attractive"],
+        num_queries=WRITE_HEAVY_NUM_QUERIES,
+        num_updates=WRITE_HEAVY_NUM_UPDATES,
+        num_dims=config["num_dims"],
+        seed=config["workload_seed"],
+    )
+    return data, workload
 
 
 def _scenario_inputs(config):
@@ -254,6 +295,20 @@ def regenerate() -> None:
         "expected": _concurrent_expected(data, workload),
     }
     path = _fixture_path("concurrent_serving")
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    data, workload = _write_heavy_inputs()
+    payload = {
+        "scenario": {key: list(value) if isinstance(value, tuple) else value
+                     for key, value in WRITE_HEAVY_SCENARIO.items()},
+        "num_queries": WRITE_HEAVY_NUM_QUERIES,
+        "num_updates": WRITE_HEAVY_NUM_UPDATES,
+        "checkpoints": list(WRITE_HEAVY_CHECKPOINTS),
+        "expected": _concurrent_expected(
+            data, workload, WRITE_HEAVY_SCENARIO, WRITE_HEAVY_CHECKPOINTS
+        ),
+    }
+    path = _fixture_path("write_heavy")
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {path}")
 
@@ -440,6 +495,116 @@ class TestGoldenConcurrentServing:
                 attractive=config["attractive"],
                 num_shards=num_shards,
                 partitioner="range" if num_shards == 2 else "hash",
+            ),
+            f"sharded{num_shards}",
+            close=True,
+        )
+
+
+class TestGoldenWriteHeavy:
+    """Frozen checkpoint answers of the ``write_heavy`` update script.
+
+    The LSM replay uses a tiny flush threshold so every checkpoint lands on
+    a genuinely layered world — the frozen answers pin the delta + levels
+    merge read path, not just the single-level fast path — and the legacy
+    engine replays the identical script, anchoring both maintenance modes
+    to the same oracle.
+    """
+
+    def _load(self):
+        payload = json.loads(_fixture_path("write_heavy").read_text())
+        data, workload = _write_heavy_inputs()
+        return data, workload, payload
+
+    def test_script_is_update_dominated(self):
+        data, workload, payload = self._load()
+        script = workload.script(range(len(data)))
+        assert len(script) == payload["num_updates"]
+        assert len(script) > 10 * len(workload.reads.points)
+
+    def test_oracle_matches_fixture(self):
+        data, workload, payload = self._load()
+        expected = _concurrent_expected(
+            data, workload, WRITE_HEAVY_SCENARIO, WRITE_HEAVY_CHECKPOINTS
+        )
+        assert len(expected) == len(payload["expected"])
+        for computed, frozen in zip(expected, payload["expected"]):
+            assert computed["checkpoint"] == frozen["checkpoint"]
+            assert computed["population"] == frozen["population"]
+            for mine, theirs in zip(computed["results"], frozen["results"]):
+                assert mine["row_ids"] == theirs["row_ids"]
+                for a, b in zip(mine["scores"], theirs["scores"]):
+                    assert abs(a - b) <= SCORE_TOLERANCE
+
+    def _replay(self, engine_factory, label, close=False):
+        data, workload, payload = self._load()
+        engine = engine_factory(data)
+        script = workload.script(range(len(data)))
+        applied = 0
+        try:
+            for frozen in payload["expected"]:
+                while applied < frozen["checkpoint"]:
+                    op, row, point = script[applied]
+                    if op == "insert":
+                        engine.insert(point, row_id=row)
+                    else:
+                        engine.delete(row)
+                    applied += 1
+                with engine.snapshot() as snap:
+                    assert len(snap) == frozen["population"]
+                    batch = snap.batch_query(workload.reads)
+                for j, result in enumerate(batch):
+                    _assert_matches_fixture(
+                        result,
+                        frozen["results"][j],
+                        f"write_heavy/{label}@{frozen['checkpoint']} q{j}",
+                    )
+        finally:
+            if close:
+                engine.close()
+        return engine
+
+    def test_lsm_engine_matches_fixture_and_actually_layers(self):
+        config = WRITE_HEAVY_SCENARIO
+        engine = self._replay(
+            lambda data: SDIndex.build(
+                data,
+                repulsive=config["repulsive"],
+                attractive=config["attractive"],
+                **WRITE_HEAVY_LSM_OPTIONS,
+            ),
+            "lsm",
+        )
+        session = engine._aggregator.serving_session()
+        # The scenario exercised real maintenance, not the fast path: the
+        # stream drove flushes and merges, and never a stop-the-world rebuild.
+        assert session.flushes > 0
+        assert session.compactions > 0
+        assert session.reflattens == 0
+
+    def test_legacy_engine_matches_fixture(self):
+        config = WRITE_HEAVY_SCENARIO
+        self._replay(
+            lambda data: SDIndex.build(
+                data,
+                repulsive=config["repulsive"],
+                attractive=config["attractive"],
+                compaction="legacy",
+            ),
+            "legacy",
+        )
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_sharded_lsm_engine_matches_fixture(self, num_shards):
+        config = WRITE_HEAVY_SCENARIO
+        self._replay(
+            lambda data: ShardedIndex(
+                data,
+                repulsive=config["repulsive"],
+                attractive=config["attractive"],
+                num_shards=num_shards,
+                partitioner="range" if num_shards == 2 else "hash",
+                **WRITE_HEAVY_LSM_OPTIONS,
             ),
             f"sharded{num_shards}",
             close=True,

@@ -671,3 +671,113 @@ class TestDurabilityFaults:
             assert got[j].row_ids == expect[j].row_ids
             assert got[j].scores == expect[j].scores
         recovered.close()
+
+
+# ------------------------------------------------------- compaction faults
+class TestCompactionFaults:
+    """LSM structure-op faults (``compact.flush`` / ``compact.merge``).
+
+    Structure maintenance is answer-invariant, so its faults must fail at
+    most the writer that triggered them: the already-published mutation
+    stays visible, no level is ever half-built, and a clean retry folds the
+    backlog.  Background mode turns the same faults into stored failures
+    surfaced on the next write — reads never see any of it.
+    """
+
+    def _flat(self, rows: int = 60, **kwargs):
+        data = _dataset(seed=71, rows=rows)
+        kwargs.setdefault("flush_rows", 8)
+        kwargs.setdefault("fanout", 2)
+        kwargs.setdefault("background_compaction", False)
+        index = SDIndex.build(
+            data, repulsive=REPULSIVE, attractive=ATTRACTIVE, **kwargs
+        )
+        return data, index
+
+    def _assert_exact(self, index) -> None:
+        with index.snapshot() as snapshot:
+            rows, matrix = snapshot.frozen()
+        oracle = SequentialScan(
+            matrix, REPULSIVE, ATTRACTIVE, row_ids=[int(r) for r in rows]
+        )
+        for query in _queries(73, 3):
+            got = index.query(query)
+            want = oracle.query(query)
+            assert got.row_ids == want.row_ids
+            assert got.scores == want.scores
+
+    def test_flush_fault_fails_the_writer_not_the_world(self):
+        data, index = self._flat()
+        session = index._aggregator.serving_session()
+        rng = np.random.default_rng(79)
+        plane = FaultPlane([FaultRule("compact.flush", times=1)])
+        with faults.fault_plane(plane):
+            with pytest.raises(InjectedFault):
+                # Trips the flush threshold; the inline flush faults.
+                index.bulk_insert(rng.random((12, NUM_DIMS)))
+        # The insert itself was published before maintenance ran, so it is
+        # visible; the faulted flush left the delta pending, nothing torn.
+        structure = session.structure()
+        assert structure["delta_live"] == 12
+        self._assert_exact(index)
+        assert index.flush() is True  # clean retry folds the backlog
+        assert session.structure()["delta_live"] == 0
+        self._assert_exact(index)
+        assert session.epochs.leak_report()["pinned_readers"] == 0
+
+    def test_merge_fault_leaves_level_structure_intact(self):
+        data, index = self._flat(flush_rows=100)
+        session = index._aggregator.serving_session()
+        rng = np.random.default_rng(83)
+        index.bulk_insert(rng.random((6, NUM_DIMS)))
+        index.flush()
+        index.bulk_insert(rng.random((9, NUM_DIMS)))
+        index.flush()
+        seqs = [lvl["seq"] for lvl in session.structure()["levels"]]
+        assert len(seqs) == 3
+        plane = FaultPlane([FaultRule("compact.merge", times=1)])
+        with faults.fault_plane(plane):
+            with pytest.raises(InjectedFault):
+                index.compact(seqs)
+        # The faulted merge published nothing: same levels, same seqs.
+        assert [lvl["seq"] for lvl in session.structure()["levels"]] == seqs
+        self._assert_exact(index)
+        assert index.compact(seqs) == tuple(seqs)
+        assert len(session.structure()["levels"]) == 1
+        self._assert_exact(index)
+        assert session.epochs.leak_report()["pinned_readers"] == 0
+
+    def test_background_compaction_storm_stays_available_and_exact(self):
+        data, index = self._flat(flush_rows=6, background_compaction=True)
+        session = index._aggregator.serving_session()
+        rng = np.random.default_rng(89)
+        plane = FaultPlane(
+            [
+                FaultRule("compact.flush", rate=0.5),
+                FaultRule("compact.merge", rate=0.5),
+            ],
+            seed=17,
+        )
+        surfaced = 0
+        with faults.fault_plane(plane):
+            for step in range(30):
+                try:
+                    # The insert may surface a *previous* background
+                    # maintenance failure — the write still applied.
+                    index.bulk_insert(rng.random((4, NUM_DIMS)))
+                except RuntimeError:
+                    surfaced += 1
+                if step % 10 == 9:
+                    self._assert_exact(index)
+            try:
+                index.quiesce_maintenance()
+            except RuntimeError:
+                surfaced += 1
+            assert plane.hits.get("compact.flush", 0) > 0  # the storm bit
+        assert surfaced > 0
+        # Once the plane lifts, maintenance catches up and nothing leaked.
+        index.quiesce_maintenance()
+        index.lsm_maintain()
+        assert session.structure()["delta_live"] < 6
+        self._assert_exact(index)
+        assert session.epochs.leak_report()["pinned_readers"] == 0

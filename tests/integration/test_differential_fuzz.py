@@ -20,9 +20,20 @@ legitimately differs) have probability zero.
 A deterministic long-run variant drives 1,000 interleaved updates through the
 same five-way comparison at periodic checkpoints — the acceptance scenario of
 the sharded serving engine.
+
+Every engine runs LSM maintenance (``compaction="size_tiered"``, the default)
+with a deliberately tiny ``flush_rows`` so the fuzzed populations actually
+layer into multiple levels: the merged delta + levels read path, mid-stream
+flushes and level merges are all inside the exact-agreement envelope.  An
+explicit ``compact`` rule forces flush/merge at hypothesis-chosen points, and
+a WAL-journaled :class:`DurableIndex` member verifies that durability-driven
+maintenance (structure ops journaled per mutation) never perturbs an answer.
 """
 
 from __future__ import annotations
+
+import shutil
+import tempfile
 
 import numpy as np
 import pytest
@@ -30,6 +41,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import SequentialScan
+from repro.core.persistence import DurableIndex
 from repro.core.procserving import ProcessShardedIndex
 from repro.core.query import SDQuery
 from repro.core.sdindex import SDIndex
@@ -39,6 +51,9 @@ REPULSIVE = (0, 1)
 ATTRACTIVE = (2, 3)
 NUM_DIMS = 4
 SHARD_COUNTS = (1, 2, 4, 8)
+#: Tiny flush threshold so fuzz-sized populations layer into real LSM levels;
+#: inline (non-background) maintenance keeps each interleaving deterministic.
+LSM_OPTIONS = dict(flush_rows=24, fanout=2, background_compaction=False)
 
 
 class Harness:
@@ -52,12 +67,18 @@ class Harness:
     """
 
     def __init__(
-        self, seed: int, initial_rows: int, process_shards: tuple = ()
+        self,
+        seed: int,
+        initial_rows: int,
+        process_shards: tuple = (),
+        durable: bool = False,
     ) -> None:
         self.rng = np.random.default_rng(seed)
         data = self.rng.random((initial_rows, NUM_DIMS))
         self.store = {row: data[row].copy() for row in range(initial_rows)}
-        self.flat = SDIndex.build(data, repulsive=REPULSIVE, attractive=ATTRACTIVE)
+        self.flat = SDIndex.build(
+            data, repulsive=REPULSIVE, attractive=ATTRACTIVE, **LSM_OPTIONS
+        )
         self.sharded = [
             ShardedIndex(
                 data,
@@ -66,6 +87,7 @@ class Harness:
                 num_shards=num_shards,
                 # Cover both partitioners across the fleet.
                 partitioner="range" if num_shards in (2, 8) else "hash",
+                **LSM_OPTIONS,
             )
             for num_shards in SHARD_COUNTS
         ]
@@ -79,6 +101,19 @@ class Harness:
             )
             for num_shards in process_shards
         ]
+        self.durable = None
+        self._durable_dir = None
+        if durable:
+            # A WAL-journaled member: the wrapper claims maintenance
+            # scheduling from the engine and journals every flush/compact it
+            # drives, so the fuzz also covers durability-owned structure ops.
+            self._durable_dir = tempfile.mkdtemp(prefix="sdfuzz-durable-")
+            engine = SDIndex.build(
+                data, repulsive=REPULSIVE, attractive=ATTRACTIVE, **LSM_OPTIONS
+            )
+            self.durable = DurableIndex.create(
+                engine, self._durable_dir, fsync="os"
+            )
         self.next_row = initial_rows
         #: Ids deleted so far — fodder for the delete-of-tombstone rule.
         self.deleted_rows: list = []
@@ -86,10 +121,15 @@ class Harness:
     def close(self) -> None:
         for engine in self.process:
             engine.close()
+        if self.durable is not None:
+            self.durable.close()
+        if self._durable_dir is not None:
+            shutil.rmtree(self._durable_dir, ignore_errors=True)
 
     @property
     def _mutable_engines(self) -> list:
-        return [*self.sharded, *self.process]
+        extra = [self.durable] if self.durable is not None else []
+        return [*self.sharded, *self.process, *extra]
 
     # ------------------------------------------------------------------ ops
     def insert(self) -> None:
@@ -134,6 +174,22 @@ class Harness:
             engine.bulk_delete(rows)
         self.deleted_rows.extend(rows)
 
+    def compact(self) -> None:
+        """Force LSM structure maintenance at a fuzz-chosen point.
+
+        Flushes the mutable delta and runs a policy-chosen level merge on the
+        flat engine (and, when present, through the durable wrapper's
+        journaled paths).  Structure ops must never change an answer, so no
+        comparison happens here — the next ``check_queries`` sees the world
+        re-layered.  The sharded engines run the same maintenance inline via
+        their per-shard auto compaction.
+        """
+        self.flat.flush()
+        self.flat.compact()
+        if self.durable is not None:
+            self.durable.flush()
+            self.durable.compact()
+
     def delete_invalid(self) -> None:
         """The unified contract for bad deletes, checked across every engine.
 
@@ -150,6 +206,7 @@ class Harness:
             [("flat", self.flat)]
             + [(f"sharded/{engine.num_shards}", engine) for engine in self.sharded]
             + [(f"process/{engine.num_shards}", engine) for engine in self.process]
+            + ([("durable", self.durable)] if self.durable is not None else [])
         )
         live = sorted(self.store)
         for target in targets:
@@ -199,6 +256,11 @@ class Harness:
             engine.batch_query(points, k=ks, alpha=alphas, beta=betas)
             for engine in self.process
         ]
+        durable_batch = (
+            self.durable.batch_query(points, k=ks, alpha=alphas, beta=betas)
+            if self.durable is not None
+            else None
+        )
         for j in range(num_queries):
             reference = expected[j]
             spec_query = SDQuery.simple(
@@ -223,6 +285,11 @@ class Harness:
                     (f"process/{engine.num_shards}", batch[j])
                     for engine, batch in zip(self.process, process_batches)
                 ),
+                *(
+                    [("durable", durable_batch[j])]
+                    if durable_batch is not None
+                    else []
+                ),
             ):
                 assert result.row_ids == reference.row_ids, (
                     f"{label} rows diverged at query {j}: "
@@ -237,9 +304,29 @@ class Harness:
         assert len(self.flat) == len(self.store)
         for engine in self._mutable_engines:
             assert len(engine) == len(self.store)
+        self.check_epochs()
+
+    def check_epochs(self) -> None:
+        """Maintenance must never leak an epoch or strand a reader pin."""
+        sessions = [self.flat._aggregator.serving_session()]
+        if self.durable is not None:
+            sessions.append(self.durable._engine._aggregator.serving_session())
+        for session in sessions:
+            assert session.epochs.live_epochs == 1, (
+                f"leaked epochs: {session.epochs.live_epochs} live"
+            )
+            assert session.epochs.pinned_readers == 0
 
 
-OPS = ("insert", "bulk_insert", "delete", "bulk_delete", "delete_invalid", "query")
+OPS = (
+    "insert",
+    "bulk_insert",
+    "delete",
+    "bulk_delete",
+    "delete_invalid",
+    "compact",
+    "query",
+)
 
 
 @settings(max_examples=20, deadline=None)
@@ -249,52 +336,67 @@ OPS = ("insert", "bulk_insert", "delete", "bulk_delete", "delete_invalid", "quer
     ops=st.lists(st.sampled_from(OPS), min_size=1, max_size=25),
 )
 def test_fuzzed_interleavings_agree(seed, initial_rows, ops):
-    harness = Harness(seed, initial_rows)
-    harness.check_queries()
-    for op in ops:
-        if op == "insert":
-            harness.insert()
-        elif op == "bulk_insert":
-            harness.bulk_insert(int(harness.rng.integers(2, 12)))
-        elif op == "delete":
-            harness.delete()
-        elif op == "bulk_delete":
-            harness.bulk_delete(int(harness.rng.integers(2, 8)))
-        elif op == "delete_invalid":
-            harness.delete_invalid()
-        else:
-            harness.check_queries()
-    harness.check_population()
-    harness.check_queries()
+    harness = Harness(seed, initial_rows, durable=True)
+    try:
+        harness.check_queries()
+        for op in ops:
+            if op == "insert":
+                harness.insert()
+            elif op == "bulk_insert":
+                harness.bulk_insert(int(harness.rng.integers(2, 12)))
+            elif op == "delete":
+                harness.delete()
+            elif op == "bulk_delete":
+                harness.bulk_delete(int(harness.rng.integers(2, 8)))
+            elif op == "delete_invalid":
+                harness.delete_invalid()
+            elif op == "compact":
+                harness.compact()
+            else:
+                harness.check_queries()
+        harness.check_population()
+        harness.check_queries()
+    finally:
+        harness.close()
 
 
 def test_thousand_interleaved_updates_stay_identical():
-    """The acceptance scenario: 1,000 fuzzed updates, periodic five-way checks."""
-    harness = Harness(seed=20260729, initial_rows=400)
-    rng = np.random.default_rng(99)
-    updates = 0
-    while updates < 1000:
-        op = rng.integers(0, 4)
-        if op == 0:
-            harness.insert()
-            updates += 1
-        elif op == 1:
-            count = int(rng.integers(5, 40))
-            harness.bulk_insert(count)
-            updates += count
-        elif op == 2:
-            harness.delete()
-            updates += 1
-        else:
-            count = int(rng.integers(5, 25))
-            before = len(harness.store)
-            harness.bulk_delete(count)
-            updates += before - len(harness.store)
-        if updates % 100 < 5:
-            harness.check_queries(num_queries=2)
-            harness.delete_invalid()
-    harness.check_population()
-    harness.check_queries(num_queries=5)
+    """The acceptance scenario: 1,000 fuzzed updates, periodic five-way checks.
+
+    With ``flush_rows=24`` a thousand updates over a 400-row world drive
+    dozens of flushes and level merges (explicit ones injected every ~150
+    updates on top of the inline schedule) — the long-run LSM regression.
+    """
+    harness = Harness(seed=20260729, initial_rows=400, durable=True)
+    try:
+        rng = np.random.default_rng(99)
+        updates = 0
+        while updates < 1000:
+            op = rng.integers(0, 4)
+            if op == 0:
+                harness.insert()
+                updates += 1
+            elif op == 1:
+                count = int(rng.integers(5, 40))
+                harness.bulk_insert(count)
+                updates += count
+            elif op == 2:
+                harness.delete()
+                updates += 1
+            else:
+                count = int(rng.integers(5, 25))
+                before = len(harness.store)
+                harness.bulk_delete(count)
+                updates += before - len(harness.store)
+            if updates % 150 < 5:
+                harness.compact()
+            if updates % 100 < 5:
+                harness.check_queries(num_queries=2)
+                harness.delete_invalid()
+        harness.check_population()
+        harness.check_queries(num_queries=5)
+    finally:
+        harness.close()
 
 
 @pytest.mark.procserve

@@ -158,7 +158,11 @@ class TestSessionMaintenance:
         # A deliberate value gap in every dimension around (0.4, 0.6).
         base = rng.random((300, 4))
         base = np.where((base > 0.4) & (base < 0.6), base - 0.4, base)
-        index = SDIndex.build(base, repulsive=repulsive, attractive=attractive)
+        # The splice under test is the legacy in-place patch path; LSM
+        # sessions absorb inserts into the delta and never splice.
+        index = SDIndex.build(
+            base, repulsive=repulsive, attractive=attractive, compaction="legacy"
+        )
         session = index.query_session()
         # Two batches landing inside the gap in descending order.
         index.bulk_insert(np.full((1, 4), 0.52))
