@@ -19,9 +19,11 @@ Knobs (environment): ``REPRO_BENCH_BATCH_POINTS`` (dataset size, default
 ``REPRO_BENCH_BATCH_MIN_SPEEDUP`` (exit-1 bar, default 5.0; set to 0 on
 noisy shared runners to gate on correctness only),
 ``REPRO_BENCH_BATCH_MAX_OVERFETCH`` (exit-1 bar on the batch-vs-sequential
-candidates-per-query ratio, default 8.0 — deterministic, so it stays on even
-on noisy runners; the healthy ratio is ~5x from the shared pooled-threshold
-sampling, and a pruning regression shows up here long before wall clock).
+candidates-per-query ratio, default 2.5 — deterministic, so it stays on even
+on noisy runners; the healthy ratio is ~1.2x now that verification re-prunes
+with exact-pair-0 tight bounds over the refined bound grid (DESIGN.md,
+"The bound hierarchy"), and a pruning regression shows up here long before
+wall clock).
 """
 
 from __future__ import annotations
@@ -42,7 +44,7 @@ NUM_POINTS = int(os.environ.get("REPRO_BENCH_BATCH_POINTS", "50000"))
 NUM_QUERIES = int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", "100"))
 REPEAT = int(os.environ.get("REPRO_BENCH_BATCH_REPEAT", "3"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_BATCH_MIN_SPEEDUP", "5.0"))
-MAX_OVERFETCH = float(os.environ.get("REPRO_BENCH_BATCH_MAX_OVERFETCH", "8.0"))
+MAX_OVERFETCH = float(os.environ.get("REPRO_BENCH_BATCH_MAX_OVERFETCH", "2.5"))
 REPULSIVE = (0, 1)
 ATTRACTIVE = (2, 3)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch.json"

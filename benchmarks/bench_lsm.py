@@ -150,6 +150,21 @@ def main() -> int:
         "legacy": legacy_stats,
         "p95_improvement": improvement,
         "bit_identical": identical,
+        # Layered-vs-flat verification cost: the LSM world's bound-ordered
+        # source visitation and pooled sample thresholds must keep its
+        # candidate fetches close to the single flat session's.
+        "lsm_candidates_per_query": (
+            sum(r.candidates_examined for r in lsm_answers)
+            / max(1, len(lsm_answers))
+        ),
+        "flat_candidates_per_query": (
+            sum(r.candidates_examined for r in legacy_answers)
+            / max(1, len(legacy_answers))
+        ),
+        "overfetch_ratio": (
+            sum(r.candidates_examined for r in lsm_answers)
+            / max(1, sum(r.candidates_examined for r in legacy_answers))
+        ),
     }
     OUTPUT.write_text(json.dumps(point, indent=2) + "\n")
 
@@ -167,7 +182,8 @@ def main() -> int:
         f"max {legacy_stats['write_max_us']:.0f}us  "
         f"({legacy_stats['reflattens']} reflattens)"
     )
-    print(f"p95 improvement: {improvement:.1f}x   bit-identical: {identical}")
+    print(f"p95 improvement: {improvement:.1f}x   bit-identical: {identical}   "
+          f"over-fetch {point['overfetch_ratio']:.2f}x")
     print(f"wrote {OUTPUT}")
 
     if not identical:

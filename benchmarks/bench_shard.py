@@ -26,7 +26,11 @@ Knobs (environment): ``REPRO_BENCH_SHARD_POINTS`` (dataset size, default
 ``REPRO_BENCH_SHARD_SHARDS`` (shard count, default 4),
 ``REPRO_BENCH_SHARD_REPEAT`` (timing repetitions, default 3, best-of),
 ``REPRO_BENCH_SHARD_MIN_SPEEDUP`` (exit-1 bar on the chembl scenario, default
-2.0; set to 0 on noisy shared runners to gate on correctness only).
+2.0; set to 0 on noisy shared runners to gate on correctness only),
+``REPRO_BENCH_SHARD_MAX_OVERFETCH`` (exit-1 bar on the sharded-vs-flat
+candidates-per-query ratio of the headline scenario, default 2.5 —
+deterministic; cross-shard sample pooling must keep per-shard verification
+as tight as the single-session engine's).
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ NUM_QUERIES = int(os.environ.get("REPRO_BENCH_SHARD_QUERIES", "100"))
 NUM_SHARDS = int(os.environ.get("REPRO_BENCH_SHARD_SHARDS", "4"))
 REPEAT = int(os.environ.get("REPRO_BENCH_SHARD_REPEAT", "3"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SHARD_MIN_SPEEDUP", "2.0"))
+MAX_OVERFETCH = float(os.environ.get("REPRO_BENCH_SHARD_MAX_OVERFETCH", "2.5"))
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
 
 
@@ -100,6 +105,16 @@ def run_scenario(name, data, repulsive, attractive, workload, partitioner):
         "sharded_queries_per_second": len(workload) / shard_seconds,
         "speedup": flat_seconds / shard_seconds,
         "bit_identical": identical,
+        "flat_candidates_per_query": (
+            sum(r.candidates_examined for r in expected) / len(workload)
+        ),
+        "sharded_candidates_per_query": (
+            sum(r.candidates_examined for r in answered) / len(workload)
+        ),
+        "overfetch_ratio": (
+            sum(r.candidates_examined for r in answered)
+            / max(1, sum(r.candidates_examined for r in expected))
+        ),
         "probes": stats["probes"],
         "probes_pruned": stats["pruned"],
         "rounds": stats["rounds"],
@@ -154,6 +169,7 @@ def main() -> int:
             f"flat {point['flat_seconds']:.3f}s  sharded {point['sharded_seconds']:.3f}s  "
             f"speedup {point['speedup']:.2f}x  pruned {point['probes_pruned']}"
             f"/{point['probes'] + point['probes_pruned']} probes  "
+            f"over-fetch {point['overfetch_ratio']:.2f}x  "
             f"bit-identical: {point['bit_identical']}"
         )
     print(f"wrote {OUTPUT}")
@@ -166,6 +182,14 @@ def main() -> int:
         print(
             f"FAIL: headline speedup {headline['speedup']:.2f}x below the "
             f"{MIN_SPEEDUP:g}x acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    if MAX_OVERFETCH > 0 and headline["overfetch_ratio"] > MAX_OVERFETCH:
+        print(
+            f"FAIL: sharded engine over-fetches {headline['overfetch_ratio']:.2f}x "
+            f"the single-session candidates per query (bar: {MAX_OVERFETCH:g}x) — "
+            "a cross-shard bound regression",
             file=sys.stderr,
         )
         return 1

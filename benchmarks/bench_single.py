@@ -24,7 +24,11 @@ Knobs (environment): ``REPRO_BENCH_SINGLE_POINTS`` (dataset size, default
 ``REPRO_BENCH_SINGLE_REPEAT`` (timing repetitions, default 3, best-of),
 ``REPRO_BENCH_SINGLE_UPDATES`` (interleaved updates, default 1000),
 ``REPRO_BENCH_SINGLE_MIN_SPEEDUP`` (exit-1 bar, default 5.0; set to 0 on noisy
-shared runners to gate on correctness only).
+shared runners to gate on correctness only),
+``REPRO_BENCH_SINGLE_MAX_OVERFETCH`` (exit-1 bar on the fast-vs-legacy
+candidates-per-query ratio, default 2.5 — deterministic; the single-query
+fast path runs through the same cached session as the batch engine, so it
+must inherit the tightened verification bounds, not just the batch path).
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ NUM_QUERIES = int(os.environ.get("REPRO_BENCH_SINGLE_QUERIES", "100"))
 REPEAT = int(os.environ.get("REPRO_BENCH_SINGLE_REPEAT", "3"))
 NUM_UPDATES = int(os.environ.get("REPRO_BENCH_SINGLE_UPDATES", "1000"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SINGLE_MIN_SPEEDUP", "5.0"))
+MAX_OVERFETCH = float(os.environ.get("REPRO_BENCH_SINGLE_MAX_OVERFETCH", "2.5"))
 REPULSIVE = (0, 1)
 ATTRACTIVE = (2, 3)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_single.json"
@@ -147,6 +152,10 @@ def main() -> int:
         "legacy_candidates_per_query": (
             sum(result.candidates_examined for result in legacy) / NUM_QUERIES
         ),
+        "overfetch_ratio": (
+            sum(result.candidates_examined for result in fast)
+            / max(1, sum(result.candidates_examined for result in legacy))
+        ),
         "updates": {
             "num_updates": NUM_UPDATES,
             "updates_per_second": NUM_UPDATES / update_seconds,
@@ -165,7 +174,8 @@ def main() -> int:
           f"{point['legacy_candidates_per_query']:.0f} cand/query)")
     print(f"fast:   {fast_seconds:.3f}s ({point['fast_ms_per_query']:.2f} ms/query, "
           f"{point['fast_candidates_per_query']:.0f} cand/query)")
-    print(f"speedup: {speedup:.1f}x   bit-identical: {identical}")
+    print(f"speedup: {speedup:.1f}x   bit-identical: {identical}   "
+          f"over-fetch: {point['overfetch_ratio']:.2f}x")
     print(f"updates: {point['updates']['updates_per_second']:.0f}/s over {NUM_UPDATES} "
           f"interleaved, session survived: {session_survived} "
           f"(reflattens={session.reflattens}), "
@@ -182,6 +192,14 @@ def main() -> int:
     if speedup < MIN_SPEEDUP:
         print(f"FAIL: speedup {speedup:.1f}x below the {MIN_SPEEDUP:g}x acceptance bar",
               file=sys.stderr)
+        return 1
+    if MAX_OVERFETCH > 0 and point["overfetch_ratio"] > MAX_OVERFETCH:
+        print(
+            f"FAIL: fast path over-fetches {point['overfetch_ratio']:.2f}x the "
+            f"legacy candidates per query (bar: {MAX_OVERFETCH:g}x) — "
+            "a verification-bound regression",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

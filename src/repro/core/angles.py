@@ -16,10 +16,36 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Angle
 
-__all__ = ["AngleGrid", "DEFAULT_ANGLE_DEGREES"]
+__all__ = ["AngleGrid", "DEFAULT_ANGLE_DEGREES", "refine_angles"]
 
 #: The paper's default: five angles distributed uniformly across the quadrant.
 DEFAULT_ANGLE_DEGREES: Tuple[float, ...] = (0.0, 22.5, 45.0, 67.5, 90.0)
+
+
+def refine_angles(angles: Sequence[Angle], factor: int) -> Tuple[Angle, ...]:
+    """Subdivide each bracket of ``angles`` into ``factor`` equal arcs.
+
+    The original angles are kept exactly (so exact-angle resolution and the
+    partition grid's brackets are preserved) and ``factor - 1`` interior
+    angles are inserted per bracket.  This is the *bound grid* refinement:
+    stored per-leaf bounds get resolved against a denser grid, shrinking the
+    interpolation cone of every bracket, while the partition grid that shapes
+    tree traversal is untouched — refinement costs memory, never a rebuild.
+    """
+    factor = int(factor)
+    if factor <= 1 or len(angles) < 2:
+        return tuple(angles)
+    radians = [angle.radians for angle in angles]
+    refined: List[Angle] = []
+    for i in range(len(angles) - 1):
+        refined.append(angles[i])
+        step = (radians[i + 1] - radians[i]) / factor
+        refined.extend(
+            Angle.from_radians(radians[i] + part * step)
+            for part in range(1, factor)
+        )
+    refined.append(angles[-1])
+    return tuple(refined)
 
 
 @dataclass(frozen=True)
@@ -95,6 +121,14 @@ class AngleGrid:
             fraction = position - low
             chosen.append(history[low] * (1 - fraction) + history[high] * fraction)
         return cls.from_degrees(chosen)
+
+    def refined(self, factor: int) -> "AngleGrid":
+        """A grid with every bracket subdivided into ``factor`` arcs.
+
+        See :func:`refine_angles` — the original angles are preserved, so any
+        bracket of this grid nests inside exactly one bracket of the original.
+        """
+        return AngleGrid(refine_angles(self.angles, factor))
 
     # ------------------------------------------------------------------ lookup
     def bracket(self, query_angle: Angle) -> Tuple[Angle, Angle]:

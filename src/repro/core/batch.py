@@ -30,11 +30,19 @@ module amortizes it:
   scores are bit-identical to the sequential path) and the top ``k`` are
   selected with the deterministic ``(-score, row_id)`` tie-break.
 
-* **Two-stage verification.**  The seeded bound alone over-fetches (leaf bounds
-  are coarse); before exact scoring, the engine scores only the best few
-  candidates *by bound*, tightens the pruning threshold to their exact k-th
-  best, and re-prunes — typically an order of magnitude fewer verified
-  candidates at the cost of one extra ``argpartition``.
+* **Tightened verification.**  The seeded bound alone over-fetches (leaf bounds
+  are coarse, and summing per-pair leaf bounds assumes one point is best in
+  every pair's leaf at once).  Before exact scoring the engine first swaps
+  each survivor's summed-leaf bound for a *tight* bound — the first pair's
+  exact partial score plus the remaining pairs' leaf bounds (stage 2a) —
+  then exact-scores the best few candidates *by tight bound*, tightens the
+  pruning threshold to their exact k-th best, and re-prunes the rest
+  (stage 2b).  The leaf bounds themselves come from a refined *bound grid*
+  (``_BOUND_GRID_REFINE``) elementwise-min'd with a per-leaf second-pass box
+  bound at the exact query angle.  DESIGN.md's "The bound hierarchy" section
+  walks each layer and its admissibility argument; the net over-fetch versus
+  the sequential oracle is ~1.2x, CI-gated at 2.5
+  (``REPRO_BENCH_BATCH_MAX_OVERFETCH``).
 * **Incremental maintenance.**  A :class:`QuerySession` is no longer a
   throw-away snapshot: the owning aggregator patches every live session in
   place on ``insert``/``delete``/``bulk_insert``/``bulk_delete`` — appending
@@ -65,6 +73,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import faults
+from repro.core.angles import refine_angles
 from repro.core.deadline import Deadline
 from repro.core.epoch import EpochManager, validate_concurrency
 from repro.core.geometry import Angle
@@ -111,6 +120,15 @@ _MAGNITUDE_SLACK = 1e-12
 #: tighten the threshold to their exact k-th best and re-prune before the full
 #: verify pass.  Cuts the over-fetch of the coarse leaf bounds by ~10x.
 _VERIFY_POOL = 64
+
+#: Bound-grid refinement factor: every bracket of the partition grid is
+#: subdivided into this many arcs for the *stored* per-leaf bounds (see
+#: :func:`repro.core.angles.refine_angles` and DESIGN.md's bound-hierarchy
+#: section).  A finer bound grid shrinks the interpolation cone of
+#: :func:`leaf_score_bounds` — the dominant over-fetch term — at a pure
+#: memory cost (``4 * num_angles`` floats per leaf); the partition grid that
+#: shapes the projection trees is untouched, so refinement never rebuilds.
+_BOUND_GRID_REFINE = 4
 
 #: Fraction of live rows worth of accumulated garbage (tombstones) plus
 #: imbalance (bound-loosening appends) a session tolerates before it
@@ -521,6 +539,8 @@ class _FlatTree:
         "leaf_bounds",
         "leaf_min_x",
         "leaf_max_x",
+        "leaf_min_y",
+        "leaf_max_y",
         "leaf_of_pos",
         "num_leaves",
         "appended",
@@ -531,8 +551,14 @@ class _FlatTree:
         "_pos_of_row",
     )
 
-    def __init__(self, tree) -> None:
-        self.angles: Tuple[Angle, ...] = tree.angles
+    def __init__(self, tree, bound_refine: Optional[int] = None) -> None:
+        # The *bound grid*: the tree's partition grid with every bracket
+        # subdivided.  Stored bounds are recomputed from the points on this
+        # finer grid, decoupling bound resolution from the partition grid —
+        # refinement costs memory, never a tree rebuild (DESIGN.md).
+        self.angles: Tuple[Angle, ...] = refine_angles(
+            tree.angles, _BOUND_GRID_REFINE if bound_refine is None else bound_refine
+        )
         leaves = []
         stack = [tree._root] if tree._root is not None else []
         while stack:
@@ -554,8 +580,6 @@ class _FlatTree:
             self.x = tree._x
             self.y = tree._y
             sizes = [leaf.stop - leaf.start for leaf in leaves]
-            bounds = [leaf.bounds for leaf in leaves]
-            spans = [(leaf.min_x, leaf.max_x) for leaf in leaves]
         else:
             tombstone_array = (
                 np.fromiter(tombstones, dtype=np.int64, count=len(tombstones))
@@ -566,8 +590,6 @@ class _FlatTree:
             x_parts: List[np.ndarray] = []
             y_parts: List[np.ndarray] = []
             sizes = []
-            bounds = []
-            spans = []
             for leaf in leaves:
                 part_rows: List[np.ndarray] = []
                 part_x: List[np.ndarray] = []
@@ -607,35 +629,65 @@ class _FlatTree:
                 x_parts.extend(part_x)
                 y_parts.extend(part_y)
                 sizes.append(size)
-                bounds.append(leaf.bounds)
-                spans.append((leaf.min_x, leaf.max_x))
             self.rows = (
                 np.concatenate(row_parts) if row_parts else np.empty(0, dtype=np.int64)
             )
             self.x = np.concatenate(x_parts) if x_parts else np.empty(0, dtype=float)
             self.y = np.concatenate(y_parts) if y_parts else np.empty(0, dtype=float)
 
+        sizes = np.asarray(sizes, dtype=np.int64)
         self.num_leaves = len(sizes)
-        self.leaf_bounds = (
-            np.asarray(bounds, dtype=float)
-            if bounds
-            else np.empty((0, len(self.angles), 4), dtype=float)
-        )
-        span_array = (
-            np.asarray(spans, dtype=float) if spans else np.empty((0, 2), dtype=float)
-        )
-        self.leaf_min_x = span_array[:, 0]
-        self.leaf_max_x = span_array[:, 1]
         self.leaf_of_pos = np.repeat(
             np.arange(self.num_leaves, dtype=np.int64), sizes
         )
-        self.live = np.ones(len(self.rows), dtype=bool)
-        self.appended = 0
-        self.dead = 0
         self.grid_cos = np.array([angle.cos for angle in self.angles])
         self.grid_sin = np.array([angle.sin for angle in self.angles])
         self.grid_rad = np.array([angle.radians for angle in self.angles])
+        self._recompute_leaf_bounds(sizes)
+        self.live = np.ones(len(self.rows), dtype=bool)
+        self.appended = 0
+        self.dead = 0
         self._pos_of_row: Optional[Dict[int, int]] = None
+
+    def _recompute_leaf_bounds(self, sizes: np.ndarray) -> None:
+        """Per-leaf bounds recomputed from the stored points on the bound grid.
+
+        At flatten time each leaf's points occupy one contiguous segment of the
+        flat arrays, so every per-angle intercept extreme — and the leaf's own
+        coordinate box (``leaf_min_y``/``leaf_max_y`` feed the second-pass box
+        bound of :func:`leaf_score_bounds`) — reduces over the segment starts
+        in one ``reduceat`` per statistic.  Recomputing from points instead of
+        copying the tree's node bounds keeps the bounds tight on the *refined*
+        bound grid and sheds any looseness the tree accumulated from updates
+        (tombstoned rows widen node bounds; here they are simply absent).
+        """
+        num_angles = len(self.grid_rad)
+        if self.num_leaves == 0:
+            self.leaf_bounds = np.empty((0, num_angles, 4), dtype=float)
+            self.leaf_min_x = np.empty(0, dtype=float)
+            self.leaf_max_x = np.empty(0, dtype=float)
+            self.leaf_min_y = np.empty(0, dtype=float)
+            self.leaf_max_y = np.empty(0, dtype=float)
+            return
+        starts = np.concatenate(([0], np.cumsum(sizes[:-1])))
+        wa = (
+            self.grid_cos[:, None] * self.y[None, :]
+            + self.grid_sin[:, None] * self.x[None, :]
+        )
+        wb = (
+            self.grid_cos[:, None] * self.y[None, :]
+            - self.grid_sin[:, None] * self.x[None, :]
+        )
+        bounds = np.empty((self.num_leaves, num_angles, 4), dtype=float)
+        bounds[:, :, _MAX_A] = np.maximum.reduceat(wa, starts, axis=1).T
+        bounds[:, :, _MIN_A] = np.minimum.reduceat(wa, starts, axis=1).T
+        bounds[:, :, _MAX_B] = np.maximum.reduceat(wb, starts, axis=1).T
+        bounds[:, :, _MIN_B] = np.minimum.reduceat(wb, starts, axis=1).T
+        self.leaf_bounds = bounds
+        self.leaf_min_x = np.minimum.reduceat(self.x, starts)
+        self.leaf_max_x = np.maximum.reduceat(self.x, starts)
+        self.leaf_min_y = np.minimum.reduceat(self.y, starts)
+        self.leaf_max_y = np.maximum.reduceat(self.y, starts)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -665,7 +717,9 @@ class _FlatTree:
         )
         np.minimum.at(self.leaf_min_x, leaves, xs)
         np.maximum.at(self.leaf_max_x, leaves, xs)
-        for ai in range(len(self.angles)):
+        np.minimum.at(self.leaf_min_y, leaves, ys)
+        np.maximum.at(self.leaf_max_y, leaves, ys)
+        for ai in range(len(self.grid_rad)):
             wa = self.grid_cos[ai] * ys + self.grid_sin[ai] * xs
             wb = self.grid_cos[ai] * ys - self.grid_sin[ai] * xs
             np.maximum.at(self.leaf_bounds[:, ai, _MAX_A], leaves, wa)
@@ -722,6 +776,8 @@ class _FlatTree:
         dup.leaf_bounds = self.leaf_bounds.copy()
         dup.leaf_min_x = self.leaf_min_x.copy()
         dup.leaf_max_x = self.leaf_max_x.copy()
+        dup.leaf_min_y = self.leaf_min_y.copy()
+        dup.leaf_max_y = self.leaf_max_y.copy()
         dup.leaf_of_pos = self.leaf_of_pos
         dup.num_leaves = self.num_leaves
         dup.appended = self.appended
@@ -753,6 +809,8 @@ class _CollapsedTree:
         "leaf_bounds",
         "leaf_min_x",
         "leaf_max_x",
+        "leaf_min_y",
+        "leaf_max_y",
         "num_leaves",
         "grid_cos",
         "grid_sin",
@@ -763,14 +821,17 @@ class _CollapsedTree:
         self.grid_cos = flat.grid_cos
         self.grid_sin = flat.grid_sin
         self.grid_rad = flat.grid_rad
+        num_angles = len(flat.grid_rad)
         if flat.num_leaves == 0:
             self.num_leaves = 0
-            self.leaf_bounds = np.empty((0, len(flat.angles), 4), dtype=float)
+            self.leaf_bounds = np.empty((0, num_angles, 4), dtype=float)
             self.leaf_min_x = np.empty(0, dtype=float)
             self.leaf_max_x = np.empty(0, dtype=float)
+            self.leaf_min_y = np.empty(0, dtype=float)
+            self.leaf_max_y = np.empty(0, dtype=float)
             return
         self.num_leaves = 1
-        bounds = np.empty((1, len(flat.angles), 4), dtype=float)
+        bounds = np.empty((1, num_angles, 4), dtype=float)
         bounds[0, :, _MAX_A] = flat.leaf_bounds[:, :, _MAX_A].max(axis=0)
         bounds[0, :, _MIN_A] = flat.leaf_bounds[:, :, _MIN_A].min(axis=0)
         bounds[0, :, _MAX_B] = flat.leaf_bounds[:, :, _MAX_B].max(axis=0)
@@ -778,6 +839,8 @@ class _CollapsedTree:
         self.leaf_bounds = bounds
         self.leaf_min_x = np.asarray([flat.leaf_min_x.min()])
         self.leaf_max_x = np.asarray([flat.leaf_max_x.max()])
+        self.leaf_min_y = np.asarray([flat.leaf_min_y.min()])
+        self.leaf_max_y = np.asarray([flat.leaf_max_y.max()])
 
 
 def leaf_score_bounds(
@@ -878,6 +941,25 @@ def leaf_score_bounds(
             np.maximum(left_lower, right_lower),
             np.maximum(right_upper, left_upper),
         )
+    # Leaf second pass: intersect with the exact-angle *box bound* from each
+    # leaf's own coordinate extrema — ``alpha * max |y - qy|`` over the leaf's
+    # y-range minus ``beta * dist(qx, x-range)``.  Unlike the interpolated
+    # intercept bounds above it pays no angle-grid resolution error at all;
+    # it is loose only in the other coordinate's correlation.  Both are
+    # admissible upper bounds on the same partial score, so their minimum is
+    # too (admissibility argument: DESIGN.md, bound hierarchy).
+    far_y = np.maximum(
+        np.abs(flat.leaf_min_y[None, :] - qy[:, None]),
+        np.abs(flat.leaf_max_y[None, :] - qy[:, None]),
+    )
+    gap_x = np.maximum(
+        0.0,
+        np.maximum(
+            flat.leaf_min_x[None, :] - qx[:, None],
+            qx[:, None] - flat.leaf_max_x[None, :],
+        ),
+    )
+    np.minimum(ub, alpha[:, None] * far_y - beta[:, None] * gap_x, out=ub)
     return ub
 
 
@@ -1012,6 +1094,11 @@ class QuerySession:
         validate_concurrency(concurrency)
         self._aggregator = aggregator
         self._seed_pool = int(seed_pool)
+        if self._seed_pool < 1:
+            # A non-positive pool would seed no candidates, leaving the k-th
+            # lower bound at -inf and silently disabling pruning for every
+            # query — full scans that *look* like correct (slow) answers.
+            raise ValueError(f"seed_pool must be >= 1, got {seed_pool}")
         self.reflatten_threshold = float(reflatten_threshold)
         self.concurrency = concurrency
         #: Epoch manager of the published execution states; readers pin, the
@@ -1673,23 +1760,18 @@ class QuerySession:
                 deadline.check()
             positions, cand_bounds = candidates[j]
             k_eff = int(ks_eff[j])
-            # Stage 2: tighten the threshold to the exact k-th best of the
-            # best candidates by bound, then re-prune the rest against it.
-            positions, refined, head_count = _refine_candidates(
-                positions,
-                cand_bounds,
-                k_eff,
-                lambda sample: self._score_one(state, sample, spec, j),
-                float(weight_scale[j]),
-                magnitude,
-            )
-            if refined is not None and state.pairs and (
+            if state.pairs and (
                 len(state.pairs) + len(state.col_values) >= 2
             ) and len(positions) > max(_VERIFY_POOL, 4 * k_eff):
-                # Stage 3: the leaf-level bound of the first pair is the
-                # coarsest term — replace it with that pair's *exact*
-                # partial score (still admissible, far tighter) and
-                # re-prune once more before full verification.
+                # Stage 2a: per-candidate *tight* bounds.  Summing per-pair
+                # leaf bounds decorrelates the pairs (the bound assumes one
+                # point is simultaneously best in every pair's leaf), which
+                # dominates the residual over-fetch once the leaf bounds
+                # themselves are tight.  Replace the first pair's leaf bound
+                # with that pair's *exact* partial score — still admissible,
+                # far better correlated with the true score — so both the
+                # refine head selection and the re-prune below work on bounds
+                # that rank candidates nearly like their exact scores.
                 rep_dim, att_dim, _flat = state.pairs[0]
                 rep_w = self._weight_column(spec, rep_dim)[j]
                 att_w = self._weight_column(spec, att_dim)[j]
@@ -1705,7 +1787,17 @@ class QuerySession:
                     tight += pair_ubs[p][j][
                         state.pair_leaf_of_position[p][positions]
                     ]
-                positions = positions[tight >= refined]
+                cand_bounds = np.minimum(cand_bounds, tight)
+            # Stage 2b: tighten the threshold to the exact k-th best of the
+            # best candidates by bound, then re-prune the rest against it.
+            positions, refined, head_count = _refine_candidates(
+                positions,
+                cand_bounds,
+                k_eff,
+                lambda sample: self._score_one(state, sample, spec, j),
+                float(weight_scale[j]),
+                magnitude,
+            )
             # Exact scorings performed: the refine head plus the final verify
             # pass (head survivors are rescored — bounded by max(64, 4k)).
             examined = head_count + len(positions)

@@ -458,9 +458,9 @@ class LsmSession(QuerySession):
         delta = world.delta
         at = delta.locate_live(row_ids)
         in_delta = at >= 0
-        if in_delta.any():
+        absorbed = int(in_delta.sum())
+        if absorbed:
             delta = delta.with_deletes(at[in_delta])
-            self.delta_absorbed_deletes += int(in_delta.sum())
         remaining = row_ids[~in_delta]
         levels = list(world.levels)
         if len(remaining):
@@ -477,6 +477,9 @@ class LsmSession(QuerySession):
                 missing = remaining[~resolved].tolist()
                 raise KeyError(f"row ids {missing} not present in any level or delta")
         self.epochs.publish(LsmWorld(tuple(levels), delta))
+        # Counters only move once the successor world is actually published;
+        # a KeyError above must leave every stat exactly where it was.
+        self.delta_absorbed_deletes += absorbed
         self.patched_deletes += len(row_ids)
 
     # ------------------------------------------------------------ maintenance
@@ -859,32 +862,80 @@ class LsmSession(QuerySession):
             k_j = int(ks_eff[j])
             if pool >= k_j:
                 kth_lower[j] = np.partition(pooled[j], pool - k_j)[pool - k_j]
-        threshold = _prune_bound(kth_lower, weight_scale, magnitude)
-        if lower_bounds is not None:
-            threshold = np.maximum(threshold, np.asarray(lower_bounds, dtype=float))
+        floor = (
+            np.asarray(lower_bounds, dtype=float)
+            if lower_bounds is not None
+            else np.full(m, -math.inf)
+        )
 
-        per_source: List[List[TopKResult]] = []
-        for source in sources:
-            batch = super()._execute(source, spec, threshold, _label, deadline=deadline)
-            per_source.append(batch.results)
+        # Bound-ordered source visitation — the cross-shard serving pattern
+        # applied *within* the layered world.  Each query walks the sources
+        # (levels, then the delta as a pseudo-source) in decreasing order of
+        # their admissible upper bounds; after every round the merged pools
+        # re-tighten the global k-th lower bound, so later sources run with a
+        # harder threshold or get skipped outright when their bound cannot
+        # reach it.  A skipped source only sheds rows scoring strictly below
+        # ``kth - slack`` — rows that can never enter the global top k — so
+        # the merge stays bit-identical to visiting everything.
+        probes: List[Tuple[str, object]] = [("level", source) for source in sources]
         if delta_live:
-            per_source.append(self._delta_topk(world.delta, spec, ks_eff, _label))
+            probes.append(("delta", world.delta))
+        num_probes = len(probes)
+        ubs = np.vstack(
+            [
+                super(LsmSession, self)._upper_bounds(source, spec)
+                if kind == "level"
+                else self._delta_upper_bounds(source, spec)
+                for kind, source in probes
+            ]
+        )
+        visit = np.argsort(-ubs, axis=0, kind="stable")
+        pools: List[List[Match]] = [[] for _ in range(m)]
+        examined = np.zeros(m, dtype=np.int64)
+        for round_index in range(num_probes):
+            if deadline is not None:
+                deadline.check()
+            threshold = np.maximum(
+                _prune_bound(kth_lower, weight_scale, magnitude), floor
+            )
+            probe_of = visit[round_index]
+            for p in range(num_probes):
+                members = np.flatnonzero((probe_of == p) & (ubs[p] >= threshold))
+                if len(members) == 0:
+                    continue
+                kind, source = probes[p]
+                sub_spec = spec.subset(members)
+                if kind == "level":
+                    sub_results = super()._execute(
+                        source, sub_spec, threshold[members], _label,
+                        deadline=deadline,
+                    ).results
+                else:
+                    sub_results = self._delta_topk(
+                        source, sub_spec, ks_eff[members], _label
+                    )
+                for i, j in enumerate(members):
+                    result = sub_results[i]
+                    pools[int(j)].extend(result.matches)
+                    examined[int(j)] += result.candidates_examined
+            for j in range(m):
+                pool = pools[j]
+                k_j = int(ks_eff[j])
+                if len(pool) >= k_j:
+                    pool.sort(key=lambda match: (-match.score, match.row_id))
+                    del pool[k_j:]
+                    kth_lower[j] = max(kth_lower[j], pool[-1].score)
 
         results: List[TopKResult] = []
         for j in range(m):
-            pooled_matches: List[Match] = []
-            examined = 0
-            for source_results in per_source:
-                result = source_results[j]
-                pooled_matches.extend(result.matches)
-                examined += result.candidates_examined
-            pooled_matches.sort(key=lambda match: (-match.score, match.row_id))
-            del pooled_matches[int(ks_eff[j]) :]
+            pool = pools[j]
+            pool.sort(key=lambda match: (-match.score, match.row_id))
+            del pool[int(ks_eff[j]) :]
             results.append(
                 TopKResult(
-                    matches=pooled_matches,
-                    candidates_examined=examined,
-                    full_evaluations=examined,
+                    matches=pool,
+                    candidates_examined=int(examined[j]),
+                    full_evaluations=int(examined[j]),
                     algorithm=_label,
                 )
             )

@@ -990,6 +990,8 @@ def _capture_pair_arrays(
     arrays[f"{prefix}_leaf_bounds"] = flat.leaf_bounds
     arrays[f"{prefix}_leaf_min_x"] = flat.leaf_min_x
     arrays[f"{prefix}_leaf_max_x"] = flat.leaf_max_x
+    arrays[f"{prefix}_leaf_min_y"] = flat.leaf_min_y
+    arrays[f"{prefix}_leaf_max_y"] = flat.leaf_max_y
     arrays[f"{prefix}_leaf_of_pos"] = flat.leaf_of_pos
     arrays[f"{prefix}_grid_cos"] = flat.grid_cos
     arrays[f"{prefix}_grid_sin"] = flat.grid_sin
@@ -1038,13 +1040,11 @@ def _capture_lsm_arrays(
 
 
 def _restore_flat_tree(
-    angles: Tuple[Angle, ...],
     arrays: Dict[str, np.ndarray],
     prefix: str,
     meta: Dict[str, Any],
 ) -> _FlatTree:
     flat = _FlatTree.__new__(_FlatTree)
-    flat.angles = angles
     flat.rows = arrays[f"{prefix}_rows"]
     flat.x = arrays[f"{prefix}_x"]
     flat.y = arrays[f"{prefix}_y"]
@@ -1059,6 +1059,24 @@ def _restore_flat_tree(
     flat.grid_cos = arrays[f"{prefix}_grid_cos"]
     flat.grid_sin = arrays[f"{prefix}_grid_sin"]
     flat.grid_rad = arrays[f"{prefix}_grid_rad"]
+    # The bound grid rides in the snapshot itself (it may be finer than the
+    # aggregator's partition grid since PR 10); rebuild the angle tuple from
+    # the stored components so maintenance loops stay aligned with the bounds.
+    flat.angles = tuple(
+        Angle(cos=float(c), sin=float(s))
+        for c, s in zip(flat.grid_cos, flat.grid_sin)
+    )
+    # Pre-PR-10 snapshots carry no per-leaf y extrema; substitute the inert
+    # infinite box so the second-pass box bound degrades to a no-op instead of
+    # mispruning — format v1 stays fully readable.
+    min_y = arrays.get(f"{prefix}_leaf_min_y")
+    max_y = arrays.get(f"{prefix}_leaf_max_y")
+    flat.leaf_min_y = (
+        min_y if min_y is not None else np.full(flat.num_leaves, -np.inf)
+    )
+    flat.leaf_max_y = (
+        max_y if max_y is not None else np.full(flat.num_leaves, np.inf)
+    )
     flat._pos_of_row = None
     return flat
 
@@ -1201,9 +1219,7 @@ def _restore_session_state(
     pairs: List[Tuple[int, int, _FlatTree]] = []
     leaf_of_position: List[np.ndarray] = []
     for p, flat_meta in enumerate(pair_flats):
-        flat = _restore_flat_tree(
-            agg.angle_grid.angles, arrays, f"{prefix}pair{p}", flat_meta
-        )
+        flat = _restore_flat_tree(arrays, f"{prefix}pair{p}", flat_meta)
         pairs.append((int(flat_meta["rep_dim"]), int(flat_meta["att_dim"]), flat))
         leaf_of_position.append(arrays[f"{prefix}pair{p}_leaf_of_position"])
     return SessionState(
@@ -1510,6 +1526,8 @@ def _capture_topk(index: TopKIndex) -> _Capture:
             "flat_leaf_bounds": flat.leaf_bounds,
             "flat_leaf_min_x": flat.leaf_min_x,
             "flat_leaf_max_x": flat.leaf_max_x,
+            "flat_leaf_min_y": flat.leaf_min_y,
+            "flat_leaf_max_y": flat.leaf_max_y,
             "flat_leaf_of_pos": flat.leaf_of_pos,
             "flat_grid_cos": flat.grid_cos,
             "flat_grid_sin": flat.grid_sin,
@@ -1531,7 +1549,7 @@ def _restore_topk(
 ) -> TopKIndex:
     index = TopKIndex.__new__(TopKIndex)
     index.angle_grid = _grid_from_payload(payload["angles"])
-    flat = _restore_flat_tree(index.angle_grid.angles, arrays, "flat", payload["flat"])
+    flat = _restore_flat_tree(arrays, "flat", payload["flat"])
     rows, x, y, live = flat.rows, flat.x, flat.y, flat.live
     branching = int(payload["branching"])
     leaf_capacity = int(payload["leaf_capacity"])

@@ -183,6 +183,40 @@ class TestShardProbeStorms:
         finally:
             engine.close()
 
+    def test_degraded_score_bound_sound_with_tightened_bounds(self):
+        """``ShardCoverage.score_bound`` stays sound under PR 10's tightened
+        per-shard upper bounds, including at ~1e10 coordinate magnitudes
+        where the ``_MAGNITUDE_SLACK`` term dominates float rounding.  The
+        bound comes straight from the skipped shard's (now much tighter)
+        leaf bounds — tighter must never mean "below a missing row's true
+        score"."""
+        for scale in (1.0, 1e10):
+            data = _dataset(seed=21) * scale
+            clock = FakeClock()
+            engine = _engine(data, _policy(failure_threshold=3, clock=clock))
+            rng = np.random.default_rng(3)
+            queries = [
+                SDQuery.simple(
+                    point=rng.uniform(0, scale, size=NUM_DIMS),
+                    repulsive=REPULSIVE,
+                    attractive=ATTRACTIVE,
+                    k=5,
+                    alpha=rng.uniform(0.1, 1.0, size=2),
+                    beta=rng.uniform(0.1, 1.0, size=2),
+                )
+                for _ in range(6)
+            ]
+            plane = FaultPlane([FaultRule("shard.probe", key=2)], seed=13)
+            try:
+                with faults.fault_plane(plane):
+                    for query in queries:
+                        result = engine.query(query)
+                        _assert_sound(result, query, data)
+                        assert {s for s, _ in result.coverage.skipped} == {2}
+                _assert_drained(engine)
+            finally:
+                engine.close()
+
     def test_intermittent_storm_availability_is_total(self):
         """A flaky shard (45% probe failure) never errors a request: retries
         recover most answers bit-identically, the rest degrade soundly."""

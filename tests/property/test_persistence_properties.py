@@ -76,18 +76,24 @@ def run_scenario(tmp_root, kind, shards, concurrency, ops, seed, crash_fraction)
     durable = DurableIndex.create(engine, path)
 
     # Apply the op script, mirroring every journaled mutation into a parallel
-    # history so any surviving prefix can be rebuilt for the oracle.
-    history = []  # one entry per WAL lsn: ("insert", row, point) etc.
+    # history keyed by its WAL lsn.  The lsn must be read *before* the call:
+    # a mutation journals first, so it lands at ``end_lsn + 1`` — but the
+    # engine may then journal trailing OP_FLUSH/OP_COMPACT maintenance
+    # records, which occupy lsns of their own and carry no oracle-visible
+    # mutation (regression: counting history entries instead of lsns shifted
+    # the surviving prefix by one per maintenance record).
+    history = []  # (lsn, [("insert", row, point), ...]) per mutation record
     next_id = initial
     for op in ops:
         if op == "checkpoint":
             durable.checkpoint()
             continue
         live = sorted(store)
+        lsn = durable.wal.end_lsn + 1  # where the next mutation record lands
         if op == "insert":
             point = rng.random(NUM_DIMS)
             durable.insert(point, row_id=next_id)
-            history.append([("insert", next_id, point)])
+            history.append((lsn, [("insert", next_id, point)]))
             store[next_id] = point
             next_id += 1
         elif op == "bulk_insert":
@@ -95,14 +101,16 @@ def run_scenario(tmp_root, kind, shards, concurrency, ops, seed, crash_fraction)
             block = rng.random((count, NUM_DIMS))
             ids = list(range(next_id, next_id + count))
             durable.bulk_insert(block, row_ids=ids)
-            history.append([("insert", row, block[i]) for i, row in enumerate(ids)])
+            history.append(
+                (lsn, [("insert", row, block[i]) for i, row in enumerate(ids)])
+            )
             for i, row in enumerate(ids):
                 store[row] = block[i]
             next_id += count
         elif op == "delete" and len(live) > 1:
             victim = live[int(rng.integers(len(live)))]
             durable.delete(victim)
-            history.append([("delete", victim, None)])
+            history.append((lsn, [("delete", victim, None)]))
             del store[victim]
         elif op == "bulk_delete" and len(live) > 4:
             count = int(rng.integers(1, 4))
@@ -111,7 +119,7 @@ def run_scenario(tmp_root, kind, shards, concurrency, ops, seed, crash_fraction)
                 for i in rng.choice(len(live), size=count, replace=False)
             ]
             durable.bulk_delete(victims)
-            history.append([("delete", row, None) for row in victims])
+            history.append((lsn, [("delete", row, None) for row in victims]))
             for row in victims:
                 del store[row]
     durable.wal.sync()
@@ -127,9 +135,12 @@ def run_scenario(tmp_root, kind, shards, concurrency, ops, seed, crash_fraction)
     recovered = DurableIndex.recover(path)
     surviving = recovered.last_recovery["recovered_lsn"]
 
-    # The uncrashed oracle of exactly the surviving prefix.
+    # The uncrashed oracle of exactly the surviving prefix: every mutation
+    # whose record lsn survived, regardless of interleaved maintenance lsns.
     population = {row: data[row] for row in range(initial)}
-    for group in history[:surviving]:
+    for lsn, group in history:
+        if lsn > surviving:
+            break
         for kind_op, row, point in group:
             if kind_op == "insert":
                 population[row] = point
@@ -166,6 +177,24 @@ def test_checkpoint_crash_recover_matches_oracle(
     tmp_path, kind, shards, concurrency, ops, seed, crash_fraction
 ):
     run_scenario(tmp_path, kind, shards, concurrency, ops, seed, crash_fraction)
+
+
+def test_recovered_prefix_survives_journaled_maintenance(tmp_path):
+    """Deterministic regression for the lsn-vs-history-index confusion.
+
+    This op script makes the engine journal an OP_FLUSH record right before
+    the checkpoint (the delta's dead count trips the flush policy), so the
+    checkpoint's lsn exceeds the mutation count.  With ``crash_fraction=0``
+    the entire post-checkpoint WAL is lost and the oracle must rebuild from
+    the checkpointed prefix alone — mapping lsns to history positions 1:1
+    used to over-apply one mutation per maintenance record.
+    """
+    ops = (
+        ["insert", "insert"]
+        + ["delete"] * 6
+        + ["bulk_delete", "bulk_delete", "delete", "checkpoint", "insert"]
+    )
+    run_scenario(tmp_path, "flat", None, "snapshot", ops, 17417, 0.0)
 
 
 @pytest.mark.slow

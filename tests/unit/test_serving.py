@@ -153,6 +153,30 @@ class TestResultCache:
         with pytest.raises(ValueError):
             ResultCache(capacity=0)
 
+    def test_clear_resets_counters_by_default(self):
+        cache = ResultCache(capacity=1)
+        cache.put("a", 1, "A")
+        cache.put("b", 1, "B")  # evicts a
+        assert cache.get("a", 1) is None  # miss
+        assert cache.get("b", 1) == "B"  # hit
+        before = cache.stats()
+        assert (before["hits"], before["misses"], before["evictions"]) == (1, 1, 1)
+        cache.clear()
+        after = cache.stats()
+        assert after["entries"] == 0
+        assert (after["hits"], after["misses"], after["evictions"]) == (0, 0, 0)
+        assert after["rejected_degraded"] == 0
+
+    def test_clear_can_keep_lifetime_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1, "A")
+        assert cache.get("a", 1) == "A"
+        assert cache.get("zzz", 1) is None
+        cache.clear(reset_counters=False)
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
 
 class TestTickCoalescer:
     def test_manual_flush_coalesces_into_one_batch(self, small_index):
